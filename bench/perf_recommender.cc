@@ -1,0 +1,118 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the data-mining pipeline: the
+ * SVD+SGD collaborative-filtering stage, the weighted-Pearson content
+ * stage, the end-to-end recommender analysis (the paper reports
+ * ~50 msec + ~30 msec stages and an 80 msec 95th-percentile end-to-end
+ * latency on 2016 hardware), and the additive decomposition used for
+ * multi-tenant disentangling.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/recommender.h"
+#include "linalg/sgd.h"
+#include "linalg/svd.h"
+#include "workloads/generators.h"
+
+using namespace bolt;
+
+namespace {
+
+struct Trained
+{
+    core::TrainingSet training;
+    std::unique_ptr<core::HybridRecommender> recommender;
+
+    Trained()
+    {
+        util::Rng rng(1);
+        auto specs = workloads::trainingSet(rng);
+        training = core::TrainingSet::fromSpecs(specs, rng);
+        recommender =
+            std::make_unique<core::HybridRecommender>(training);
+    }
+};
+
+Trained&
+trained()
+{
+    static Trained instance;
+    return instance;
+}
+
+core::SparseObservation
+sampleObservation(size_t observed)
+{
+    const auto& entry = trained().training.entry(17);
+    core::SparseObservation obs;
+    size_t n = 0;
+    for (sim::Resource r : sim::kAllResources) {
+        if (n++ >= observed)
+            break;
+        obs.set(r, entry.profile[r]);
+    }
+    return obs;
+}
+
+} // namespace
+
+static void
+BM_TrainingSvd(benchmark::State& state)
+{
+    auto matrix = trained().training.matrix();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(linalg::svd(matrix));
+}
+BENCHMARK(BM_TrainingSvd);
+
+static void
+BM_SgdCompletion(benchmark::State& state)
+{
+    auto matrix = trained().training.matrix();
+    linalg::SparseMatrix sparse = linalg::SparseMatrix::dense(matrix);
+    // Hide the last row's tail entries as an unknown victim would.
+    for (size_t c = 3; c < sim::kNumResources; ++c)
+        sparse.mask[matrix.rows() - 1][c] = false;
+    linalg::SgdConfig cfg;
+    cfg.rank = 4;
+    cfg.epochs = 60;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(linalg::sgdFactorize(sparse, cfg));
+}
+BENCHMARK(BM_SgdCompletion);
+
+static void
+BM_RecommenderAnalyze(benchmark::State& state)
+{
+    auto obs = sampleObservation(static_cast<size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trained().recommender->analyze(obs));
+    state.SetLabel("observed=" + std::to_string(state.range(0)) +
+                   " (paper end-to-end p95 ~80ms)");
+}
+BENCHMARK(BM_RecommenderAnalyze)->Arg(2)->Arg(3)->Arg(6)->Arg(10);
+
+static void
+BM_Decompose(benchmark::State& state)
+{
+    auto obs = sampleObservation(10);
+    auto max_parts = static_cast<size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            trained().recommender->decompose(obs, true, max_parts));
+}
+BENCHMARK(BM_Decompose)->Arg(1)->Arg(2)->Arg(3);
+
+static void
+BM_TrainingSetBuild(benchmark::State& state)
+{
+    for (auto _ : state) {
+        util::Rng rng(9);
+        auto specs = workloads::trainingSet(rng);
+        benchmark::DoNotOptimize(
+            core::TrainingSet::fromSpecs(specs, rng));
+    }
+}
+BENCHMARK(BM_TrainingSetBuild);
+
+BENCHMARK_MAIN();

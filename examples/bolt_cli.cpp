@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Command-line driver for libbolt: run any of the library's scenarios
+ * with configurable parameters without writing code.
+ *
+ *   bolt_cli experiment [--servers N] [--victims N] [--seed S]
+ *                       [--quasar] [--isolation none|pinning|net|mem|
+ *                        cache|core-full|core-only]
+ *                       [--platform baremetal|container|vm]
+ *                       [--obfuscation A]
+ *   bolt_cli detect     [--family NAME] [--seed S]
+ *   bolt_cli dos        [--seed S]
+ *   bolt_cli coresidency [--probes N] [--waves N] [--seed S]
+ *
+ * Every run is deterministic for a given seed.
+ */
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "attacks/coresidency.h"
+#include "attacks/dos.h"
+#include "core/experiment.h"
+#include "util/table.h"
+#include "workloads/generators.h"
+
+using namespace bolt;
+
+namespace {
+
+/** Minimal flag parser: --name value pairs after the subcommand. */
+class Args
+{
+  public:
+    Args(int argc, char** argv, int first) : argc_(argc), argv_(argv)
+    {
+        for (int i = first; i + 1 < argc_; i += 2) {
+            if (std::strncmp(argv_[i], "--", 2) == 0)
+                values_[argv_[i] + 2] = argv_[i + 1];
+        }
+        for (int i = first; i < argc_; ++i)
+            if (std::strncmp(argv_[i], "--", 2) == 0)
+                flags_.insert(argv_[i] + 2);
+    }
+
+    std::string
+    get(const std::string& name, const std::string& fallback) const
+    {
+        auto it = values_.find(name);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    long
+    getInt(const std::string& name, long fallback) const
+    {
+        auto it = values_.find(name);
+        return it == values_.end() ? fallback : std::stol(it->second);
+    }
+
+    double
+    getDouble(const std::string& name, double fallback) const
+    {
+        auto it = values_.find(name);
+        return it == values_.end() ? fallback : std::stod(it->second);
+    }
+
+    bool has(const std::string& name) const { return flags_.count(name); }
+
+  private:
+    int argc_;
+    char** argv_;
+    std::map<std::string, std::string> values_;
+    std::set<std::string> flags_;
+};
+
+sim::Platform
+parsePlatform(const std::string& name)
+{
+    if (name == "baremetal")
+        return sim::Platform::Baremetal;
+    if (name == "container")
+        return sim::Platform::Container;
+    return sim::Platform::VirtualMachine;
+}
+
+sim::IsolationConfig
+parseIsolation(const std::string& name, sim::Platform platform)
+{
+    if (name == "pinning")
+        return sim::IsolationConfig::withThreadPinning(platform);
+    if (name == "net")
+        return sim::IsolationConfig::withNetPartitioning(platform);
+    if (name == "mem")
+        return sim::IsolationConfig::withMemBwPartitioning(platform);
+    if (name == "cache")
+        return sim::IsolationConfig::withCachePartitioning(platform);
+    if (name == "core-full")
+        return sim::IsolationConfig::withCoreIsolation(platform);
+    if (name == "core-only")
+        return sim::IsolationConfig::coreIsolationOnly(platform);
+    return sim::IsolationConfig::none(platform);
+}
+
+int
+runExperiment(const Args& args)
+{
+    core::ExperimentConfig cfg;
+    cfg.servers = static_cast<size_t>(args.getInt("servers", 40));
+    cfg.victims = static_cast<size_t>(args.getInt("victims", 108));
+    cfg.seed = static_cast<uint64_t>(args.getInt("seed", 1));
+    cfg.victimObfuscation = args.getDouble("obfuscation", 0.0);
+    if (args.has("quasar"))
+        cfg.policy = core::ExperimentConfig::Policy::Quasar;
+    cfg.isolation = parseIsolation(
+        args.get("isolation", "none"),
+        parsePlatform(args.get("platform", "vm")));
+
+    auto result = core::ControlledExperiment(cfg).run();
+    util::AsciiTable table({"Metric", "Value"});
+    table.addRow({"Victims scheduled",
+                  std::to_string(result.outcomes.size())});
+    table.addRow({"Class accuracy", util::AsciiTable::percent(
+                                        result.aggregateAccuracy(), 1)});
+    table.addRow({"Characteristics accuracy",
+                  util::AsciiTable::percent(
+                      result.characteristicsAccuracy(), 1)});
+    for (const auto& [n, acc] : result.accuracyByCoResidents())
+        table.addRow({"Accuracy @ " + std::to_string(n) +
+                          " co-resident(s)",
+                      util::AsciiTable::percent(acc, 1)});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+runDetect(const Args& args)
+{
+    util::Rng rng(static_cast<uint64_t>(args.getInt("seed", 2017)));
+    std::string family = args.get("family", "memcached");
+    const auto* fam = workloads::findFamily(family);
+    if (!fam) {
+        std::cerr << "unknown family: " << family << "\n";
+        return 2;
+    }
+
+    util::Rng tr = rng.substream("train");
+    auto specs = workloads::trainingSet(tr);
+    auto training = core::TrainingSet::fromSpecs(specs, tr);
+    core::HybridRecommender recommender(training);
+    core::Detector detector(recommender);
+
+    sim::Cluster cluster(1);
+    sim::Tenant adversary{cluster.nextTenantId(), 4, true};
+    cluster.placeOn(0, adversary);
+    util::Rng vr = rng.substream("victim");
+    auto spec = workloads::randomSpec(*fam, vr);
+    spec.pattern = workloads::LoadPattern::constant(0.9);
+    sim::Tenant victim{cluster.nextTenantId(), spec.vcpus, false};
+    cluster.placeOn(0, victim);
+    workloads::AppInstance instance(spec, vr.substream("inst"));
+
+    sim::ContentionModel contention(cluster.isolation());
+    core::HostEnvironment env;
+    env.server = &cluster.server(0);
+    env.adversary = adversary.id;
+    env.contention = &contention;
+    env.pressureAt = [&](double t) {
+        sim::PressureMap pm;
+        pm[victim.id] = instance.pressureAt(t);
+        return pm;
+    };
+    auto round = detector.detectOnce(env, 0.0, rng);
+    std::cout << "hidden victim: " << spec.classLabel() << "\n";
+    if (round.guesses.empty()) {
+        std::cout << "no confident match\n";
+        return 1;
+    }
+    for (const auto& [label, share] :
+         round.guesses.front().distribution) {
+        std::cout << "  " << label << ": "
+                  << util::AsciiTable::percent(share, 1) << "\n";
+    }
+    std::cout << "top match: " << round.topClass() << " ("
+              << (round.topClass() == spec.classLabel() ? "correct"
+                                                        : "incorrect")
+              << ")\n";
+    return 0;
+}
+
+int
+runDos(const Args& args)
+{
+    attacks::DosTimelineConfig cfg;
+    cfg.seed = static_cast<uint64_t>(args.getInt("seed", 99));
+    attacks::DosTimelineExperiment experiment(cfg);
+    auto bolt_run = experiment.run(true);
+    auto naive_run = experiment.run(false);
+    double nominal = bolt_run[5].p99Ms;
+    util::AsciiTable table(
+        {"t", "Bolt p99 x", "Bolt util", "Naive p99 x", "Naive util"});
+    for (size_t t = 0; t < bolt_run.size(); t += 15) {
+        table.addRow(
+            {std::to_string(t),
+             util::AsciiTable::num(bolt_run[t].p99Ms / nominal, 1),
+             util::AsciiTable::num(bolt_run[t].cpuUtil, 0) + "%",
+             util::AsciiTable::num(naive_run[t].p99Ms / nominal, 1),
+             util::AsciiTable::num(naive_run[t].cpuUtil, 0) + "%"});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+runCoResidency(const Args& args)
+{
+    attacks::CoResidencyConfig cfg;
+    cfg.seed = static_cast<uint64_t>(args.getInt("seed", 7));
+    cfg.probeVms = static_cast<size_t>(args.getInt("probes", 10));
+    cfg.maxWaves = static_cast<size_t>(args.getInt("waves", 8));
+    auto result = attacks::CoResidencyAttack(cfg).run();
+    util::AsciiTable table({"Metric", "Value"});
+    table.addRow({"P(probe lands)",
+                  util::AsciiTable::num(result.placementProbability, 3)});
+    table.addRow({"Waves used", std::to_string(result.wavesUsed)});
+    table.addRow({"Adversarial VMs",
+                  std::to_string(result.adversaryVmsUsed)});
+    table.addRow({"Baseline latency",
+                  util::AsciiTable::num(result.baselineLatencyMs, 2) +
+                      " ms"});
+    table.addRow({"Latency under attack",
+                  util::AsciiTable::num(result.attackLatencyMs, 2) +
+                      " ms"});
+    table.addRow(
+        {"Victim pinpointed", result.victimPinpointed ? "yes" : "no"});
+    table.addRow({"Time", util::AsciiTable::num(
+                              result.detectionTimeSec, 1) +
+                              " s"});
+    table.print(std::cout);
+    return result.victimPinpointed ? 0 : 1;
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: bolt_cli <experiment|detect|dos|coresidency> "
+           "[--flag value ...]\n"
+           "  experiment  --servers N --victims N --seed S [--quasar]\n"
+           "              --platform baremetal|container|vm\n"
+           "              --isolation none|pinning|net|mem|cache|"
+           "core-full|core-only\n"
+           "              --obfuscation A\n"
+           "  detect      --family NAME --seed S\n"
+           "  dos         --seed S\n"
+           "  coresidency --probes N --waves N --seed S\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    Args args(argc, argv, 2);
+    std::string command = argv[1];
+    if (command == "experiment")
+        return runExperiment(args);
+    if (command == "detect")
+        return runDetect(args);
+    if (command == "dos")
+        return runDos(args);
+    if (command == "coresidency")
+        return runCoResidency(args);
+    usage();
+    return 2;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Domain scenario: a miniature EC2-style multi-user study (Section 4).
+ * Twenty synthetic users submit jobs from the 53-family catalog; Bolt
+ * runs on each instance and reports what it can label versus what it
+ * can only characterize. This is the workflow a security auditor would
+ * run to estimate how much a co-resident adversary can learn.
+ */
+#include <iostream>
+#include <map>
+
+#include "core/detector.h"
+#include "core/experiment.h"
+#include "sim/cluster.h"
+#include "util/table.h"
+#include "workloads/generators.h"
+
+using namespace bolt;
+
+int
+main()
+{
+    util::Rng rng(808);
+
+    util::Rng train_rng = rng.substream("training");
+    auto train_specs = workloads::trainingSet(train_rng);
+    auto training = core::TrainingSet::fromSpecs(train_specs, train_rng);
+    core::HybridRecommender recommender(training);
+    core::Detector detector(recommender);
+
+    // A reduced study: 60 jobs over 24 instances keeps the example
+    // snappy; the fig12 benchmark runs the full 436-job version.
+    util::Rng job_rng = rng.substream("jobs");
+    auto jobs = workloads::userStudy(job_rng, 60, 20, 3600.0);
+
+    sim::ContentionModel contention{
+        sim::IsolationConfig::none(sim::Platform::VirtualMachine)};
+    util::Rng detect_rng = rng.substream("detect");
+
+    size_t labeled = 0, characterized = 0, unseen_type = 0;
+    std::map<std::string, int> label_hits;
+
+    // One instance per up-to-3 jobs, detection at each job's midpoint.
+    for (size_t base = 0; base < jobs.size(); base += 3) {
+        sim::Cluster host(1, 16, 2);
+        sim::Tenant bolt_vm{host.nextTenantId(), 4, true};
+        host.placeOn(0, bolt_vm);
+
+        std::map<sim::TenantId, size_t> ids;
+        std::map<sim::TenantId, workloads::AppInstance> instances;
+        for (size_t j = base; j < std::min(base + 3, jobs.size()); ++j) {
+            sim::Tenant t{host.nextTenantId(), jobs[j].spec.vcpus,
+                          false};
+            if (!host.placeOn(0, t))
+                continue;
+            ids[t.id] = j;
+            instances.emplace(
+                t.id, workloads::AppInstance(
+                          jobs[j].spec, detect_rng.substream("a", j)));
+        }
+
+        core::HostEnvironment env;
+        env.server = &host.server(0);
+        env.adversary = bolt_vm.id;
+        env.contention = &contention;
+        env.pressureAt = [&](double t) {
+            sim::PressureMap pm;
+            for (auto& [id, j] : ids)
+                pm[id] = instances.at(id).pressureAt(t);
+            return pm;
+        };
+
+        auto round = detector.detectOnce(env, 100.0, detect_rng);
+        for (const auto& [id, j] : ids) {
+            const auto& spec = jobs[j].spec;
+            if (!spec.labeledInTraining)
+                ++unseen_type;
+            if (spec.labeledInTraining &&
+                core::roundMatchesClass(round, spec)) {
+                ++labeled;
+                ++label_hits[spec.family];
+            }
+            if (core::roundMatchesCharacteristics(round, spec))
+                ++characterized;
+        }
+    }
+
+    std::cout << "== Mini user study: " << jobs.size()
+              << " jobs from 20 users ==\n";
+    util::AsciiTable table({"Metric", "Jobs"});
+    table.addRow({"Submitted", std::to_string(jobs.size())});
+    table.addRow({"Outside Bolt's training space",
+                  std::to_string(unseen_type)});
+    table.addRow({"Correctly labeled by name", std::to_string(labeled)});
+    table.addRow({"Resource characteristics recovered",
+                  std::to_string(characterized)});
+    table.print(std::cout);
+
+    std::cout << "\nLabeled families:";
+    for (const auto& [family, hits] : label_hits)
+        std::cout << " " << family << "(" << hits << ")";
+    std::cout << "\nEven unlabeled jobs leak their resource "
+                 "characteristics - enough to drive the Section 5 "
+                 "attacks.\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Domain scenario: detect a co-resident latency-critical service, then
+ * launch a victim-tailored internal DoS attack that evades the cloud's
+ * load-triggered migration defense (Section 5.1).
+ *
+ * Walks the attack API end-to-end:
+ *   1. detect the victim and recover its resource profile,
+ *   2. craft a contention payload from the detected profile,
+ *   3. replay the attack timeline against the live-migration defense
+ *      and compare with the naive CPU-saturating DoS.
+ */
+#include <iostream>
+
+#include "attacks/dos.h"
+#include "core/detector.h"
+#include "sim/cluster.h"
+#include "util/table.h"
+#include "workloads/generators.h"
+
+using namespace bolt;
+
+int
+main()
+{
+    util::Rng rng(5150);
+
+    // --- Step 1: detection -------------------------------------------------
+    util::Rng train_rng = rng.substream("training");
+    auto train_specs = workloads::trainingSet(train_rng);
+    auto training = core::TrainingSet::fromSpecs(train_specs, train_rng);
+    core::HybridRecommender recommender(training);
+    core::Detector detector(recommender);
+
+    sim::Cluster cluster(1);
+    sim::Tenant adversary{cluster.nextTenantId(), 4, true};
+    cluster.placeOn(0, adversary);
+
+    util::Rng victim_rng = rng.substream("victim");
+    const auto* fam = workloads::findFamily("memcached");
+    auto spec = workloads::instantiate(*fam, fam->variants[0], "M",
+                                       victim_rng);
+    spec.pattern = workloads::LoadPattern::constant(0.9);
+    spec.vcpus = 4;
+    sim::Tenant victim{cluster.nextTenantId(), spec.vcpus, false};
+    cluster.placeOn(0, victim);
+    workloads::AppInstance instance(spec, victim_rng.substream("inst"));
+
+    sim::ContentionModel contention(cluster.isolation());
+    core::HostEnvironment env;
+    env.server = &cluster.server(0);
+    env.adversary = adversary.id;
+    env.contention = &contention;
+    env.pressureAt = [&](double t) {
+        sim::PressureMap pm;
+        pm[victim.id] = instance.pressureAt(t);
+        return pm;
+    };
+
+    util::Rng detect_rng = rng.substream("detect");
+    auto round = detector.detectOnce(env, 0.0, detect_rng);
+    if (round.guesses.empty()) {
+        std::cout << "No co-resident detected; aborting attack.\n";
+        return 1;
+    }
+    const auto& guess = round.guesses.front();
+    std::cout << "Detected co-resident: " << guess.classLabel
+              << " (similarity "
+              << util::AsciiTable::num(guess.similarity, 2) << ")\n";
+    auto critical = guess.profile.byDecreasingPressure();
+    std::cout << "Most critical resources: "
+              << sim::resourceName(critical[0]) << ", "
+              << sim::resourceName(critical[1]) << "\n";
+
+    // --- Step 2: craft the payload -----------------------------------------
+    auto payload = attacks::DosAttack::craftContention(guess.profile);
+    std::cout << "Crafted contention payload: " << payload << "\n\n";
+
+    // --- Step 3: attack timeline vs the defense ----------------------------
+    attacks::DosTimelineExperiment experiment;
+    auto bolt_run = experiment.run(true);
+    auto naive_run = experiment.run(false);
+    double nominal = bolt_run[5].p99Ms;
+
+    std::cout << "Timeline (memcached victim, migration defense: >70% "
+                 "CPU for 60 s -> migrate, 8 s overhead):\n";
+    util::AsciiTable table(
+        {"t (s)", "Bolt p99 x", "Naive p99 x", "Naive state"});
+    for (size_t t = 10; t < bolt_run.size(); t += 20) {
+        std::string state = naive_run[t].migrated    ? "migrated away"
+                            : naive_run[t].migrating ? "migrating"
+                                                     : "under attack";
+        if (t < 20)
+            state = "pre-attack";
+        table.addRow(
+            {std::to_string(t),
+             util::AsciiTable::num(bolt_run[t].p99Ms / nominal, 1),
+             util::AsciiTable::num(naive_run[t].p99Ms / nominal, 1),
+             state});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nBolt sustains "
+              << util::AsciiTable::num(bolt_run.back().p99Ms / nominal, 0)
+              << "x tail inflation at "
+              << util::AsciiTable::num(bolt_run.back().cpuUtil, 0)
+              << "% utilization - below the defense trigger.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Domain scenario: a cloud operator evaluating how much of Bolt's
+ * detection ability each isolation mechanism removes, and what the
+ * strongest defense costs in performance (Section 6). This is the
+ * decision-support workflow behind the paper's closing discussion.
+ */
+#include <iostream>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+using namespace bolt;
+
+int
+main()
+{
+    struct Option
+    {
+        const char* name;
+        sim::IsolationConfig config;
+        const char* note;
+    };
+    const sim::Platform vm = sim::Platform::VirtualMachine;
+    const std::vector<Option> options = {
+        {"Status quo (no extra isolation)",
+         sim::IsolationConfig::none(vm),
+         "what public clouds offer today"},
+        {"LLC partitioning (Intel CAT)",
+         sim::IsolationConfig::withCachePartitioning(vm),
+         "plus pinning + net/mem partitions"},
+        {"Core isolation only",
+         sim::IsolationConfig::coreIsolationOnly(vm),
+         "no cross-tenant hyperthreads"},
+        {"Everything + core isolation",
+         sim::IsolationConfig::withCoreIsolation(vm),
+         "the only configuration that (mostly) blinds Bolt"},
+    };
+
+    std::cout << "== Operator study: isolation vs detectability ==\n";
+    util::AsciiTable table({"Configuration", "Bolt accuracy",
+                            "Perf penalty (2-thread job)", "Note"});
+    for (const auto& opt : options) {
+        core::ExperimentConfig cfg;
+        cfg.servers = 16;
+        cfg.victims = 36;
+        cfg.seed = 99;
+        cfg.isolation = opt.config;
+        auto result = core::ControlledExperiment(cfg).run();
+        double penalty = opt.config.selfContentionPenalty(2) - 1.0;
+        table.addRow({opt.name,
+                      util::AsciiTable::percent(
+                          result.aggregateAccuracy()),
+                      util::AsciiTable::percent(penalty), opt.note});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nThe trade-off the paper closes on: blinding Bolt costs "
+           "~34% execution time (threads of one job contend with each "
+           "other), or ~45% utilization if cores are overprovisioned "
+           "instead. Strict isolation and high utilization remain at "
+           "odds without finer-grained hardware mechanisms.\n";
+    return 0;
+}

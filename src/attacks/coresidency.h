@@ -1,0 +1,75 @@
+#ifndef BOLT_ATTACKS_CORESIDENCY_H
+#define BOLT_ATTACKS_CORESIDENCY_H
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "sched/scheduler.h"
+
+namespace bolt {
+namespace attacks {
+
+/** Configuration of the §5.3 VM co-residency detection attack. */
+struct CoResidencyConfig
+{
+    size_t servers = 40;      ///< Cluster size N.
+    size_t victimVms = 1;     ///< k: VMs the target user launches.
+    size_t decoySqlVms = 7;   ///< Other tenants running the same service.
+    size_t backgroundVms = 24; ///< Key-value stores, Hadoop, Spark, ...
+    size_t probeVms = 10;     ///< n: adversarial VMs launched per wave.
+    size_t maxWaves = 6;      ///< Probe waves before giving up.
+    double latencyRatioThreshold = 2.0; ///< Receiver's decision rule.
+    uint64_t seed = 31;
+};
+
+/** Outcome of one co-residency attack run. */
+struct CoResidencyResult
+{
+    /** 1 - (1 - k/N)^n: a priori probability of landing a probe. */
+    double placementProbability = 0;
+    /** Whether a probe VM actually landed next to the target. */
+    bool probeCoResident = false;
+    /** Hosts (of those probed) Bolt flagged as running the service. */
+    size_t candidateHosts = 0;
+    /** Receiver latency against the target without sender contention. */
+    double baselineLatencyMs = 0;
+    /** Receiver latency while the co-resident sender interferes. */
+    double attackLatencyMs = 0;
+    /** Whether the attack pinpointed the victim host. */
+    bool victimPinpointed = false;
+    /** Virtual seconds from probe instantiation to confirmation. */
+    double detectionTimeSec = 0;
+    /** Adversarial VMs consumed (probes + the external receiver). */
+    size_t adversaryVmsUsed = 0;
+    /** Probe waves launched until confirmation (or the cap). */
+    size_t wavesUsed = 0;
+};
+
+/**
+ * VM co-residency detection (Section 5.3): the adversary launches n
+ * probe VMs simultaneously, uses Bolt to find which probed hosts run
+ * the target's service type, then runs a sender/receiver pair — the
+ * co-resident sender injects contention in the victim's sensitive
+ * resources while an external receiver times requests over a public
+ * channel (e.g. SQL queries). A latency jump confirms co-residency
+ * without any reliance on IP naming or network topology.
+ */
+class CoResidencyAttack
+{
+  public:
+    explicit CoResidencyAttack(CoResidencyConfig config = {})
+        : config_(config)
+    {
+    }
+
+    CoResidencyResult run() const;
+
+  private:
+    CoResidencyConfig config_;
+};
+
+} // namespace attacks
+} // namespace bolt
+
+#endif // BOLT_ATTACKS_CORESIDENCY_H

@@ -1,0 +1,55 @@
+#ifndef BOLT_ATTACKS_RFA_H
+#define BOLT_ATTACKS_RFA_H
+
+#include <string>
+
+#include "sim/contention.h"
+#include "workloads/app.h"
+
+namespace bolt {
+namespace attacks {
+
+/**
+ * Resource-freeing attack (Section 5.2, after Varadarajan et al.): the
+ * adversarial VM runs a *beneficiary* (the program whose performance the
+ * attacker improves) and a *helper* that saturates the victim's
+ * critical resource. The stalled victim then demands less of every
+ * other shared resource, freeing them for the beneficiary.
+ */
+struct RfaOutcome
+{
+    std::string victimMetric;   ///< "QPS" or "Exec. time".
+    double victimChange = 0;    ///< Fractional change (negative = worse).
+    double beneficiaryGain = 0; ///< Fractional exec-time improvement.
+    sim::Resource targetResource = sim::Resource::CPU;
+};
+
+/**
+ * Pressure a stalled application still exerts: demand on the bottleneck
+ * resource stays queued at full intensity while the request rate it can
+ * sustain everywhere else drops with the slowdown — the freeing
+ * mechanism the attack exploits.
+ */
+sim::ResourceVector stalledPressure(const sim::ResourceVector& own,
+                                    double slowdown,
+                                    sim::Resource bottleneck);
+
+/** Helper program saturating one resource (iperf-like, CGI storm, ...). */
+sim::ResourceVector helperFor(sim::Resource target);
+
+/**
+ * Runs one RFA: victim + beneficiary(+helper) co-resident on a host.
+ *
+ * @param victim        The victim application spec.
+ * @param beneficiary   The beneficiary spec (paper uses SPEC mcf).
+ * @param target        Victim's dominant resource (from Bolt detection).
+ */
+RfaOutcome runRfa(const workloads::AppSpec& victim,
+                  const workloads::AppSpec& beneficiary,
+                  sim::Resource target,
+                  const sim::ContentionModel& contention);
+
+} // namespace attacks
+} // namespace bolt
+
+#endif // BOLT_ATTACKS_RFA_H

@@ -1,0 +1,195 @@
+#include "detector.h"
+
+#include <algorithm>
+
+namespace bolt {
+namespace core {
+
+bool
+DetectionRound::detected(const std::string& class_label) const
+{
+    for (const auto& g : guesses)
+        if (g.classLabel == class_label)
+            return true;
+    return false;
+}
+
+std::string
+DetectionRound::topClass() const
+{
+    return guesses.empty() ? std::string{} : guesses.front().classLabel;
+}
+
+Detector::Detector(const HybridRecommender& recommender,
+                   DetectorConfig config)
+    : recommender_(recommender), config_(config),
+      profiler_(config.profiler)
+{
+}
+
+DetectionRound
+Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
+                     const SparseObservation* prior) const
+{
+    DetectionRound round;
+    double now = t;
+
+    ProfileRound prof =
+        profiler_.profile(env, now, rng, roundCounter_++);
+    now += prof.durationSec;
+    round.benchmarksRun += prof.benchmarksRun;
+    round.coreShared = prof.coreShared;
+    if (prior)
+        prof.observation.mergeFrom(*prior);
+    round.aggregate = prof.observation;
+
+    double floor = recommender_.config().confidenceFloor;
+    double mfloor = recommender_.config().marginFloor;
+
+    SimilarityResult whole = recommender_.analyze(prof.observation.allExact());
+
+    size_t core_seen = 0;
+    for (sim::Resource r : sim::kCoreResources)
+        if (prof.observation.has(r))
+            ++core_seen;
+
+    if (!whole.confident(floor, mfloor) ||
+        prof.observation.observedCount() <
+            static_cast<size_t>(config_.minObservedForMatch) ||
+        (prof.coreShared && core_seen < 3)) {
+        // Inconclusive or thin signal: widen the in-round snapshot with
+        // extra probes (temporally coherent — a round fits in seconds).
+        auto probe_one = [&](sim::Resource r) {
+            double ci = profiler_.measureResource(env, r, prof.focusCore,
+                                                  now, rng);
+            prof.observation.set(r, ci);
+            now += Microbenchmark::rampDurationSec(ci);
+            ++round.benchmarksRun;
+        };
+        int extra = config_.extraProbesWhenUnconfident;
+        if (prof.coreShared) {
+            for (sim::Resource r : sim::kCoreResources) {
+                if (extra <= 0)
+                    break;
+                if (!prof.observation.has(r)) {
+                    probe_one(r);
+                    --extra;
+                }
+            }
+        }
+        for (sim::Resource r : sim::kUncoreResources) {
+            if (extra <= 0)
+                break;
+            if (!prof.observation.has(r)) {
+                probe_one(r);
+                --extra;
+            }
+        }
+        round.aggregate = prof.observation;
+        whole = recommender_.analyze(prof.observation.allExact());
+
+        if (!whole.confident(floor, mfloor) && !prof.coreShared &&
+            config_.shutterEnabled) {
+            // No core sharing: only uncore pressure is available, and it
+            // aggregates every co-resident. Shutter windows catch a
+            // low-load phase that exposes a single tenant.
+            ProfileRound shutter =
+                profiler_.shutterProfile(env, now, rng);
+            now += shutter.durationSec;
+            round.benchmarksRun += shutter.benchmarksRun;
+            round.usedShutter = true;
+            SimilarityResult via_shutter =
+                recommender_.analyze(shutter.observation);
+            if (via_shutter.topScore() > whole.topScore()) {
+                whole = via_shutter;
+                prof.observation = shutter.observation;
+            }
+        }
+    }
+
+    // Disentangle the signal into co-residents: an additive
+    // decomposition explains the aggregate uncore readings as a sum of
+    // previously-seen applications, with core readings attributed to the
+    // focus core's hyperthread sibling (§3.3: hyperthreads are never
+    // shared between active instances, and uncore pressure composes
+    // linearly).
+    Decomposition decomp = recommender_.decompose(
+        prof.observation.allExact(), prof.coreShared,
+        static_cast<size_t>(std::max(1, config_.maxCoResidents)));
+
+    if (decomp.score >= floor) {
+        for (size_t p = 0; p < decomp.parts.size(); ++p) {
+            const auto& part = decomp.parts[p];
+            const auto& match = recommender_.training().entry(part.index);
+            CoResidentGuess guess;
+            guess.classLabel = match.classLabel();
+            guess.similarity = decomp.score;
+            // Reported profiles are de-attenuated back to true pressure
+            // space through the assumed measurement channel.
+            guess.profile = workloads::scaledPressure(match.fullLoadBase,
+                                                      part.level);
+            for (sim::Resource r : sim::kAllResources) {
+                double vis = config_.assumedChannel.crossVisibility(r);
+                if (vis > 0.05)
+                    guess.profile[r] =
+                        std::min(100.0, guess.profile[r] / vis);
+            }
+            // The similarity distribution for the strongest part comes
+            // from the whole-signal analysis (the paper's "65% similar
+            // to memcached, 18% to Spark, ..." output); further parts
+            // carry their own class only.
+            if (p == 0 && !whole.distribution.empty() &&
+                whole.distribution.front().first == guess.classLabel) {
+                guess.distribution = whole.distribution;
+            } else {
+                guess.distribution = {{guess.classLabel, 1.0}};
+            }
+            round.guesses.push_back(std::move(guess));
+        }
+    } else if (whole.topScore() >= floor && !whole.ranking.empty()) {
+        // Decomposition inconclusive: fall back to the best whole-signal
+        // match (the paper emits its top similarity whenever any
+        // correlation clears the 0.1 floor).
+        const auto& match =
+            recommender_.training().entry(whole.ranking.front().first);
+        CoResidentGuess guess;
+        guess.classLabel = match.classLabel();
+        guess.similarity = whole.topScore();
+        guess.profile = whole.reconstructed;
+        for (sim::Resource r : sim::kAllResources) {
+            double vis = config_.assumedChannel.crossVisibility(r);
+            if (vis > 0.05)
+                guess.profile[r] =
+                    std::min(100.0, guess.profile[r] / vis);
+        }
+        guess.distribution = whole.distribution;
+        round.guesses.push_back(std::move(guess));
+    }
+
+    round.profilingSec = now - t;
+    return round;
+}
+
+std::vector<DetectionRound>
+Detector::detectIteratively(
+    const HostEnvironment& env, double start_time, util::Rng& rng,
+    const std::function<bool(const DetectionRound&)>& stop) const
+{
+    std::vector<DetectionRound> rounds;
+    double t = start_time;
+    SparseObservation carry;
+    for (int iter = 0; iter < config_.maxIterations; ++iter) {
+        DetectionRound round = detectOnce(
+            env, t, rng, config_.carryObservations ? &carry : nullptr);
+        carry = round.aggregate;
+        bool done = stop && stop(round);
+        rounds.push_back(std::move(round));
+        if (done)
+            break;
+        t += config_.profilingIntervalSec;
+    }
+    return rounds;
+}
+
+} // namespace core
+} // namespace bolt

@@ -1,0 +1,135 @@
+#ifndef BOLT_CORE_DETECTOR_H
+#define BOLT_CORE_DETECTOR_H
+
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/recommender.h"
+
+namespace bolt {
+namespace core {
+
+/** Detection policy knobs (Sections 3.2-3.4). */
+struct DetectorConfig
+{
+    ProfilerConfig profiler;
+    /** Re-detection period in seconds (paper default: 20 s). */
+    double profilingIntervalSec = 20.0;
+    /** Iteration cap; jobs not identified by then never are (Fig. 7). */
+    int maxIterations = 6;
+    /** Maximum co-residents the disentangler decomposes per round. */
+    int maxCoResidents = 5;
+    /** Residual pressure (points) worth attributing to another tenant. */
+    double residualThreshold = 18.0;
+    /**
+     * Minimum probed resources before a match is accepted; rounds with
+     * thinner coverage keep probing even when a match looks confident.
+     */
+    int minObservedForMatch = 6;
+    /** Enable shutter profiling when nothing is confidently matched. */
+    bool shutterEnabled = true;
+    /**
+     * Extra probes added within a round when the first analysis is
+     * inconclusive; in-round probes are temporally coherent.
+     */
+    int extraProbesWhenUnconfident = 8;
+    /**
+     * Carry observations across rounds. Widens coverage but mixes load
+     * phases of diurnal victims, so it is off by default; each round is
+     * a temporally-coherent snapshot.
+     */
+    bool carryObservations = false;
+    /**
+     * The measurement channel Bolt assumes when reporting profiles: the
+     * platform's baseline visibility is inverted so reported profiles
+     * are in true pressure space. When the cloud applies *stronger*
+     * isolation than assumed, reported profiles underestimate — exactly
+     * the Section 6 degradation.
+     */
+    sim::IsolationConfig assumedChannel =
+        sim::IsolationConfig::none(sim::Platform::VirtualMachine);
+};
+
+/** One detected co-resident. */
+struct CoResidentGuess
+{
+    std::string classLabel;     ///< "family:variant" of the best match.
+    double similarity = 0.0;    ///< Weighted-Pearson score of the match.
+    sim::ResourceVector profile; ///< Reconstructed full pressure profile.
+    /** Similarity distribution ("65% memcached, 18% spark:pagerank"). */
+    std::vector<std::pair<std::string, double>> distribution;
+};
+
+/** Outcome of one detection round on a host. */
+struct DetectionRound
+{
+    std::vector<CoResidentGuess> guesses; ///< Strongest match first.
+    double profilingSec = 0.0; ///< Virtual profiling time consumed.
+    int benchmarksRun = 0;
+    bool usedShutter = false;
+    bool coreShared = false;
+    /** Raw aggregate observation before disentangling. */
+    SparseObservation aggregate;
+
+    /** Whether any co-resident matched `class_label`. */
+    bool detected(const std::string& class_label) const;
+    /** Top guess class, empty when nothing cleared the floor. */
+    std::string topClass() const;
+};
+
+/**
+ * Bolt's detection engine: runs profiling rounds on a host environment,
+ * feeds the sparse signal to the hybrid recommender, and disentangles
+ * multiple co-residents (Section 3.3):
+ *
+ *  - confident match -> peel its profile off the residual and re-analyze
+ *    to find further co-residents;
+ *  - no confident match with core pressure -> extra core benchmark;
+ *  - no confident match without core sharing -> shutter profiling.
+ */
+class Detector
+{
+  public:
+    Detector(const HybridRecommender& recommender,
+             DetectorConfig config = {});
+
+    const DetectorConfig& config() const { return config_; }
+    DetectorConfig& config() { return config_; }
+
+    /**
+     * One full detection round starting at virtual time t.
+     *
+     * @param prior Optional observation carried from earlier rounds;
+     *              unprobed resources inherit its values, widening the
+     *              recommender's signal as iterations accumulate.
+     */
+    DetectionRound detectOnce(const HostEnvironment& env, double t,
+                              util::Rng& rng,
+                              const SparseObservation* prior = nullptr)
+        const;
+
+    /**
+     * Periodic detection: runs up to config().maxIterations rounds,
+     * spaced profilingIntervalSec apart, stopping early when `stop`
+     * returns true for a round (e.g. the controlled experiment stops on
+     * correct identification). @return all rounds executed.
+     */
+    std::vector<DetectionRound>
+    detectIteratively(const HostEnvironment& env, double start_time,
+                      util::Rng& rng,
+                      const std::function<bool(const DetectionRound&)>&
+                          stop) const;
+
+  private:
+    const HybridRecommender& recommender_;
+    DetectorConfig config_;
+    Profiler profiler_;
+    /** Rotates the focus core across rounds (round-robin). */
+    mutable int roundCounter_ = 0;
+};
+
+} // namespace core
+} // namespace bolt
+
+#endif // BOLT_CORE_DETECTOR_H

@@ -1,0 +1,335 @@
+#include "experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bolt {
+namespace core {
+
+double
+ExperimentResult::aggregateAccuracy() const
+{
+    if (outcomes.empty())
+        return 0.0;
+    size_t correct = 0;
+    for (const auto& o : outcomes)
+        correct += o.classCorrect ? 1 : 0;
+    return static_cast<double>(correct) /
+           static_cast<double>(outcomes.size());
+}
+
+double
+ExperimentResult::characteristicsAccuracy() const
+{
+    if (outcomes.empty())
+        return 0.0;
+    size_t correct = 0;
+    for (const auto& o : outcomes)
+        correct += o.charCorrect ? 1 : 0;
+    return static_cast<double>(correct) /
+           static_cast<double>(outcomes.size());
+}
+
+double
+ExperimentResult::accuracyForClass(const std::string& table1_class) const
+{
+    size_t total = 0, correct = 0;
+    for (const auto& o : outcomes) {
+        const auto* fam = workloads::findFamily(o.spec.family);
+        if (!fam || fam->table1Class != table1_class)
+            continue;
+        ++total;
+        correct += o.classCorrect ? 1 : 0;
+    }
+    return total ? static_cast<double>(correct) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+std::map<int, double>
+ExperimentResult::accuracyByCoResidents() const
+{
+    std::map<int, std::pair<size_t, size_t>> buckets; // n -> (correct, total)
+    for (const auto& o : outcomes) {
+        auto& [c, t] = buckets[o.coResidents];
+        ++t;
+        c += o.classCorrect ? 1 : 0;
+    }
+    std::map<int, double> out;
+    for (const auto& [n, ct] : buckets)
+        out[n] = static_cast<double>(ct.first) /
+                 static_cast<double>(ct.second);
+    return out;
+}
+
+std::map<sim::Resource, std::pair<double, int>>
+ExperimentResult::accuracyByDominantResource() const
+{
+    std::map<sim::Resource, std::pair<size_t, size_t>> buckets;
+    for (const auto& o : outcomes) {
+        auto& [c, t] = buckets[o.dominant];
+        ++t;
+        c += o.classCorrect ? 1 : 0;
+    }
+    std::map<sim::Resource, std::pair<double, int>> out;
+    for (const auto& [r, ct] : buckets)
+        out[r] = {static_cast<double>(ct.first) /
+                      static_cast<double>(ct.second),
+                  static_cast<int>(ct.second)};
+    return out;
+}
+
+std::map<int, double>
+ExperimentResult::iterationsPdf() const
+{
+    return iterationsPdf(-1);
+}
+
+std::map<int, double>
+ExperimentResult::iterationsPdf(int co_residents) const
+{
+    std::map<int, size_t> counts;
+    size_t total = 0;
+    for (const auto& o : outcomes) {
+        if (co_residents > 0 && o.coResidents != co_residents)
+            continue;
+        if (!o.classCorrect || o.iterations <= 0)
+            continue;
+        ++counts[o.iterations];
+        ++total;
+    }
+    std::map<int, double> out;
+    for (const auto& [n, c] : counts)
+        out[n] = static_cast<double>(c) / static_cast<double>(total);
+    return out;
+}
+
+std::map<int, std::pair<double, int>>
+ExperimentResult::accuracyByPressure(sim::Resource r, int bin) const
+{
+    std::map<int, std::pair<size_t, size_t>> buckets;
+    for (const auto& o : outcomes) {
+        int lo = static_cast<int>(o.spec.base[r] / bin) * bin;
+        lo = std::min(lo, 100 - bin);
+        auto& [c, t] = buckets[lo];
+        ++t;
+        c += o.classCorrect ? 1 : 0;
+    }
+    std::map<int, std::pair<double, int>> out;
+    for (const auto& [lo, ct] : buckets)
+        out[lo] = {static_cast<double>(ct.first) /
+                       static_cast<double>(ct.second),
+                   static_cast<int>(ct.second)};
+    return out;
+}
+
+bool
+roundMatchesClass(const DetectionRound& round,
+                  const workloads::AppSpec& victim)
+{
+    // The paper's criterion (§3.4): a detection is correct when the
+    // framework or service is identified together with the algorithm
+    // (e.g. SVM on Hadoop) *or* the user-load characteristics (e.g.
+    // read- vs write-heavy). A same-family guess whose recovered
+    // profile has the victim's dominant resource satisfies the latter.
+    sim::Resource truth_dominant = victim.base.dominant();
+    for (const auto& g : round.guesses) {
+        auto colon = g.classLabel.find(':');
+        std::string family = g.classLabel.substr(0, colon);
+        if (family != victim.family)
+            continue;
+        if (g.classLabel == victim.classLabel())
+            return true;
+        if (g.profile.dominant() == truth_dominant)
+            return true;
+    }
+    return false;
+}
+
+bool
+roundMatchesCharacteristics(const DetectionRound& round,
+                            const workloads::AppSpec& victim)
+{
+    // Characteristics are right when some guess's reconstructed profile
+    // has the victim's dominant resource among its top two, which is
+    // what the performance attacks need (Section 5).
+    sim::Resource truth = victim.base.dominant();
+    for (const auto& g : round.guesses) {
+        auto order = g.profile.byDecreasingPressure();
+        if (order.size() >= 2 && (order[0] == truth || order[1] == truth))
+            return true;
+    }
+    return false;
+}
+
+ControlledExperiment::ControlledExperiment(ExperimentConfig config)
+    : config_(std::move(config))
+{
+}
+
+ExperimentResult
+ControlledExperiment::run()
+{
+    util::Rng root(config_.seed);
+
+    // Training: profile the 120-app training set offline. The adversary
+    // trains on the platform it will attack (baremetal/container/VM)
+    // but without the extra partitioning mechanisms the cloud may have
+    // deployed — running under *stronger* isolation than trained for is
+    // exactly what degrades accuracy in Section 6.
+    sim::IsolationConfig channel =
+        sim::IsolationConfig::none(config_.isolation.platform);
+    util::Rng train_rng = root.substream("training");
+    auto train_specs =
+        workloads::trainingSet(train_rng, config_.trainingApps);
+    TrainingSet training =
+        TrainingSet::fromSpecs(train_specs, train_rng, 2.0, channel);
+    HybridRecommender recommender(training, config_.recommender);
+    DetectorConfig detector_cfg = config_.detector;
+    detector_cfg.assumedChannel = channel;
+    Detector detector(recommender, detector_cfg);
+
+    // Cluster with one adversarial VM per host.
+    sim::Cluster cluster(config_.servers, config_.coresPerServer,
+                         config_.threadsPerCore, config_.isolation);
+    std::vector<sim::TenantId> adversaries(config_.servers);
+    for (size_t s = 0; s < config_.servers; ++s) {
+        sim::Tenant adv;
+        adv.id = cluster.nextTenantId();
+        adv.vcpus = config_.adversaryVcpus;
+        adv.adversarial = true;
+        cluster.placeOn(s, adv);
+        adversaries[s] = adv.id;
+    }
+
+    // Victims placed by the configured policy, capped per host.
+    util::Rng victim_rng = root.substream("victims");
+    victims_ = workloads::controlledTestSet(victim_rng, config_.victims);
+    for (auto& spec : victims_)
+        spec.obfuscation = config_.victimObfuscation;
+
+    std::unique_ptr<sched::Scheduler> scheduler;
+    if (config_.policy == ExperimentConfig::Policy::Quasar)
+        scheduler = std::make_unique<sched::QuasarScheduler>();
+    else
+        scheduler = std::make_unique<sched::LeastLoadedScheduler>();
+
+    struct PlacedVictim
+    {
+        sim::TenantId id;
+        size_t server;
+        workloads::AppSpec spec;
+    };
+    std::vector<PlacedVictim> placed;
+    std::map<size_t, int> victims_on;
+    std::map<sim::TenantId, workloads::AppInstance> instances;
+
+    for (const auto& spec : victims_) {
+        auto choice = scheduler->pick(cluster, spec, spec.vcpus);
+        // Respect the per-host victim cap; fall back over hosts in
+        // least-loaded order when the policy's pick is full.
+        auto fits = [&](size_t s) {
+            return victims_on[s] < config_.maxVictimsPerServer &&
+                   cluster.server(s).placeableSlots(
+                       cluster.isolation()) >= spec.vcpus;
+        };
+        if (!choice || !fits(*choice)) {
+            choice.reset();
+            for (size_t s = 0; s < cluster.size(); ++s) {
+                if (fits(s) && (!choice ||
+                                cluster.server(s).freeSlots() >
+                                    cluster.server(*choice).freeSlots())) {
+                    choice = s;
+                }
+            }
+        }
+        if (!choice)
+            continue; // cluster full; victim not scheduled
+        sim::Tenant t;
+        t.id = cluster.nextTenantId();
+        t.vcpus = spec.vcpus;
+        if (!cluster.placeOn(*choice, t))
+            continue;
+        scheduler->record(t.id, *choice, spec);
+        ++victims_on[*choice];
+        placed.push_back({t.id, *choice, spec});
+        instances.emplace(
+            t.id, workloads::AppInstance(
+                      spec, victim_rng.substream("instance", t.id)));
+    }
+
+    // Detection: each host's adversary runs iterative detection,
+    // stopping per victim on correct identification.
+    sim::ContentionModel contention(config_.isolation);
+    ExperimentResult result;
+    util::Rng detect_rng = root.substream("detection");
+
+    for (size_t s = 0; s < cluster.size(); ++s) {
+        std::vector<const PlacedVictim*> here;
+        for (const auto& pv : placed)
+            if (pv.server == s)
+                here.push_back(&pv);
+        if (here.empty())
+            continue;
+
+        HostEnvironment env;
+        env.server = &cluster.server(s);
+        env.adversary = adversaries[s];
+        env.contention = &contention;
+        env.pressureAt = [&](double t) {
+            sim::PressureMap pm;
+            for (const auto* pv : here) {
+                auto it = instances.find(pv->id);
+                pm[pv->id] = it->second.pressureAt(t);
+            }
+            return pm;
+        };
+
+        std::map<sim::TenantId, int> found_class;
+        std::map<sim::TenantId, bool> found_char;
+        util::Rng host_rng = detect_rng.substream("host", s);
+        double t0 = host_rng.uniform(0.0, 10.0);
+
+        SparseObservation carry;
+        for (int iter = 1; iter <= config_.detector.maxIterations;
+             ++iter) {
+            double t = t0 + (iter - 1) *
+                                config_.detector.profilingIntervalSec;
+            DetectionRound round = detector.detectOnce(
+                env, t, host_rng,
+                config_.detector.carryObservations ? &carry : nullptr);
+            carry = round.aggregate;
+            bool all_done = true;
+            for (const auto* pv : here) {
+                if (!found_class.count(pv->id) &&
+                    roundMatchesClass(round, pv->spec)) {
+                    found_class[pv->id] = iter;
+                }
+                if (!found_char[pv->id] &&
+                    roundMatchesCharacteristics(round, pv->spec)) {
+                    found_char[pv->id] = true;
+                }
+                all_done &= found_class.count(pv->id) > 0;
+            }
+            if (all_done)
+                break;
+        }
+
+        for (const auto* pv : here) {
+            VictimOutcome o;
+            o.spec = pv->spec;
+            o.server = s;
+            o.coResidents = static_cast<int>(here.size());
+            o.dominant = pv->spec.base.dominant();
+            auto it = found_class.find(pv->id);
+            o.classCorrect = it != found_class.end();
+            o.iterations = o.classCorrect ? it->second : 0;
+            o.charCorrect = found_char[pv->id];
+            result.outcomes.push_back(std::move(o));
+        }
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace bolt

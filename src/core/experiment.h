@@ -1,0 +1,124 @@
+#ifndef BOLT_CORE_EXPERIMENT_H
+#define BOLT_CORE_EXPERIMENT_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "sched/scheduler.h"
+#include "sim/cluster.h"
+#include "workloads/generators.h"
+
+namespace bolt {
+namespace core {
+
+/**
+ * Configuration of the controlled detection experiment (Section 3.4):
+ * a 40-server virtualized cluster, an adversarial VM per host, and 108
+ * victim workloads placed by a least-loaded or Quasar-style scheduler.
+ */
+struct ExperimentConfig
+{
+    size_t servers = 40;
+    int coresPerServer = 8;
+    int threadsPerCore = 2;
+    size_t victims = 108;
+    size_t trainingApps = 120;
+    int adversaryVcpus = 4;
+    int maxVictimsPerServer = 5;
+
+    enum class Policy { LeastLoaded, Quasar };
+    Policy policy = Policy::LeastLoaded;
+
+    sim::IsolationConfig isolation; ///< Defaults: plain VMs, no extras.
+    DetectorConfig detector;
+    RecommenderConfig recommender;
+    /**
+     * Pattern-obfuscation amplitude applied to every victim (defense
+     * extension; 0 = the paper's friendly-VM assumption).
+     */
+    double victimObfuscation = 0.0;
+    uint64_t seed = 1;
+};
+
+/** Per-victim outcome of the experiment. */
+struct VictimOutcome
+{
+    workloads::AppSpec spec;
+    size_t server = 0;
+    int coResidents = 1;      ///< Victims on the host (incl. itself).
+    sim::Resource dominant = sim::Resource::CPU;
+
+    bool classCorrect = false; ///< Framework+algorithm identified.
+    bool charCorrect = false;  ///< Dominant resource identified.
+    int iterations = 0;        ///< Rounds until identification (0 = never).
+};
+
+/** Aggregated result with the query helpers the figures need. */
+struct ExperimentResult
+{
+    std::vector<VictimOutcome> outcomes;
+
+    /** Class-level detection accuracy over all victims (Table 1). */
+    double aggregateAccuracy() const;
+    /** Resource-characteristics accuracy (Fig. 12b-style). */
+    double characteristicsAccuracy() const;
+    /** Accuracy over victims whose family reports under `table1_class`. */
+    double accuracyForClass(const std::string& table1_class) const;
+    /** Accuracy keyed by number of co-resident victims (Fig. 6a). */
+    std::map<int, double> accuracyByCoResidents() const;
+    /** (accuracy, victim count) per dominant resource (Fig. 6b). */
+    std::map<sim::Resource, std::pair<double, int>>
+    accuracyByDominantResource() const;
+    /** Fraction of *detected* victims needing exactly n rounds (Fig. 7a). */
+    std::map<int, double> iterationsPdf() const;
+    /** Same, restricted to hosts with `co_residents` victims (Fig. 7b). */
+    std::map<int, double> iterationsPdf(int co_residents) const;
+    /**
+     * (accuracy, count) per pressure bin of width `bin` on resource `r`,
+     * keyed by bin lower edge (Fig. 9).
+     */
+    std::map<int, std::pair<double, int>>
+    accuracyByPressure(sim::Resource r, int bin = 20) const;
+};
+
+/**
+ * Drives the controlled experiment end to end: builds the training set
+ * and recommender, provisions the cluster, schedules victims, and runs
+ * iterative detection from every host's adversarial VM, stopping per
+ * victim on correct identification (the paper's protocol).
+ */
+class ControlledExperiment
+{
+  public:
+    explicit ControlledExperiment(ExperimentConfig config);
+
+    /** Run the full experiment. Deterministic for a given config. */
+    ExperimentResult run();
+
+    /** The victim specs scheduled in the last run (for inspection). */
+    const std::vector<workloads::AppSpec>& victims() const
+    {
+        return victims_;
+    }
+
+  private:
+    ExperimentConfig config_;
+    std::vector<workloads::AppSpec> victims_;
+};
+
+/**
+ * Scoring helper shared with the user study: whether a detection round
+ * identifies the victim's class / characteristics.
+ */
+bool roundMatchesClass(const DetectionRound& round,
+                       const workloads::AppSpec& victim);
+bool roundMatchesCharacteristics(const DetectionRound& round,
+                                 const workloads::AppSpec& victim);
+
+} // namespace core
+} // namespace bolt
+
+#endif // BOLT_CORE_EXPERIMENT_H

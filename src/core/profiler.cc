@@ -1,0 +1,152 @@
+#include "profiler.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bolt {
+namespace core {
+
+sim::ResourceVector
+HostEnvironment::visibleExternal(double t) const
+{
+    return contention->externalPressure(*server, adversary, pressureAt(t));
+}
+
+std::vector<int>
+HostEnvironment::adversaryCores() const
+{
+    return server->coresOf(adversary);
+}
+
+size_t
+HostEnvironment::coResidentCount() const
+{
+    size_t n = 0;
+    for (const auto& tenant : server->tenants())
+        if (tenant.id != adversary)
+            ++n;
+    return n;
+}
+
+double
+Profiler::measureResource(const HostEnvironment& env, sim::Resource r,
+                          int focus_core, double t, util::Rng& rng) const
+{
+    double visible;
+    sim::PressureMap pm = env.pressureAt(t);
+    if (sim::isCoreResource(r)) {
+        visible = env.contention->corePressureFrom(
+            *env.server, env.adversary, focus_core, r, pm);
+    } else {
+        sim::ResourceVector ext = env.contention->externalPressure(
+            *env.server, env.adversary, pm);
+        visible = ext[r];
+    }
+    Microbenchmark bench(r);
+    double noise = env.contention->isolation().measurementNoise();
+    if (sim::isCoreResource(r)) {
+        // Core microbenchmarks ramp in tens of milliseconds, so the
+        // probe runs twice and averages, halving the noise variance.
+        double a = bench.measure(visible, noise, rng,
+                                 config_.intensityScale);
+        double b = bench.measure(visible, noise, rng,
+                                 config_.intensityScale);
+        return 0.5 * (a + b);
+    }
+    return bench.measure(visible, noise, rng, config_.intensityScale);
+}
+
+ProfileRound
+Profiler::profile(const HostEnvironment& env, double t, util::Rng& rng,
+                  int focus_core_hint) const
+{
+    ProfileRound round;
+    double now = t;
+
+    auto cores = env.adversaryCores();
+    if (cores.empty())
+        cores.push_back(0);
+    size_t which = focus_core_hint >= 0
+                       ? static_cast<size_t>(focus_core_hint) % cores.size()
+                       : rng.index(cores.size());
+    round.focusCore = cores[which];
+
+    auto core_order = rng.permutation(sim::kCoreResources.size());
+    auto uncore_order = rng.permutation(sim::kUncoreResources.size());
+    size_t core_next = 0, uncore_next = 0;
+
+    auto run_probe = [&](sim::Resource r) {
+        double ci = measureResource(env, r, round.focusCore, now, rng);
+        round.observation.set(r, ci);
+        now += Microbenchmark::rampDurationSec(ci);
+        ++round.benchmarksRun;
+        return ci;
+    };
+
+    int budget = std::max(1, config_.benchmarks);
+    for (int b = 0; b < budget; ++b) {
+        bool pick_core = (b % 2 == 0);
+        if (pick_core && core_next < core_order.size()) {
+            double ci =
+                run_probe(sim::kCoreResources[core_order[core_next++]]);
+            if (ci > 0.0)
+                round.coreShared = true;
+        } else if (uncore_next < uncore_order.size()) {
+            run_probe(sim::kUncoreResources[uncore_order[uncore_next++]]);
+        }
+    }
+
+    // No core sharing detected on the focus core: the core signal
+    // carries no information, so spend one more probe on an uncore
+    // resource (Section 3.2).
+    if (!round.coreShared && config_.extraUncoreOnZeroCore &&
+        uncore_next < uncore_order.size()) {
+        run_probe(sim::kUncoreResources[uncore_order[uncore_next++]]);
+    }
+
+    round.durationSec = now - t;
+    return round;
+}
+
+ProfileRound
+Profiler::shutterProfile(const HostEnvironment& env, double t,
+                         util::Rng& rng) const
+{
+    ProfileRound round;
+    double now = t;
+
+    // Sample all uncore resources in brief windows; keep the window with
+    // the lowest aggregate pressure — the "shutter" that most likely
+    // catches the other co-residents idle.
+    double best_total = std::numeric_limits<double>::infinity();
+    SparseObservation best;
+    for (int w = 0; w < config_.shutterWindows; ++w) {
+        SparseObservation obs;
+        sim::ResourceVector ext = env.visibleExternal(now);
+        double noise = env.contention->isolation().measurementNoise();
+        double total = 0.0;
+        for (sim::Resource r : sim::kUncoreResources) {
+            // Windows are too short for a full ramp; the probe runs a
+            // binary-search mini-ramp modeled as one noisy reading.
+            Microbenchmark bench(r);
+            double ci = bench.measure(ext[r], noise * 1.4, rng,
+                                      config_.intensityScale);
+            obs.set(r, ci);
+            total += ci;
+        }
+        if (total < best_total) {
+            best_total = total;
+            best = obs;
+        }
+        now += config_.shutterWindowSec +
+               0.02; // window plus inter-window gap
+        ++round.benchmarksRun;
+    }
+
+    round.observation = best;
+    round.durationSec = now - t;
+    return round;
+}
+
+} // namespace core
+} // namespace bolt

@@ -1,0 +1,122 @@
+#ifndef BOLT_CORE_PROFILER_H
+#define BOLT_CORE_PROFILER_H
+
+#include <functional>
+#include <vector>
+
+#include "core/microbench.h"
+#include "core/observation.h"
+#include "sim/contention.h"
+#include "sim/server.h"
+
+namespace bolt {
+namespace core {
+
+/**
+ * The host environment the adversarial VM operates in: which server it
+ * sits on, its tenant id, the contention semantics, and a way to sample
+ * every tenant's instantaneous pressure (supplied by the workload layer).
+ */
+struct HostEnvironment
+{
+    const sim::Server* server = nullptr;
+    sim::TenantId adversary = sim::kNoTenant;
+    const sim::ContentionModel* contention = nullptr;
+    /** Instantaneous pressure of every tenant on the host at time t. */
+    std::function<sim::PressureMap(double)> pressureAt;
+
+    /** External pressure visible to the adversary at time t. */
+    sim::ResourceVector visibleExternal(double t) const;
+
+    /** Physical cores the adversary's vCPUs occupy. */
+    std::vector<int> adversaryCores() const;
+
+    /** Number of *other* tenants on the host (ground truth, for tests). */
+    size_t coResidentCount() const;
+};
+
+/** Profiling strategy knobs (Section 3.2/3.3). */
+struct ProfilerConfig
+{
+    /** Benchmarks per round: 1 core + 1 uncore by default. */
+    int benchmarks = 2;
+    /** Extra uncore benchmark when the core probe reads zero. */
+    bool extraUncoreOnZeroCore = true;
+    /** Shutter mode: number of brief uncore sampling windows. */
+    int shutterWindows = 12;
+    /** Shutter window length (paper: 10-50 msec). */
+    double shutterWindowSec = 0.03;
+    /**
+     * Intensity scale of the probes: an adversarial VM smaller than 4
+     * vCPUs cannot generate full contention (Fig. 10b); 1.0 means a
+     * probe can push a resource to 100%.
+     */
+    double intensityScale = 1.0;
+};
+
+/** One profiling round's outcome. */
+struct ProfileRound
+{
+    /**
+     * Assembled observation: core-resource entries are Exact (they come
+     * from the focus core's single hyperthread sibling), uncore entries
+     * are Exact aggregates over all co-residents — the detector decides
+     * whether to reinterpret them as Upper bounds when disentangling.
+     */
+    SparseObservation observation;
+    int focusCore = -1;         ///< Adversary core the core probes used.
+    double durationSec = 0.0;   ///< Virtual time the probes consumed.
+    int benchmarksRun = 0;
+    bool coreShared = false;    ///< Core probe saw non-zero pressure.
+};
+
+/**
+ * Runs microbenchmarks from the adversarial VM and assembles the sparse
+ * observation the recommender consumes.
+ *
+ * Core-resource probes pin to one physical core of the adversary (the
+ * focus core) so they measure the single co-resident sharing that core —
+ * hyperthreads are never shared between active instances, so this signal
+ * is attributable to one workload. Uncore probes measure the host-wide
+ * aggregate.
+ */
+class Profiler
+{
+  public:
+    explicit Profiler(ProfilerConfig config = {}) : config_(config) {}
+
+    const ProfilerConfig& config() const { return config_; }
+
+    /**
+     * One standard profiling round starting at virtual time `t`.
+     *
+     * @param focus_core_hint Index into adversaryCores() used to rotate
+     *        the focus core across rounds; -1 picks randomly.
+     */
+    ProfileRound profile(const HostEnvironment& env, double t,
+                         util::Rng& rng, int focus_core_hint = -1) const;
+
+    /**
+     * Probe one resource at time t. Core resources read the focus core's
+     * sibling; uncore resources read the host aggregate.
+     */
+    double measureResource(const HostEnvironment& env, sim::Resource r,
+                           int focus_core, double t, util::Rng& rng) const;
+
+    /**
+     * Shutter profiling (Section 3.3): brief, frequent windows on the
+     * uncore resources; the minimum-pressure window likely catches all
+     * but one co-resident at low load, exposing a single victim's
+     * profile. Returns the min-window observation (entries Exact).
+     */
+    ProfileRound shutterProfile(const HostEnvironment& env, double t,
+                                util::Rng& rng) const;
+
+  private:
+    ProfilerConfig config_;
+};
+
+} // namespace core
+} // namespace bolt
+
+#endif // BOLT_CORE_PROFILER_H

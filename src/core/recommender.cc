@@ -1,0 +1,486 @@
+#include "recommender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace bolt {
+namespace core {
+
+namespace {
+
+/**
+ * Pressure-point scale of the observed-coordinate match: a mean weighted
+ * deviation of this many points halves-ish the similarity score.
+ */
+constexpr double kMatchDistanceScale = 12.0;
+
+} // namespace
+
+double
+SimilarityResult::topScore() const
+{
+    return ranking.empty() ? 0.0 : ranking.front().second;
+}
+
+HybridRecommender::HybridRecommender(const TrainingSet& training,
+                                     RecommenderConfig config)
+    : training_(training), config_(config)
+{
+    if (training_.empty())
+        throw std::invalid_argument("HybridRecommender: empty training set");
+
+    svd_ = linalg::svd(training_.matrix());
+    rank_ = svd_.rankForEnergy(config_.energyKept);
+
+    // Resource weights for the content stage: how strongly each resource
+    // participates in the kept similarity concepts. The concepts for the
+    // *weights* come from the column-standardized training matrix — on
+    // the raw matrix the leading concept is just the mean profile, which
+    // would reward universally-high resources (CPU) over discriminative
+    // ones (L1-i, LLC). Standardized concepts capture what actually
+    // separates applications, matching the paper's observation that the
+    // LLC and L1-i caches carry the most detection value.
+    linalg::Matrix a = training_.matrix();
+    size_t m = a.rows();
+    linalg::Matrix standardized(m, sim::kNumResources);
+    for (size_t c = 0; c < sim::kNumResources; ++c) {
+        double mean = 0.0;
+        for (size_t r = 0; r < m; ++r)
+            mean += a(r, c);
+        mean /= static_cast<double>(m);
+        double var = 0.0;
+        for (size_t r = 0; r < m; ++r)
+            var += (a(r, c) - mean) * (a(r, c) - mean);
+        double sd = std::sqrt(var / static_cast<double>(m));
+        for (size_t r = 0; r < m; ++r)
+            standardized(r, c) =
+                sd > 1e-9 ? (a(r, c) - mean) / sd : 0.0;
+        columnSpread_.push_back(sd);
+    }
+    linalg::SvdResult svd_std = linalg::svd(standardized);
+    size_t std_rank = svd_std.rankForEnergy(config_.energyKept);
+
+    resourceWeights_.assign(sim::kNumResources, 0.0);
+    double total = 0.0;
+    for (size_t i = 0; i < sim::kNumResources; ++i) {
+        double w = 0.0;
+        for (size_t k = 0; k < std_rank; ++k)
+            w += svd_std.s[k] * svd_std.v(i, k) * svd_std.v(i, k);
+        // Scale by the column's raw spread: a concept direction along a
+        // wide-spread resource separates candidates by more pressure
+        // points than the same direction along a narrow one.
+        w *= columnSpread_[i];
+        resourceWeights_[i] = w;
+        total += w;
+    }
+    if (total > 0.0)
+        for (auto& w : resourceWeights_)
+            w /= total;
+}
+
+SimilarityResult
+HybridRecommender::analyze(const SparseObservation& observation) const
+{
+    SimilarityResult result;
+    result.conceptsKept = rank_;
+
+    linalg::Matrix a = training_.matrix();
+    size_t m = a.rows();
+    size_t n = a.cols();
+
+    // Stage 1 — collaborative filtering: complete the sparse victim row
+    // by PQ-reconstruction. The training rows are fully observed; the
+    // victim contributes only its measured entries. Warm-starting from
+    // the truncated SVD factors makes the SGD converge in a few dozen
+    // epochs.
+    // Pressures are normalized to [0, 1] for the factorization so the
+    // SGD step size is scale-free.
+    linalg::SparseMatrix sparse;
+    sparse.values = linalg::Matrix(m + 1, n);
+    sparse.mask.assign(m + 1, std::vector<bool>(n, true));
+    for (size_t r = 0; r < m; ++r)
+        for (size_t c = 0; c < n; ++c)
+            sparse.values(r, c) = a(r, c) / 100.0;
+    for (size_t c = 0; c < n; ++c) {
+        auto res = static_cast<sim::Resource>(c);
+        // Only Exact entries inform the completion: an Upper (aggregate)
+        // entry is not the victim's own pressure.
+        bool known = observation.isExact(res);
+        sparse.mask[m][c] = known;
+        sparse.values(m, c) = known ? observation.get(res) / 100.0 : 0.0;
+    }
+
+    linalg::SgdConfig sgd_cfg;
+    sgd_cfg.rank = std::max<size_t>(rank_, 4);
+    sgd_cfg.epochs = config_.sgdEpochs;
+    sgd_cfg.learningRate = config_.sgdLearningRate;
+    sgd_cfg.regularization = config_.sgdRegularization;
+    sgd_cfg.seed = config_.seed;
+
+    linalg::Matrix warm_p(m + 1, sgd_cfg.rank);
+    linalg::Matrix warm_q(n, sgd_cfg.rank);
+    for (size_t k = 0; k < sgd_cfg.rank && k < svd_.s.size(); ++k) {
+        double root = std::sqrt(std::max(0.0, svd_.s[k] / 100.0));
+        for (size_t r = 0; r < m; ++r)
+            warm_p(r, k) = svd_.u(r, k) * root;
+        for (size_t c = 0; c < n; ++c)
+            warm_q(c, k) = svd_.v(c, k) * root;
+    }
+    // The victim row starts at the training centroid in factor space.
+    for (size_t k = 0; k < sgd_cfg.rank; ++k) {
+        double mean = 0.0;
+        for (size_t r = 0; r < m; ++r)
+            mean += warm_p(r, k);
+        warm_p(m, k) = mean / static_cast<double>(m);
+    }
+
+    auto completion = linalg::sgdFactorize(sparse, sgd_cfg, warm_p, warm_q);
+    auto full_row = completion.reconstructRow(m);
+    // Back to pressure points; Exact measurements are trusted over the
+    // low-rank estimate, Upper bounds cap it.
+    for (size_t c = 0; c < n; ++c) {
+        auto res = static_cast<sim::Resource>(c);
+        full_row[c] *= 100.0;
+        if (observation.isExact(res))
+            full_row[c] = observation.get(res);
+        else if (observation.has(res))
+            full_row[c] = std::min(full_row[c], observation.get(res));
+        full_row[c] = std::clamp(full_row[c], 0.0, 100.0);
+    }
+    result.reconstructed = sim::ResourceVector::fromVector(full_row);
+
+    // Stage 2 — content-based matching. Direct evidence (the measured
+    // coordinates) dominates: each candidate is compared on the observed
+    // resources after fitting a load-scale factor (a victim at 60% load
+    // exerts 0.6x its full-load profile; shape is what identifies it).
+    // The CF-reconstructed full profile contributes a weighted-Pearson
+    // term (Eq. 1) that disambiguates candidates that agree on the
+    // observed coordinates.
+    // Weighted deviation between the observation and a candidate's
+    // profile predicted at input load `level` (Exact entries: absolute;
+    // Upper entries: one-sided, since other co-residents may account for
+    // the remainder of the aggregate reading).
+    auto deviation_at = [&](const sim::ResourceVector& base, double level,
+                            bool exact_only) {
+        sim::ResourceVector pred =
+            workloads::scaledPressure(base, level);
+        double dist = 0.0, wsum = 0.0;
+        for (size_t c = 0; c < n; ++c) {
+            auto res = static_cast<sim::Resource>(c);
+            if (!observation.has(res))
+                continue;
+            double w = resourceWeights_[c];
+            if (observation.isExact(res)) {
+                dist += w * std::abs(full_row[c] - pred.at(c));
+            } else {
+                if (exact_only)
+                    continue;
+                double over = std::max(0.0, pred.at(c) - full_row[c]);
+                double under = std::max(0.0, full_row[c] - pred.at(c));
+                dist += w * (over + 0.05 * under);
+            }
+            wsum += w;
+        }
+        return wsum > 0.0 ? dist / wsum : 1e9;
+    };
+
+    // A victim is observed at an unknown input load; the candidate's
+    // known full-load profile is swept along the shared load-scaling law
+    // and the best-fitting load is used (ternary search over a convex
+    // piecewise-linear objective).
+    // The level is fitted on the Exact coordinates only: aggregate
+    // (Upper) readings carry other co-residents' pressure and would drag
+    // the fit away from the attributable evidence.
+    bool any_exact = observation.exactCount() > 0;
+    auto fit_level = [&](const TrainingSet::Entry& e) {
+        double lo = 0.05, hi = 1.1;
+        for (int it = 0; it < 18; ++it) {
+            double m1 = lo + (hi - lo) / 3.0;
+            double m2 = hi - (hi - lo) / 3.0;
+            if (deviation_at(e.fullLoadBase, m1, any_exact) <
+                deviation_at(e.fullLoadBase, m2, any_exact)) {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        return 0.5 * (lo + hi);
+    };
+    auto observed_match = [&](const TrainingSet::Entry& e) {
+        double dist = deviation_at(e.fullLoadBase, fit_level(e), false);
+        return std::exp(-dist / kMatchDistanceScale);
+    };
+
+    // With Upper (aggregate) entries present, the completed full_row is
+    // contaminated by the other co-residents, so the Pearson shape term
+    // would pull matches toward the blend; only the one-sided direct
+    // match is trustworthy there.
+    bool has_upper = false;
+    for (size_t c = 0; c < n; ++c) {
+        auto res = static_cast<sim::Resource>(c);
+        if (observation.has(res) && !observation.isExact(res))
+            has_upper = true;
+    }
+    double direct_weight = has_upper ? 1.0 : 0.7;
+
+    result.ranking.reserve(m);
+    for (size_t r = 0; r < m; ++r) {
+        double direct = observed_match(training_.entry(r));
+        double pearson = std::max(
+            0.0, linalg::weightedPearson(full_row, a.row(r),
+                                         resourceWeights_));
+        result.ranking.emplace_back(
+            r, direct_weight * direct + (1.0 - direct_weight) * pearson);
+    }
+    std::stable_sort(result.ranking.begin(), result.ranking.end(),
+                     [](const auto& x, const auto& y) {
+                         return x.second > y.second;
+                     });
+
+    if (!result.ranking.empty()) {
+        result.topFittedLevel =
+            fit_level(training_.entry(result.ranking.front().first));
+    }
+
+    // Detection confidence: the gap between the best match and the best
+    // candidate of any other class. Two observed coordinates rarely
+    // separate classes; five usually do.
+    if (!result.ranking.empty()) {
+        const std::string top_class =
+            training_.entry(result.ranking.front().first).classLabel();
+        result.margin = result.ranking.front().second;
+        for (size_t k = 1; k < result.ranking.size(); ++k) {
+            if (training_.entry(result.ranking[k].first).classLabel() !=
+                top_class) {
+                result.margin = result.ranking.front().second -
+                                result.ranking[k].second;
+                break;
+            }
+        }
+    }
+
+    // Feature augmentation: refine the unobserved coordinates of the
+    // reconstruction with the best content match's profile. The
+    // low-rank completion captures broad correlations; the matched
+    // neighbor restores class-specific detail (e.g. memcached's zero
+    // disk traffic).
+    if (!result.ranking.empty() && result.ranking.front().second > 0.0) {
+        auto best = a.row(result.ranking.front().first);
+        for (size_t c = 0; c < n; ++c) {
+            auto res = static_cast<sim::Resource>(c);
+            if (!observation.has(res)) {
+                full_row[c] = std::clamp(
+                    0.4 * full_row[c] + 0.6 * best[c], 0.0, 100.0);
+            }
+        }
+        result.reconstructed = sim::ResourceVector::fromVector(full_row);
+    }
+
+    // Distribution over the strongest distinct classes: positive scores
+    // normalized to shares, which is how the paper reports matches
+    // ("65% similar to memcached, 18% to Spark PageRank, ...").
+    std::vector<std::pair<std::string, double>> classes;
+    for (const auto& [idx, score] : result.ranking) {
+        if (score <= 0.0 || classes.size() >= config_.topK)
+            break;
+        std::string label = training_.entry(idx).classLabel();
+        bool seen = false;
+        for (auto& [l, s] : classes) {
+            if (l == label) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen)
+            classes.emplace_back(label, score);
+    }
+    double total = 0.0;
+    for (const auto& [l, s] : classes)
+        total += s;
+    if (total > 0.0)
+        for (auto& [l, s] : classes)
+            s /= total;
+    result.distribution = std::move(classes);
+    return result;
+}
+
+Decomposition
+HybridRecommender::decompose(const SparseObservation& observation,
+                             bool core_shared, size_t max_parts,
+                             size_t prune) const
+{
+    size_t m = training_.size();
+
+    // Weighted deviation between the observation and the sum of the
+    // parts' load-scaled profiles. Core entries are explained by part 0
+    // alone (the focus-core sibling) when a core is shared, and by
+    // nothing otherwise (no co-resident touches the adversary's cores).
+    auto deviation = [&](const std::vector<DecompositionPart>& parts) {
+        double dist = 0.0, wsum = 0.0;
+        for (size_t c = 0; c < sim::kNumResources; ++c) {
+            auto res = static_cast<sim::Resource>(c);
+            if (!observation.has(res))
+                continue;
+            double pred = 0.0;
+            if (sim::isCoreResource(res)) {
+                if (core_shared && !parts.empty()) {
+                    pred = workloads::scaledPressure(
+                        training_.entry(parts[0].index).fullLoadBase,
+                        parts[0].level)[res];
+                }
+            } else {
+                for (const auto& p : parts)
+                    pred += workloads::scaledPressure(
+                        training_.entry(p.index).fullLoadBase,
+                        p.level)[res];
+                pred = std::min(pred, 100.0);
+            }
+            double w = resourceWeights_[c];
+            dist += w * std::abs(observation.get(res) - pred);
+            wsum += w;
+        }
+        return wsum > 0.0 ? dist / wsum : 1e9;
+    };
+
+    // Ternary-search the load level of one part, holding others fixed.
+    auto refit = [&](std::vector<DecompositionPart>& parts, size_t which) {
+        double lo = 0.05, hi = 1.1;
+        for (int it = 0; it < 12; ++it) {
+            double m1 = lo + (hi - lo) / 3.0;
+            double m2 = hi - (hi - lo) / 3.0;
+            parts[which].level = m1;
+            double d1 = deviation(parts);
+            parts[which].level = m2;
+            double d2 = deviation(parts);
+            if (d1 < d2)
+                hi = m2;
+            else
+                lo = m1;
+        }
+        parts[which].level = 0.5 * (lo + hi);
+    };
+
+    // Shortlist part-0 candidates. With a shared core, the core signal
+    // is single-tenant, so the shortlist ranks candidates on the core
+    // coordinates alone — ranking on the whole aggregate would anchor
+    // part 0 to ghost blends. Without core sharing, every entry
+    // competes on the full (uncore) signal.
+    auto core_deviation = [&](size_t idx, double level) {
+        const auto& base = training_.entry(idx).fullLoadBase;
+        sim::ResourceVector pred =
+            workloads::scaledPressure(base, level);
+        double dist = 0.0, wsum = 0.0;
+        for (sim::Resource res : sim::kCoreResources) {
+            if (!observation.has(res))
+                continue;
+            double w = resourceWeights_[sim::index(res)];
+            dist += w * std::abs(observation.get(res) - pred[res]);
+            wsum += w;
+        }
+        return wsum > 0.0 ? dist / wsum : 1e9;
+    };
+    auto core_fit = [&](size_t idx) {
+        double lo = 0.05, hi = 1.1;
+        for (int it = 0; it < 12; ++it) {
+            double m1 = lo + (hi - lo) / 3.0;
+            double m2 = hi - (hi - lo) / 3.0;
+            if (core_deviation(idx, m1) < core_deviation(idx, m2))
+                hi = m2;
+            else
+                lo = m1;
+        }
+        return core_deviation(idx, 0.5 * (lo + hi));
+    };
+
+    std::vector<std::pair<double, size_t>> shortlist;
+    shortlist.reserve(m);
+    for (size_t i = 0; i < m; ++i) {
+        if (core_shared) {
+            shortlist.emplace_back(core_fit(i), i);
+        } else {
+            std::vector<DecompositionPart> solo{{i, 1.0}};
+            refit(solo, 0);
+            shortlist.emplace_back(deviation(solo), i);
+        }
+    }
+    std::sort(shortlist.begin(), shortlist.end());
+    size_t k0 = std::min(prune, shortlist.size());
+
+    // Best single-part explanation over the full observation (the
+    // shortlist above may be core-anchored, which is the wrong ranking
+    // for the single-tenant hypothesis).
+    Decomposition best;
+    for (size_t i = 0; i < m; ++i) {
+        std::vector<DecompositionPart> solo{{i, 1.0}};
+        refit(solo, 0);
+        double d = deviation(solo);
+        if (d < best.distance) {
+            best.distance = d;
+            best.parts = solo;
+        }
+    }
+
+    // Greedy widening: add a part while it improves the explanation
+    // meaningfully (Occam margin), re-fitting levels by coordinate
+    // descent. The candidate pool for the added part is the full
+    // training set; part 0 stays within the anchored shortlist.
+    for (size_t depth = 2; depth <= max_parts; ++depth) {
+        Decomposition improved = best;
+        bool found = false;
+        for (size_t s0 = 0; s0 < k0; ++s0) {
+            // Re-anchoring part 0 per candidate only matters at depth 2;
+            // beyond that the incumbent parts are kept.
+            std::vector<DecompositionPart> base_parts;
+            if (depth == 2) {
+                base_parts = {{shortlist[s0].second, 0.8}};
+            } else {
+                // Deeper searches keep the incumbent parts but still
+                // re-anchor part 0 within the strongest few shortlist
+                // candidates (a wrong early anchor would otherwise lock
+                // in a bad decomposition).
+                if (s0 >= 4)
+                    break;
+                base_parts = best.parts;
+                if (s0 > 0 && core_shared)
+                    base_parts[0] = {shortlist[s0].second, 0.8};
+            }
+            for (size_t j = 0; j < m; ++j) {
+                std::vector<DecompositionPart> parts = base_parts;
+                parts.push_back({j, 0.8});
+                // Two rounds of coordinate descent over the levels.
+                for (int round = 0; round < 2; ++round)
+                    for (size_t p = 0; p < parts.size(); ++p)
+                        refit(parts, p);
+                double d = deviation(parts);
+                if (d < improved.distance) {
+                    improved.distance = d;
+                    improved.parts = parts;
+                    found = true;
+                }
+            }
+        }
+        // Occam margin: an extra tenant must reduce the unexplained
+        // signal meaningfully, or the simpler explanation stands.
+        if (!found || improved.distance > best.distance * 0.88 ||
+            best.distance - improved.distance < 0.7) {
+            break;
+        }
+        best = improved;
+    }
+
+    best.score = std::exp(-best.distance / kMatchDistanceScale);
+    return best;
+}
+
+sim::ResourceVector
+HybridRecommender::resourceImportance() const
+{
+    sim::ResourceVector out;
+    for (size_t i = 0; i < sim::kNumResources; ++i)
+        out.at(i) = resourceWeights_[i];
+    return out;
+}
+
+} // namespace core
+} // namespace bolt

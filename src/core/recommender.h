@@ -1,0 +1,162 @@
+#ifndef BOLT_CORE_RECOMMENDER_H
+#define BOLT_CORE_RECOMMENDER_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/observation.h"
+#include "core/training.h"
+#include "linalg/sgd.h"
+#include "linalg/svd.h"
+
+namespace bolt {
+namespace core {
+
+/** Tuning knobs for the hybrid recommender (Section 3.2). */
+struct RecommenderConfig
+{
+    /** Energy fraction preserved when keeping the top r concepts. */
+    double energyKept = 0.90;
+    /** SGD epochs for the PQ-reconstruction of the victim row. */
+    size_t sgdEpochs = 60;
+    double sgdLearningRate = 0.05;
+    double sgdRegularization = 0.02;
+    /** Confidence floor: below this, detection is inconclusive. */
+    double confidenceFloor = 0.10;
+    /**
+     * Margin floor: the top match must beat the best *different-class*
+     * candidate by this much, or the signal is ambiguous (typically
+     * because too few resources were probed) and detection is
+     * inconclusive.
+     */
+    double marginFloor = 0.06;
+    /** Entries reported in the similarity distribution. */
+    size_t topK = 5;
+    uint64_t seed = 7;
+};
+
+/** Output of one analysis round. */
+struct SimilarityResult
+{
+    /** (training-set index, weighted-Pearson similarity), descending. */
+    std::vector<std::pair<size_t, double>> ranking;
+    /**
+     * Normalized similarity distribution over the top-K matches:
+     * (class label, probability-like share), e.g. the paper's
+     * "65% memcached, 18% spark:pagerank, ...".
+     */
+    std::vector<std::pair<std::string, double>> distribution;
+    /** CF-reconstructed full 10-resource pressure profile. */
+    sim::ResourceVector reconstructed;
+    /** Number of similarity concepts kept (rank r at 90% energy). */
+    size_t conceptsKept = 0;
+    /** topScore minus the best score of a *different* class. */
+    double margin = 0.0;
+    /**
+     * Input-load level at which the top match's full-load profile best
+     * fits the observation — the recommender's estimate of the victim's
+     * current load. Used to peel the match off an aggregate signal.
+     */
+    double topFittedLevel = 1.0;
+
+    /** Best similarity score; 0 when the ranking is empty. */
+    double topScore() const;
+    /** Whether the match is both strong and unambiguous. */
+    bool confident(double floor, double margin_floor) const
+    {
+        return topScore() >= floor && margin >= margin_floor;
+    }
+};
+
+/** One component of an additive decomposition of an aggregate signal. */
+struct DecompositionPart
+{
+    size_t index = 0;     ///< Training-set entry index.
+    double level = 1.0;   ///< Fitted input-load level.
+};
+
+/**
+ * Additive explanation of an aggregate observation: the sum of the
+ * parts' load-scaled profiles best matches the measured signal
+ * (Section 3.3's linear-additivity assumption made into an estimator).
+ */
+struct Decomposition
+{
+    std::vector<DecompositionPart> parts;
+    double distance = 1e9; ///< Weighted mean deviation, pressure points.
+    double score = 0.0;    ///< exp(-distance / scale).
+};
+
+/**
+ * The hybrid recommender with feature augmentation (Section 3.2): a
+ * collaborative-filtering stage (SVD + PQ-reconstruction via SGD)
+ * recovers the pressure the victim places on non-profiled resources,
+ * then a content-based stage ranks previously-seen applications by
+ * weighted Pearson similarity (Eq. 1), where the weights come from the
+ * r strongest similarity concepts.
+ *
+ * SVD runs once per training set; each query performs a warm-started
+ * SGD completion of its sparse row plus one weighted-Pearson pass.
+ */
+class HybridRecommender
+{
+  public:
+    HybridRecommender(const TrainingSet& training,
+                      RecommenderConfig config = {});
+
+    /** Analyze one sparse profiling signal. */
+    SimilarityResult analyze(const SparseObservation& observation) const;
+
+    /**
+     * Explain an aggregate observation as the sum of up to `max_parts`
+     * previously-seen applications (Section 3.3): uncore readings are
+     * the sum of every co-resident's pressure; core readings belong to
+     * the focus core's hyperthread sibling alone (`core_shared`), or to
+     * nobody when no core is shared.
+     *
+     * Parts are added greedily while they improve the explanation by a
+     * meaningful margin, so a single-tenant signal yields a single part.
+     *
+     * @param observation Aggregate readings (bounds are ignored; the
+     *                    decomposition treats everything as measured).
+     * @param core_shared Whether core entries are attributable to the
+     *                    first part (the focus-core sibling).
+     * @param max_parts   Co-resident cap (the paper disentangles 2-3).
+     * @param prune       Sibling candidates shortlisted for part one.
+     */
+    Decomposition decompose(const SparseObservation& observation,
+                            bool core_shared, size_t max_parts = 3,
+                            size_t prune = 24) const;
+
+    /**
+     * Per-resource detection value (the "system insights" of Section
+     * 3.2): how much each resource contributes to the kept similarity
+     * concepts, i.e. w_i = sum_k sigma_k * V(i,k)^2 normalized to 1.
+     * Resources with high weight leak the most information and should be
+     * isolated first.
+     */
+    sim::ResourceVector resourceImportance() const;
+
+    /** Number of concepts kept at the configured energy fraction. */
+    size_t conceptsKept() const { return rank_; }
+
+    /** Singular values of the training matrix (decreasing). */
+    const std::vector<double>& singularValues() const { return svd_.s; }
+
+    const TrainingSet& training() const { return training_; }
+    const RecommenderConfig& config() const { return config_; }
+
+  private:
+    const TrainingSet& training_;
+    RecommenderConfig config_;
+    linalg::SvdResult svd_;
+    size_t rank_ = 0;
+    std::vector<double> resourceWeights_; ///< w_i, normalized.
+    std::vector<double> columnSpread_;    ///< Per-resource training stddev.
+};
+
+} // namespace core
+} // namespace bolt
+
+#endif // BOLT_CORE_RECOMMENDER_H

@@ -1,0 +1,67 @@
+#include "training.h"
+
+#include <algorithm>
+
+namespace bolt {
+namespace core {
+
+void
+TrainingSet::add(Entry entry)
+{
+    entries_.push_back(std::move(entry));
+}
+
+TrainingSet
+TrainingSet::fromSpecs(const std::vector<workloads::AppSpec>& specs,
+                       util::Rng& rng, double profiling_noise,
+                       const sim::IsolationConfig& channel)
+{
+    util::Rng stream = rng.substream("training-profiling");
+    TrainingSet out;
+    for (const auto& spec : specs) {
+        Entry e;
+        e.family = spec.family;
+        e.variant = spec.variant;
+        e.dataset = spec.dataset;
+        e.profiledLevel = spec.pattern.level;
+        sim::ResourceVector p =
+            workloads::scaledPressure(spec.base, spec.pattern.level);
+        sim::ResourceVector full = spec.base;
+        for (sim::Resource r : sim::kAllResources) {
+            double vis = channel.crossVisibility(r);
+            p[r] = p[r] * vis + stream.gaussian(0.0, profiling_noise);
+            full[r] =
+                full[r] * vis + stream.gaussian(0.0, profiling_noise);
+        }
+        e.profile = p.clamped();
+        e.fullLoadBase = full.clamped();
+        out.add(std::move(e));
+    }
+    return out;
+}
+
+linalg::Matrix
+TrainingSet::matrix() const
+{
+    linalg::Matrix m(entries_.size(), sim::kNumResources);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        auto row = entries_[i].profile.toVector();
+        m.setRow(i, row);
+    }
+    return m;
+}
+
+std::vector<std::string>
+TrainingSet::classLabels() const
+{
+    std::vector<std::string> out;
+    for (const auto& e : entries_) {
+        std::string label = e.classLabel();
+        if (std::find(out.begin(), out.end(), label) == out.end())
+            out.push_back(std::move(label));
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace bolt

@@ -1,0 +1,110 @@
+#include "sgd.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bolt {
+namespace linalg {
+
+double
+SgdResult::predict(size_t row, size_t col) const
+{
+    double acc = 0.0;
+    for (size_t k = 0; k < p.cols(); ++k)
+        acc += p(row, k) * q(col, k);
+    return acc;
+}
+
+std::vector<double>
+SgdResult::reconstructRow(size_t row) const
+{
+    std::vector<double> out(q.rows());
+    for (size_t c = 0; c < q.rows(); ++c)
+        out[c] = predict(row, c);
+    return out;
+}
+
+SparseMatrix
+SparseMatrix::dense(const Matrix& m)
+{
+    SparseMatrix out;
+    out.values = m;
+    out.mask.assign(m.rows(), std::vector<bool>(m.cols(), true));
+    return out;
+}
+
+SgdResult
+sgdFactorize(const SparseMatrix& data, const SgdConfig& config,
+             const std::optional<Matrix>& warm_p,
+             const std::optional<Matrix>& warm_q)
+{
+    size_t m = data.rows();
+    size_t n = data.cols();
+    size_t r = config.rank;
+    if (m == 0 || n == 0 || r == 0)
+        throw std::invalid_argument("sgdFactorize: empty problem");
+    if (data.mask.size() != m || (m > 0 && data.mask[0].size() != n))
+        throw std::invalid_argument("sgdFactorize: mask shape mismatch");
+
+    // Collect observed entries once; SGD iterates over them in a
+    // per-epoch shuffled order.
+    struct Entry { size_t row, col; double value; };
+    std::vector<Entry> entries;
+    for (size_t i = 0; i < m; ++i)
+        for (size_t j = 0; j < n; ++j)
+            if (data.known(i, j))
+                entries.push_back({i, j, data.values(i, j)});
+    if (entries.empty())
+        throw std::invalid_argument("sgdFactorize: no observed entries");
+
+    util::Rng rng(config.seed);
+    SgdResult res;
+    res.p = warm_p.value_or(Matrix(m, r));
+    res.q = warm_q.value_or(Matrix(n, r));
+    if (res.p.rows() != m || res.p.cols() != r ||
+        res.q.rows() != n || res.q.cols() != r) {
+        throw std::invalid_argument("sgdFactorize: warm-start shape");
+    }
+    if (!warm_p) {
+        for (size_t i = 0; i < m; ++i)
+            for (size_t k = 0; k < r; ++k)
+                res.p(i, k) = rng.gaussian(0.0, 0.1);
+    }
+    if (!warm_q) {
+        for (size_t j = 0; j < n; ++j)
+            for (size_t k = 0; k < r; ++k)
+                res.q(j, k) = rng.gaussian(0.0, 0.1);
+    }
+
+    double prev_rmse = std::numeric_limits<double>::infinity();
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        auto order = rng.permutation(entries.size());
+        double sq_err = 0.0;
+        for (size_t idx : order) {
+            const Entry& e = entries[idx];
+            double pred = res.predict(e.row, e.col);
+            double err = e.value - pred;
+            sq_err += err * err;
+            for (size_t k = 0; k < r; ++k) {
+                double pk = res.p(e.row, k);
+                double qk = res.q(e.col, k);
+                res.p(e.row, k) +=
+                    config.learningRate *
+                    (err * qk - config.regularization * pk);
+                res.q(e.col, k) +=
+                    config.learningRate *
+                    (err * pk - config.regularization * qk);
+            }
+        }
+        res.trainRmse =
+            std::sqrt(sq_err / static_cast<double>(entries.size()));
+        res.epochsRun = epoch + 1;
+        if (std::abs(prev_rmse - res.trainRmse) < config.tolerance)
+            break;
+        prev_rmse = res.trainRmse;
+    }
+    return res;
+}
+
+} // namespace linalg
+} // namespace bolt

@@ -1,0 +1,79 @@
+#ifndef BOLT_LINALG_SGD_H
+#define BOLT_LINALG_SGD_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace bolt {
+namespace linalg {
+
+/**
+ * Configuration for the SGD PQ-reconstruction (matrix completion) solver.
+ */
+struct SgdConfig
+{
+    size_t rank = 3;            ///< Latent dimensionality r.
+    size_t epochs = 200;        ///< Passes over the known entries.
+    double learningRate = 0.01; ///< SGD step size.
+    double regularization = 0.05; ///< L2 penalty on factors.
+    double tolerance = 1e-6;    ///< Early-exit on training RMSE delta.
+    uint64_t seed = 42;         ///< Factor-initialization seed.
+};
+
+/**
+ * Result of a PQ factorization A ~= P * Q^T restricted to known entries.
+ */
+struct SgdResult
+{
+    Matrix p;             ///< Row factors (m x r).
+    Matrix q;             ///< Column factors (n x r).
+    double trainRmse = 0; ///< RMSE over known entries at termination.
+    size_t epochsRun = 0; ///< Epochs actually executed.
+
+    /** Predicted value for entry (r, c). */
+    double predict(size_t row, size_t col) const;
+
+    /** Full reconstructed row. */
+    std::vector<double> reconstructRow(size_t row) const;
+};
+
+/**
+ * Sparse matrix view: `known(r, c)` tells whether entry (r, c) of `values`
+ * is observed. Missing entries are ignored by the solver and filled by
+ * prediction.
+ */
+struct SparseMatrix
+{
+    Matrix values;                       ///< Dense storage; NaN-free.
+    std::vector<std::vector<bool>> mask; ///< mask[r][c]: entry observed.
+
+    size_t rows() const { return values.rows(); }
+    size_t cols() const { return values.cols(); }
+    bool known(size_t r, size_t c) const { return mask[r][c]; }
+
+    /** Fully-observed view of a dense matrix. */
+    static SparseMatrix dense(const Matrix& m);
+};
+
+/**
+ * Factorize a partially-observed matrix with stochastic gradient descent
+ * (the PQ-reconstruction step of the paper's collaborative-filtering
+ * stage, following Bottou-style SGD with L2 regularization).
+ *
+ * @param data        Observed entries.
+ * @param config      Solver parameters.
+ * @param warm_p      Optional warm start for P (e.g. U*sqrt(S) from SVD).
+ * @param warm_q      Optional warm start for Q (e.g. V*sqrt(S) from SVD).
+ */
+SgdResult sgdFactorize(const SparseMatrix& data, const SgdConfig& config,
+                       const std::optional<Matrix>& warm_p = std::nullopt,
+                       const std::optional<Matrix>& warm_q = std::nullopt);
+
+} // namespace linalg
+} // namespace bolt
+
+#endif // BOLT_LINALG_SGD_H

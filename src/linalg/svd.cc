@@ -1,0 +1,140 @@
+#include "svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bolt {
+namespace linalg {
+
+Matrix
+SvdResult::reconstruct() const
+{
+    return reconstructRank(s.size());
+}
+
+Matrix
+SvdResult::reconstructRank(size_t rank) const
+{
+    rank = std::min(rank, s.size());
+    Matrix out(u.rows(), v.rows());
+    for (size_t r = 0; r < u.rows(); ++r)
+        for (size_t c = 0; c < v.rows(); ++c) {
+            double acc = 0.0;
+            for (size_t k = 0; k < rank; ++k)
+                acc += u(r, k) * s[k] * v(c, k);
+            out(r, c) = acc;
+        }
+    return out;
+}
+
+size_t
+SvdResult::rankForEnergy(double energy) const
+{
+    double total = 0.0;
+    for (double sv : s)
+        total += sv * sv;
+    if (total <= 0.0)
+        return s.empty() ? 0 : 1;
+    double acc = 0.0;
+    for (size_t r = 0; r < s.size(); ++r) {
+        acc += s[r] * s[r];
+        if (acc >= energy * total)
+            return r + 1;
+    }
+    return s.size();
+}
+
+SvdResult
+svd(const Matrix& a, size_t max_sweeps, double tol)
+{
+    size_t m = a.rows();
+    size_t n = a.cols();
+    if (m == 0 || n == 0)
+        throw std::invalid_argument("svd: empty matrix");
+
+    // One-sided Jacobi: orthogonalize the columns of a working copy W by
+    // plane rotations; accumulate the rotations into V. At convergence,
+    // W = U * diag(S) and the column norms are the singular values.
+    Matrix w = a;
+    Matrix v = Matrix::identity(n);
+
+    double off_scale = std::max(1.0, w.frobeniusNorm());
+    for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        bool rotated = false;
+        for (size_t p = 0; p + 1 < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                double alpha = 0.0, beta = 0.0, gamma = 0.0;
+                for (size_t i = 0; i < m; ++i) {
+                    double wp = w(i, p), wq = w(i, q);
+                    alpha += wp * wp;
+                    beta += wq * wq;
+                    gamma += wp * wq;
+                }
+                if (std::abs(gamma) <= tol * off_scale * off_scale)
+                    continue;
+                rotated = true;
+
+                double zeta = (beta - alpha) / (2.0 * gamma);
+                double t = std::copysign(
+                    1.0 / (std::abs(zeta) +
+                           std::sqrt(1.0 + zeta * zeta)),
+                    zeta);
+                double c = 1.0 / std::sqrt(1.0 + t * t);
+                double s_rot = c * t;
+
+                for (size_t i = 0; i < m; ++i) {
+                    double wp = w(i, p), wq = w(i, q);
+                    w(i, p) = c * wp - s_rot * wq;
+                    w(i, q) = s_rot * wp + c * wq;
+                }
+                for (size_t i = 0; i < n; ++i) {
+                    double vp = v(i, p), vq = v(i, q);
+                    v(i, p) = c * vp - s_rot * vq;
+                    v(i, q) = s_rot * vp + c * vq;
+                }
+            }
+        }
+        if (!rotated)
+            break;
+    }
+
+    // Extract singular values (column norms) and normalize U.
+    std::vector<double> sigma(n);
+    Matrix u(m, n);
+    for (size_t c = 0; c < n; ++c) {
+        double nrm = 0.0;
+        for (size_t i = 0; i < m; ++i)
+            nrm += w(i, c) * w(i, c);
+        nrm = std::sqrt(nrm);
+        sigma[c] = nrm;
+        if (nrm > 0.0) {
+            for (size_t i = 0; i < m; ++i)
+                u(i, c) = w(i, c) / nrm;
+        }
+    }
+
+    // Sort components by decreasing singular value.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t x, size_t y) { return sigma[x] > sigma[y]; });
+
+    SvdResult out;
+    out.s.resize(n);
+    out.u = Matrix(m, n);
+    out.v = Matrix(n, n);
+    for (size_t k = 0; k < n; ++k) {
+        size_t src = order[k];
+        out.s[k] = sigma[src];
+        for (size_t i = 0; i < m; ++i)
+            out.u(i, k) = u(i, src);
+        for (size_t i = 0; i < n; ++i)
+            out.v(i, k) = v(i, src);
+    }
+    return out;
+}
+
+} // namespace linalg
+} // namespace bolt

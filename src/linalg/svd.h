@@ -1,0 +1,56 @@
+#ifndef BOLT_LINALG_SVD_H
+#define BOLT_LINALG_SVD_H
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace bolt {
+namespace linalg {
+
+/**
+ * Singular value decomposition A = U * diag(S) * V^T.
+ *
+ * For an m x n input (m >= n is typical here), U is m x n with orthonormal
+ * columns, S holds the n singular values in decreasing order, and V is
+ * n x n orthogonal.
+ */
+struct SvdResult
+{
+    Matrix u;               ///< Left singular vectors (m x n).
+    std::vector<double> s;  ///< Singular values, decreasing.
+    Matrix v;               ///< Right singular vectors (n x n).
+
+    /** Reconstruct U * diag(S) * V^T. */
+    Matrix reconstruct() const;
+
+    /** Reconstruct keeping only the first `rank` components. */
+    Matrix reconstructRank(size_t rank) const;
+
+    /**
+     * Smallest r such that sum_{i<r} s_i^2 >= energy * sum_i s_i^2.
+     *
+     * This implements the paper's footnote-1 rule: keep the r largest
+     * singular values preserving 90% of the total energy.
+     */
+    size_t rankForEnergy(double energy) const;
+};
+
+/**
+ * Compute the SVD of `a` via one-sided Jacobi rotations.
+ *
+ * Numerically robust for the small, well-conditioned matrices the
+ * recommender works with. Throws std::invalid_argument on an empty input.
+ *
+ * @param a         Input matrix (m x n). Works for any m >= 1, n >= 1.
+ * @param max_sweeps Upper bound on Jacobi sweeps (convergence is usually
+ *                   reached in < 10 for our sizes).
+ * @param tol       Off-diagonal convergence tolerance.
+ */
+SvdResult svd(const Matrix& a, size_t max_sweeps = 60, double tol = 1e-12);
+
+} // namespace linalg
+} // namespace bolt
+
+#endif // BOLT_LINALG_SVD_H

@@ -1,0 +1,150 @@
+#include "scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "linalg/matrix.h"
+
+namespace bolt {
+namespace sched {
+
+void
+Scheduler::record(sim::TenantId id, size_t server,
+                  const workloads::AppSpec& spec)
+{
+    placements_[id] = Placement{server, spec};
+}
+
+void
+Scheduler::forget(sim::TenantId id)
+{
+    placements_.erase(id);
+}
+
+double
+LeastLoadedScheduler::footprint(size_t server) const
+{
+    // Available compute, memory and storage in one scalar: the sum of
+    // CPU, memory-capacity and disk-capacity pressure already placed.
+    double f = 0.0;
+    for (const auto& [id, p] : placements_) {
+        if (p.server != server)
+            continue;
+        f += p.spec.base[sim::Resource::CPU] +
+             p.spec.base[sim::Resource::MemCap] +
+             p.spec.base[sim::Resource::DiskCap];
+    }
+    return f;
+}
+
+std::optional<size_t>
+LeastLoadedScheduler::pick(const sim::Cluster& cluster,
+                           const workloads::AppSpec& spec, int vcpus)
+{
+    (void)spec;
+    std::optional<size_t> best;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < cluster.size(); ++i) {
+        int slots = cluster.server(i).placeableSlots(cluster.isolation());
+        if (slots < vcpus)
+            continue;
+        // Most free slots first; among ties, least placed footprint.
+        double score =
+            static_cast<double>(slots) * 1e6 - footprint(i);
+        if (score > best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    return best;
+}
+
+double
+QuasarScheduler::interference(size_t server,
+                              const workloads::AppSpec& spec) const
+{
+    // Cosine-style overlap between the incoming profile and each
+    // resident: co-locating jobs whose pressure concentrates on the same
+    // resources is what creates destructive interference.
+    double total = 0.0;
+    auto a = spec.base.toVector();
+    double na = linalg::norm(a);
+    if (na == 0.0)
+        return 0.0;
+    for (const auto& [id, p] : placements_) {
+        if (p.server != server)
+            continue;
+        auto b = p.spec.base.toVector();
+        double nb = linalg::norm(b);
+        if (nb == 0.0)
+            continue;
+        total += linalg::dot(a, b) / (na * nb);
+    }
+    return total;
+}
+
+std::optional<size_t>
+QuasarScheduler::pick(const sim::Cluster& cluster,
+                      const workloads::AppSpec& spec, int vcpus)
+{
+    std::optional<size_t> best;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < cluster.size(); ++i) {
+        int slots = cluster.server(i).placeableSlots(cluster.isolation());
+        if (slots < vcpus)
+            continue;
+        // Minimize interference; break ties toward emptier machines.
+        double score = interference(i, spec) -
+                       1e-3 * static_cast<double>(slots);
+        if (score < best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::optional<size_t>
+RandomScheduler::pick(const sim::Cluster& cluster,
+                      const workloads::AppSpec& spec, int vcpus)
+{
+    (void)spec;
+    auto candidates = cluster.serversWithCapacity(vcpus);
+    if (candidates.empty())
+        return std::nullopt;
+    return candidates[rng_.index(candidates.size())];
+}
+
+bool
+MigrationController::sample(double t, double cpu_util)
+{
+    if (triggerTime_)
+        return false; // one migration per controller instance
+    if (cpu_util > threshold_) {
+        if (overSince_ < 0.0)
+            overSince_ = t;
+        if (t - overSince_ >= sustainSec_) {
+            triggerTime_ = t;
+            return true;
+        }
+    } else {
+        overSince_ = -1.0;
+    }
+    return false;
+}
+
+bool
+MigrationController::migrating(double t) const
+{
+    return triggerTime_ && t >= *triggerTime_ &&
+           t < *triggerTime_ + overheadSec_;
+}
+
+bool
+MigrationController::migrated(double t) const
+{
+    return triggerTime_ && t >= *triggerTime_ + overheadSec_;
+}
+
+} // namespace sched
+} // namespace bolt

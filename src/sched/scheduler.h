@@ -1,0 +1,155 @@
+#ifndef BOLT_SCHED_SCHEDULER_H
+#define BOLT_SCHED_SCHEDULER_H
+
+#include <map>
+#include <optional>
+
+#include "sim/cluster.h"
+#include "workloads/app.h"
+
+namespace bolt {
+namespace sched {
+
+/**
+ * Placement policy interface. The scheduler only *picks* a server; the
+ * caller performs the actual placement and then calls record() so
+ * interference-aware policies can track what runs where.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /**
+     * Choose a server for an application needing `vcpus` hardware
+     * threads. @return server index, or nullopt when nothing fits.
+     */
+    virtual std::optional<size_t> pick(const sim::Cluster& cluster,
+                                       const workloads::AppSpec& spec,
+                                       int vcpus) = 0;
+
+    /** Notify the policy that a tenant landed on a server. */
+    virtual void record(sim::TenantId id, size_t server,
+                        const workloads::AppSpec& spec);
+
+    /** Notify the policy that a tenant left. */
+    virtual void forget(sim::TenantId id);
+
+    /** Policy display name. */
+    virtual const char* name() const = 0;
+
+  protected:
+    struct Placement
+    {
+        size_t server;
+        workloads::AppSpec spec;
+    };
+    std::map<sim::TenantId, Placement> placements_;
+};
+
+/**
+ * Least-loaded scheduler (Section 3.4): allocates on the machine with
+ * the most available compute, memory and storage. Commonly used in
+ * datacenters; ignores interference between co-residents.
+ */
+class LeastLoadedScheduler : public Scheduler
+{
+  public:
+    std::optional<size_t> pick(const sim::Cluster& cluster,
+                               const workloads::AppSpec& spec,
+                               int vcpus) override;
+    const char* name() const override { return "least-loaded"; }
+
+  private:
+    /** Aggregate footprint already placed on a server (lower = freer). */
+    double footprint(size_t server) const;
+};
+
+/**
+ * Quasar-style interference-aware scheduler: among servers with
+ * capacity, prefer the one whose residents' resource profiles overlap
+ * least with the incoming application, so co-scheduled jobs contend on
+ * different critical resources.
+ */
+class QuasarScheduler : public Scheduler
+{
+  public:
+    std::optional<size_t> pick(const sim::Cluster& cluster,
+                               const workloads::AppSpec& spec,
+                               int vcpus) override;
+    const char* name() const override { return "quasar"; }
+
+  private:
+    /** Profile-overlap score of `spec` with residents of `server`. */
+    double interference(size_t server,
+                        const workloads::AppSpec& spec) const;
+};
+
+/**
+ * Uniform-random placement among servers with capacity — the launch
+ * strategy an external adversary gets in the co-residency attack.
+ */
+class RandomScheduler : public Scheduler
+{
+  public:
+    explicit RandomScheduler(util::Rng rng) : rng_(rng) {}
+    std::optional<size_t> pick(const sim::Cluster& cluster,
+                               const workloads::AppSpec& spec,
+                               int vcpus) override;
+    const char* name() const override { return "random"; }
+
+  private:
+    util::Rng rng_;
+};
+
+/**
+ * Load-triggered live-migration defense (Section 5.1): samples host CPU
+ * utilization every second; when it exceeds the threshold, the victim is
+ * migrated to an unloaded host with a fixed overhead window during which
+ * performance stays degraded.
+ */
+class MigrationController
+{
+  public:
+    /**
+     * @param util_threshold Trigger threshold in percent (paper: 70).
+     * @param overhead_sec   Migration duration (paper: 8 s).
+     * @param sustain_sec    Consecutive over-threshold seconds required
+     *                       before a migration is initiated (avoids
+     *                       thrashing on transient spikes).
+     */
+    MigrationController(double util_threshold = 70.0,
+                        double overhead_sec = 8.0,
+                        double sustain_sec = 0.0)
+        : threshold_(util_threshold), overheadSec_(overhead_sec),
+          sustainSec_(sustain_sec)
+    {
+    }
+
+    /**
+     * Feed one 1-second utilization sample at time `t`.
+     * @return true exactly when a migration is triggered.
+     */
+    bool sample(double t, double cpu_util);
+
+    /** Whether a migration is in flight at time t. */
+    bool migrating(double t) const;
+
+    /** Whether the victim has completed a migration by time t. */
+    bool migrated(double t) const;
+
+    double threshold() const { return threshold_; }
+    double overheadSec() const { return overheadSec_; }
+
+  private:
+    double threshold_;
+    double overheadSec_;
+    double sustainSec_;
+    double overSince_ = -1.0; ///< Start of the current over-threshold run.
+    std::optional<double> triggerTime_;
+};
+
+} // namespace sched
+} // namespace bolt
+
+#endif // BOLT_SCHED_SCHEDULER_H

@@ -1,0 +1,122 @@
+#include "resource.h"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace bolt {
+namespace sim {
+
+const std::string&
+resourceName(Resource r)
+{
+    static const std::array<std::string, kNumResources> names = {
+        "L1-i", "L1-d", "L2", "CPU", "LLC",
+        "MemCap", "MemBw", "NetBw", "DiskCap", "DiskBw",
+    };
+    return names.at(index(r));
+}
+
+Resource
+resourceFromName(const std::string& name)
+{
+    for (Resource r : kAllResources)
+        if (resourceName(r) == name)
+            return r;
+    throw std::invalid_argument("unknown resource name: " + name);
+}
+
+ResourceVector
+ResourceVector::operator+(const ResourceVector& o) const
+{
+    ResourceVector out = *this;
+    out += o;
+    return out;
+}
+
+ResourceVector&
+ResourceVector::operator+=(const ResourceVector& o)
+{
+    for (size_t i = 0; i < kNumResources; ++i)
+        values_[i] += o.values_[i];
+    return *this;
+}
+
+ResourceVector
+ResourceVector::scaled(double factor) const
+{
+    ResourceVector out = *this;
+    for (auto& v : out.values_)
+        v *= factor;
+    return out;
+}
+
+ResourceVector
+ResourceVector::clamped(double lo, double hi) const
+{
+    ResourceVector out = *this;
+    for (auto& v : out.values_)
+        v = std::clamp(v, lo, hi);
+    return out;
+}
+
+double
+ResourceVector::total() const
+{
+    return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+Resource
+ResourceVector::dominant() const
+{
+    size_t best = 0;
+    for (size_t i = 1; i < kNumResources; ++i)
+        if (values_[i] > values_[best])
+            best = i;
+    return static_cast<Resource>(best);
+}
+
+std::vector<Resource>
+ResourceVector::byDecreasingPressure() const
+{
+    std::vector<Resource> order(kAllResources.begin(), kAllResources.end());
+    std::stable_sort(order.begin(), order.end(),
+                     [&](Resource a, Resource b) {
+                         return values_[index(a)] > values_[index(b)];
+                     });
+    return order;
+}
+
+std::vector<double>
+ResourceVector::toVector() const
+{
+    return {values_.begin(), values_.end()};
+}
+
+ResourceVector
+ResourceVector::fromVector(const std::vector<double>& v)
+{
+    if (v.size() != kNumResources)
+        throw std::invalid_argument("ResourceVector::fromVector size");
+    ResourceVector out;
+    for (size_t i = 0; i < kNumResources; ++i)
+        out.values_[i] = v[i];
+    return out;
+}
+
+std::ostream&
+operator<<(std::ostream& os, const ResourceVector& v)
+{
+    os << "[";
+    for (size_t i = 0; i < kNumResources; ++i) {
+        os << resourceName(static_cast<Resource>(i)) << "="
+           << v.at(i);
+        if (i + 1 < kNumResources)
+            os << " ";
+    }
+    return os << "]";
+}
+
+} // namespace sim
+} // namespace bolt

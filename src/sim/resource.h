@@ -1,0 +1,140 @@
+#ifndef BOLT_SIM_RESOURCE_H
+#define BOLT_SIM_RESOURCE_H
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bolt {
+namespace sim {
+
+/**
+ * The ten shared resources Bolt profiles (Section 3.2 of the paper):
+ * L1 instruction and data caches, L2 and last-level cache, CPU (functional
+ * units), memory capacity and bandwidth, network bandwidth, and disk
+ * capacity and bandwidth.
+ *
+ * The first four are *core* resources — only visible to a probe whose
+ * vCPU shares a physical core (other hyperthread) with a victim thread.
+ * The rest are *uncore* and aggregate across every co-resident on a host.
+ */
+enum class Resource : uint8_t {
+    L1I = 0,  ///< L1 instruction cache.
+    L1D,      ///< L1 data cache.
+    L2,       ///< Private L2 cache.
+    CPU,      ///< Functional units / compute.
+    LLC,      ///< Shared last-level cache.
+    MemCap,   ///< Memory capacity.
+    MemBw,    ///< Memory bandwidth.
+    NetBw,    ///< Network bandwidth.
+    DiskCap,  ///< Disk capacity.
+    DiskBw,   ///< Disk bandwidth.
+};
+
+/** Number of modeled shared resources. */
+constexpr size_t kNumResources = 10;
+
+/** All resources in declaration order. */
+constexpr std::array<Resource, kNumResources> kAllResources = {
+    Resource::L1I,    Resource::L1D,   Resource::L2,     Resource::CPU,
+    Resource::LLC,    Resource::MemCap, Resource::MemBw, Resource::NetBw,
+    Resource::DiskCap, Resource::DiskBw,
+};
+
+/** Core (per-physical-core) resources, leak only across hyperthreads. */
+constexpr std::array<Resource, 4> kCoreResources = {
+    Resource::L1I, Resource::L1D, Resource::L2, Resource::CPU,
+};
+
+/** Uncore (host-wide) resources. */
+constexpr std::array<Resource, 6> kUncoreResources = {
+    Resource::LLC,   Resource::MemCap,  Resource::MemBw,
+    Resource::NetBw, Resource::DiskCap, Resource::DiskBw,
+};
+
+/** Index of a resource in vectors/matrices. */
+constexpr size_t
+index(Resource r)
+{
+    return static_cast<size_t>(r);
+}
+
+/** Whether a resource is core-private (leaks only via hyperthreads). */
+constexpr bool
+isCoreResource(Resource r)
+{
+    return r == Resource::L1I || r == Resource::L1D || r == Resource::L2 ||
+           r == Resource::CPU;
+}
+
+/** Short display name ("L1-i", "LLC", "MemBw", ...). */
+const std::string& resourceName(Resource r);
+
+/** Parse a short display name back to a Resource; throws on unknown. */
+Resource resourceFromName(const std::string& name);
+
+/**
+ * Pressure (or sensitivity) across the ten resources, each entry in
+ * [0, 100] as in the paper's c_i convention: 100 means the tenant takes
+ * over the entire resource (or the entire partition it was allocated).
+ */
+class ResourceVector
+{
+  public:
+    /** All-zero vector. */
+    ResourceVector() : values_{} {}
+
+    /** Broadcast constructor. */
+    explicit ResourceVector(double fill) { values_.fill(fill); }
+
+    /** From a raw array in Resource declaration order. */
+    explicit ResourceVector(const std::array<double, kNumResources>& v)
+        : values_(v)
+    {
+    }
+
+    double& operator[](Resource r) { return values_[index(r)]; }
+    double operator[](Resource r) const { return values_[index(r)]; }
+    double& at(size_t i) { return values_.at(i); }
+    double at(size_t i) const { return values_.at(i); }
+
+    /** Element-wise sum (not clamped; see clamped()). */
+    ResourceVector operator+(const ResourceVector& o) const;
+    ResourceVector& operator+=(const ResourceVector& o);
+
+    /** Scale every entry. */
+    ResourceVector scaled(double factor) const;
+
+    /** Copy with every entry clamped into [lo, hi]. */
+    ResourceVector clamped(double lo = 0.0, double hi = 100.0) const;
+
+    /** Sum over all entries. */
+    double total() const;
+
+    /** Resource with the largest entry (ties: lowest index). */
+    Resource dominant() const;
+
+    /** Entries sorted by decreasing pressure. */
+    std::vector<Resource> byDecreasingPressure() const;
+
+    /** Convert to a plain vector (for the recommender matrices). */
+    std::vector<double> toVector() const;
+
+    /** Build from a plain 10-entry vector. */
+    static ResourceVector fromVector(const std::vector<double>& v);
+
+    bool operator==(const ResourceVector& o) const = default;
+
+  private:
+    std::array<double, kNumResources> values_;
+};
+
+/** Human-readable one-line rendering, e.g. for logs and star charts. */
+std::ostream& operator<<(std::ostream& os, const ResourceVector& v);
+
+} // namespace sim
+} // namespace bolt
+
+#endif // BOLT_SIM_RESOURCE_H

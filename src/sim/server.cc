@@ -1,0 +1,208 @@
+#include "server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bolt {
+namespace sim {
+
+Server::Server(size_t id, int cores, int threads_per_core)
+    : id_(id), cores_(cores), threadsPerCore_(threads_per_core),
+      slots_(static_cast<size_t>(cores * threads_per_core), kNoTenant)
+{
+    if (cores <= 0 || threads_per_core <= 0)
+        throw std::invalid_argument("Server: bad topology");
+}
+
+int
+Server::freeSlots() const
+{
+    return static_cast<int>(
+        std::count(slots_.begin(), slots_.end(), kNoTenant));
+}
+
+int
+Server::placeableSlots(const IsolationConfig& iso) const
+{
+    if (!iso.coreIsolation)
+        return freeSlots();
+    int slots = 0;
+    for (int c = 0; c < cores_; ++c) {
+        bool empty = true;
+        for (int t = 0; t < threadsPerCore_; ++t)
+            if (slotOwner(c, t) != kNoTenant)
+                empty = false;
+        if (empty)
+            slots += threadsPerCore_;
+    }
+    return slots;
+}
+
+bool
+Server::place(const Tenant& tenant, const IsolationConfig& iso)
+{
+    if (tenant.id == kNoTenant || tenant.vcpus <= 0)
+        throw std::invalid_argument("Server::place: bad tenant");
+    for (const auto& t : tenants_)
+        if (t.id == tenant.id)
+            throw std::invalid_argument("Server::place: duplicate tenant");
+
+    bool ok = iso.coreIsolation ? placeIsolated(tenant)
+                                : placePacked(tenant);
+    if (ok)
+        tenants_.push_back(tenant);
+    return ok;
+}
+
+bool
+Server::placePacked(const Tenant& tenant)
+{
+    if (freeSlots() < tenant.vcpus)
+        return false;
+    // vCPU placement mirrors hypervisor practice: a tenant's threads
+    // spread one-per-core, and free hyperthreads of partially-occupied
+    // cores are used first. The result is that different tenants commonly
+    // share physical cores on different hyperthreads — the topology the
+    // paper's core-resource probing depends on.
+    int remaining = tenant.vcpus;
+
+    // Pass 1: one free slot per partially-occupied core.
+    for (int c = 0; c < cores_ && remaining > 0; ++c) {
+        int used = 0;
+        for (int t = 0; t < threadsPerCore_; ++t)
+            if (slotOwner(c, t) != kNoTenant)
+                ++used;
+        if (used == 0 || used == threadsPerCore_)
+            continue;
+        for (int t = 0; t < threadsPerCore_ && remaining > 0; ++t) {
+            size_t idx = static_cast<size_t>(c * threadsPerCore_ + t);
+            if (slots_[idx] == kNoTenant) {
+                slots_[idx] = tenant.id;
+                --remaining;
+                break; // one thread per core in this pass
+            }
+        }
+    }
+    // Pass 2: round-robin over the remaining free slots, outer loop on
+    // thread index so empty cores each receive one thread first.
+    for (int t = 0; t < threadsPerCore_ && remaining > 0; ++t) {
+        for (int c = 0; c < cores_ && remaining > 0; ++c) {
+            size_t idx = static_cast<size_t>(c * threadsPerCore_ + t);
+            if (slots_[idx] == kNoTenant) {
+                slots_[idx] = tenant.id;
+                --remaining;
+            }
+        }
+    }
+    return remaining == 0;
+}
+
+bool
+Server::placeIsolated(const Tenant& tenant)
+{
+    // Tenant receives whole cores; round up to core granularity.
+    int cores_needed =
+        (tenant.vcpus + threadsPerCore_ - 1) / threadsPerCore_;
+    std::vector<int> free_cores;
+    for (int c = 0; c < cores_; ++c) {
+        bool empty = true;
+        for (int t = 0; t < threadsPerCore_; ++t)
+            if (slotOwner(c, t) != kNoTenant)
+                empty = false;
+        if (empty)
+            free_cores.push_back(c);
+    }
+    if (static_cast<int>(free_cores.size()) < cores_needed)
+        return false;
+    int remaining = tenant.vcpus;
+    for (int i = 0; i < cores_needed; ++i) {
+        int c = free_cores[static_cast<size_t>(i)];
+        for (int t = 0; t < threadsPerCore_; ++t) {
+            size_t idx = static_cast<size_t>(c * threadsPerCore_ + t);
+            // Mark every thread of the core as owned so no other tenant
+            // can share it, even if vcpus < threads on the last core.
+            slots_[idx] = tenant.id;
+            if (remaining > 0)
+                --remaining;
+        }
+    }
+    return true;
+}
+
+int
+Server::remove(TenantId id)
+{
+    int freed = 0;
+    for (auto& s : slots_) {
+        if (s == id) {
+            s = kNoTenant;
+            ++freed;
+        }
+    }
+    tenants_.erase(std::remove_if(tenants_.begin(), tenants_.end(),
+                                  [&](const Tenant& t) {
+                                      return t.id == id;
+                                  }),
+                   tenants_.end());
+    return freed;
+}
+
+std::optional<Tenant>
+Server::tenant(TenantId id) const
+{
+    for (const auto& t : tenants_)
+        if (t.id == id)
+            return t;
+    return std::nullopt;
+}
+
+bool
+Server::shareCore(TenantId a, TenantId b) const
+{
+    if (a == b)
+        return false;
+    for (int c = 0; c < cores_; ++c) {
+        bool has_a = false, has_b = false;
+        for (int t = 0; t < threadsPerCore_; ++t) {
+            TenantId owner = slotOwner(c, t);
+            has_a |= owner == a;
+            has_b |= owner == b;
+        }
+        if (has_a && has_b)
+            return true;
+    }
+    return false;
+}
+
+std::vector<int>
+Server::coresOf(TenantId t) const
+{
+    std::vector<int> out;
+    for (int c = 0; c < cores_; ++c)
+        for (int th = 0; th < threadsPerCore_; ++th)
+            if (slotOwner(c, th) == t) {
+                out.push_back(c);
+                break;
+            }
+    return out;
+}
+
+TenantId
+Server::siblingOn(int core, TenantId self) const
+{
+    for (int t = 0; t < threadsPerCore_; ++t) {
+        TenantId owner = slotOwner(core, t);
+        if (owner != kNoTenant && owner != self)
+            return owner;
+    }
+    return kNoTenant;
+}
+
+TenantId
+Server::slotOwner(int core, int thread) const
+{
+    return slots_.at(static_cast<size_t>(core * threadsPerCore_ + thread));
+}
+
+} // namespace sim
+} // namespace bolt

@@ -1,0 +1,121 @@
+#ifndef BOLT_SIM_SERVER_H
+#define BOLT_SIM_SERVER_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/isolation.h"
+#include "sim/resource.h"
+
+namespace bolt {
+namespace sim {
+
+/** Opaque tenant (VM) identifier; unique within a cluster. */
+using TenantId = uint64_t;
+
+/** Sentinel for "no tenant". */
+constexpr TenantId kNoTenant = ~TenantId{0};
+
+/**
+ * A tenant placed on a server: a VM (or container / baremetal job)
+ * occupying a number of vCPU slots (hardware threads).
+ */
+struct Tenant
+{
+    TenantId id = kNoTenant;
+    int vcpus = 1;
+    bool adversarial = false; ///< True for the Bolt probe VM.
+};
+
+/**
+ * A physical host: `cores` physical cores with `threadsPerCore` hardware
+ * threads each (the paper's testbed is 8-core, 2-way hyperthreaded).
+ *
+ * The server tracks which tenant occupies each hardware-thread slot so
+ * the contention model can answer the key topological question of the
+ * paper: *does the adversary share a physical core with a victim thread?*
+ * vCPUs (hardware threads) are never shared between active tenants,
+ * matching public-cloud practice described in Section 3.4.
+ */
+class Server
+{
+  public:
+    /**
+     * @param id              Server index within the cluster.
+     * @param cores           Physical core count.
+     * @param threads_per_core Hardware threads per core.
+     */
+    Server(size_t id, int cores = 8, int threads_per_core = 2);
+
+    size_t id() const { return id_; }
+    int cores() const { return cores_; }
+    int threadsPerCore() const { return threadsPerCore_; }
+    int totalSlots() const { return cores_ * threadsPerCore_; }
+
+    /** Number of unoccupied hardware-thread slots. */
+    int freeSlots() const;
+
+    /**
+     * Free slots available to a new tenant under `iso`. With core
+     * isolation a tenant may only use cores that are currently empty
+     * (it will own every thread of each core it touches).
+     */
+    int placeableSlots(const IsolationConfig& iso) const;
+
+    /**
+     * Place a tenant, occupying `tenant.vcpus` hardware threads.
+     *
+     * Placement packs cores in order: threads fill partially-occupied
+     * cores first (enabling cross-tenant hyperthread sharing) unless
+     * core isolation forbids it, in which case the tenant gets whole
+     * cores to itself.
+     *
+     * @return true on success; false if capacity is insufficient.
+     */
+    bool place(const Tenant& tenant, const IsolationConfig& iso);
+
+    /** Remove a tenant and free its slots. @return slots freed. */
+    int remove(TenantId id);
+
+    /** All tenants currently on this server. */
+    const std::vector<Tenant>& tenants() const { return tenants_; }
+
+    /** Find a tenant by id. */
+    std::optional<Tenant> tenant(TenantId id) const;
+
+    /**
+     * Whether tenants `a` and `b` have threads on at least one common
+     * physical core (on different hyperthreads; slots are exclusive).
+     */
+    bool shareCore(TenantId a, TenantId b) const;
+
+    /** Cores on which tenant `t` has at least one thread. */
+    std::vector<int> coresOf(TenantId t) const;
+
+    /**
+     * The tenant sharing physical core `core` with `self` (the other
+     * hyperthread's owner), or kNoTenant when the sibling slots are free
+     * or also owned by `self`.
+     */
+    TenantId siblingOn(int core, TenantId self) const;
+
+    /** Tenant occupying a (core, thread) slot, or kNoTenant. */
+    TenantId slotOwner(int core, int thread) const;
+
+  private:
+    bool placePacked(const Tenant& tenant);
+    bool placeIsolated(const Tenant& tenant);
+
+    size_t id_;
+    int cores_;
+    int threadsPerCore_;
+    std::vector<TenantId> slots_; ///< slots_[core * tpc + thread].
+    std::vector<Tenant> tenants_;
+};
+
+} // namespace sim
+} // namespace bolt
+
+#endif // BOLT_SIM_SERVER_H

@@ -1,0 +1,179 @@
+#include "app.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace bolt {
+namespace workloads {
+
+double
+LoadPattern::factor(double t) const
+{
+    switch (kind) {
+      case Kind::Constant:
+        return level;
+      case Kind::Diurnal: {
+        double omega = 2.0 * std::numbers::pi / periodSec;
+        double s = 0.5 * (1.0 + std::sin(omega * (t + phase)));
+        return floor + (level - floor) * s;
+      }
+      case Kind::Bursty: {
+        double pos = std::fmod(t + phase, periodSec);
+        if (pos < 0)
+            pos += periodSec;
+        return pos < duty * periodSec ? level : floor;
+      }
+      case Kind::Idle:
+        return level;
+    }
+    return level;
+}
+
+LoadPattern
+LoadPattern::constant(double level)
+{
+    LoadPattern p;
+    p.kind = Kind::Constant;
+    p.level = level;
+    return p;
+}
+
+LoadPattern
+LoadPattern::diurnal(double level, double floor, double period_sec,
+                     double phase)
+{
+    LoadPattern p;
+    p.kind = Kind::Diurnal;
+    p.level = level;
+    p.floor = floor;
+    p.periodSec = period_sec;
+    p.phase = phase;
+    return p;
+}
+
+LoadPattern
+LoadPattern::bursty(double level, double floor, double period_sec,
+                    double duty, double phase)
+{
+    LoadPattern p;
+    p.kind = Kind::Bursty;
+    p.level = level;
+    p.floor = floor;
+    p.periodSec = period_sec;
+    p.duty = duty;
+    p.phase = phase;
+    return p;
+}
+
+LoadPattern
+LoadPattern::idle(double level)
+{
+    LoadPattern p;
+    p.kind = Kind::Idle;
+    p.level = level;
+    return p;
+}
+
+std::string
+AppSpec::label() const
+{
+    return family + ":" + variant + ":" + dataset;
+}
+
+std::string
+AppSpec::classLabel() const
+{
+    return family + ":" + variant;
+}
+
+AppInstance::AppInstance(AppSpec spec, util::Rng rng)
+    : spec_(std::move(spec)), rng_(rng)
+{
+}
+
+namespace {
+
+/** Capacity resources hold their footprint regardless of request load. */
+bool
+loadInvariant(sim::Resource r)
+{
+    return r == sim::Resource::MemCap || r == sim::Resource::DiskCap;
+}
+
+} // namespace
+
+sim::ResourceVector
+scaledPressure(const sim::ResourceVector& base, double load)
+{
+    sim::ResourceVector out;
+    for (sim::Resource r : sim::kAllResources) {
+        double scale = loadInvariant(r) ? std::max(load, 0.85) : load;
+        out[r] = base[r] * scale;
+    }
+    return out.clamped();
+}
+
+sim::ResourceVector
+AppInstance::meanPressureAt(double t) const
+{
+    return scaledPressure(spec_.base, spec_.pattern.factor(t));
+}
+
+sim::ResourceVector
+AppInstance::pressureAt(double t)
+{
+    sim::ResourceVector mean = meanPressureAt(t);
+    sim::ResourceVector out;
+    for (sim::Resource r : sim::kAllResources) {
+        double jitter = rng_.gaussian(0.0, spec_.spread[r]);
+        double value = mean[r] + jitter;
+        if (spec_.obfuscation > 0.0) {
+            // Deliberate pattern scrambling: each draw re-scales the
+            // resource by a random factor in [1-A, 1+A]; padding work
+            // (factor > 1) burns real capacity, throttling (< 1) costs
+            // throughput — either way the fingerprint blurs.
+            value *= 1.0 + rng_.uniform(-spec_.obfuscation,
+                                        spec_.obfuscation);
+        }
+        out[r] = value;
+    }
+    return out.clamped();
+}
+
+double
+AppInstance::obfuscationSlowdown() const
+{
+    // Scrambling costs performance: padding and throttling average out
+    // to roughly half the amplitude in lost useful throughput.
+    return 1.0 + 0.5 * spec_.obfuscation;
+}
+
+double
+AppInstance::p99LatencyMs(double slowdown) const
+{
+    double s = std::max(1.0, slowdown);
+    // Queueing amplifies slowdown into the tail; client timeouts and
+    // load-shedding bound how far the measured p99 can grow.
+    double mult =
+        std::min(std::pow(s, kTailAmplification), kTailSaturation);
+    return spec_.nominalP99Ms * mult;
+}
+
+double
+AppInstance::meanLatencyMs(double slowdown) const
+{
+    double s = std::max(1.0, slowdown);
+    // Mean latency tracks slowdown roughly linearly with a mild
+    // queueing knee.
+    return spec_.nominalP99Ms * 0.25 * s * (1.0 + 0.2 * (s - 1.0));
+}
+
+double
+AppInstance::throughputFactor(double slowdown)
+{
+    return 1.0 / std::max(1.0, slowdown);
+}
+
+} // namespace workloads
+} // namespace bolt

@@ -1,0 +1,433 @@
+#include "catalog.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bolt {
+namespace workloads {
+
+namespace {
+
+using sim::Resource;
+using sim::ResourceVector;
+
+/**
+ * Shorthand profile builder in the fixed resource order:
+ * L1-i, L1-d, L2, CPU, LLC, MemCap, MemBw, NetBw, DiskCap, DiskBw.
+ */
+ResourceVector
+rv(double l1i, double l1d, double l2, double cpu, double llc, double memc,
+   double membw, double netbw, double diskc, double diskbw)
+{
+    return ResourceVector(std::array<double, sim::kNumResources>{
+        l1i, l1d, l2, cpu, llc, memc, membw, netbw, diskc, diskbw});
+}
+
+FamilyDef
+make(std::string name, std::vector<VariantDef> variants, bool interactive,
+     LoadPattern::Kind pattern, bool in_training, int min_v, int max_v,
+     double p99, double weight, std::string table1 = "")
+{
+    FamilyDef f;
+    f.name = std::move(name);
+    f.variants = std::move(variants);
+    f.interactive = interactive;
+    f.pattern = pattern;
+    f.inTraining = in_training;
+    f.minVcpus = min_v;
+    f.maxVcpus = max_v;
+    f.nominalP99Ms = p99;
+    f.userStudyWeight = weight;
+    f.table1Class = std::move(table1);
+    return f;
+}
+
+using K = LoadPattern::Kind;
+
+std::vector<FamilyDef>
+buildCatalog()
+{
+    std::vector<FamilyDef> c;
+
+    // ---- Server-side frameworks and services (training space) ----
+    c.push_back(make(
+        "hadoop",
+        {
+            {"wordcount", rv(35, 40, 30, 55, 35, 45, 35, 35, 55, 65)},
+            {"svm", rv(45, 50, 35, 70, 50, 60, 50, 40, 60, 60)},
+            {"recommender", rv(40, 55, 40, 70, 55, 80, 65, 55, 80, 70)},
+            {"kmeans", rv(38, 48, 32, 72, 42, 50, 55, 35, 50, 48)},
+            {"pagerank", rv(42, 52, 38, 60, 55, 65, 60, 50, 65, 58)},
+            {"sort", rv(30, 38, 28, 45, 40, 50, 45, 55, 75, 80)},
+        },
+        false, K::Constant, true, 2, 8, 0, 28, "Hadoop"));
+
+    c.push_back(make(
+        "spark",
+        {
+            {"kmeans", rv(45, 55, 40, 70, 65, 80, 85, 45, 15, 10)},
+            {"pagerank", rv(48, 58, 45, 65, 70, 85, 80, 55, 20, 15)},
+            {"logreg", rv(50, 60, 42, 75, 60, 75, 75, 40, 10, 8)},
+            {"sql", rv(55, 50, 40, 60, 55, 70, 60, 50, 30, 25)},
+            {"streaming", rv(50, 45, 35, 55, 50, 60, 55, 70, 10, 10)},
+        },
+        false, K::Constant, true, 2, 8, 0, 26, "Spark"));
+
+    c.push_back(make(
+        "memcached",
+        {
+            {"rd-heavy", rv(85, 58, 28, 42, 78, 68, 38, 68, 0, 0)},
+            {"wr-heavy", rv(78, 66, 38, 58, 66, 76, 55, 58, 0, 0)},
+            {"mixed", rv(82, 62, 33, 50, 72, 72, 46, 63, 0, 0)},
+        },
+        true, K::Diurnal, true, 1, 4, 0.5, 22, "memcached"));
+
+    c.push_back(make(
+        "http server",
+        {
+            {"apache", rv(80, 50, 35, 55, 55, 30, 30, 75, 10, 15)},
+            {"nginx", rv(75, 45, 30, 45, 50, 25, 25, 80, 8, 10)},
+        },
+        true, K::Diurnal, true, 1, 4, 5.0, 14));
+
+    c.push_back(make(
+        "speccpu",
+        {
+            {"mcf", rv(30, 55, 45, 60, 70, 45, 75, 0, 0, 0)},
+            {"libquantum", rv(25, 50, 40, 55, 45, 35, 90, 0, 0, 0)},
+            {"gcc", rv(60, 50, 40, 65, 45, 35, 35, 0, 5, 8)},
+            {"lbm", rv(20, 55, 45, 60, 55, 50, 85, 0, 0, 0)},
+            {"omnetpp", rv(45, 55, 50, 55, 65, 55, 60, 0, 0, 0)},
+            {"bzip2", rv(35, 50, 35, 70, 40, 35, 45, 0, 5, 10)},
+            {"gobmk", rv(55, 45, 30, 75, 35, 25, 25, 0, 0, 0)},
+            {"soplex", rv(35, 55, 45, 60, 60, 50, 70, 0, 0, 0)},
+        },
+        false, K::Constant, true, 1, 2, 0, 24, "speccpu2006"));
+
+    c.push_back(make(
+        "cassandra",
+        {
+            {"read", rv(70, 55, 40, 50, 60, 65, 45, 55, 55, 50)},
+            {"write", rv(62, 58, 45, 55, 55, 70, 55, 50, 65, 65)},
+            {"scan", rv(58, 60, 48, 55, 65, 72, 60, 45, 75, 72)},
+        },
+        true, K::Diurnal, true, 2, 6, 10.0, 10, "Cassandra"));
+
+    c.push_back(make(
+        "mysql",
+        {{"oltp", rv(60, 50, 40, 50, 55, 60, 45, 50, 45, 40)}},
+        true, K::Diurnal, true, 1, 4, 32.6, 9));
+    c.push_back(make(
+        "postgres",
+        {{"oltp", rv(58, 52, 42, 52, 58, 62, 48, 48, 50, 45)}},
+        true, K::Diurnal, true, 1, 4, 9.0, 6));
+    c.push_back(make(
+        "mongoDB",
+        {{"document", rv(58, 50, 38, 48, 55, 70, 50, 52, 55, 48)}},
+        true, K::Diurnal, true, 1, 4, 9.0, 6));
+    c.push_back(make(
+        "storm",
+        {{"stream", rv(50, 48, 38, 60, 52, 55, 50, 70, 15, 15)}},
+        false, K::Constant, true, 2, 6, 0, 4));
+    c.push_back(make(
+        "graphX",
+        {{"graph", rv(45, 55, 42, 65, 68, 82, 78, 50, 18, 15)}},
+        false, K::Constant, true, 2, 8, 0, 3));
+    c.push_back(make(
+        "MLPython",
+        {{"train", rv(40, 55, 35, 80, 50, 65, 60, 10, 15, 12)}},
+        false, K::Constant, true, 1, 6, 0, 8));
+    c.push_back(make(
+        "minebench",
+        {{"datamining", rv(40, 55, 40, 75, 55, 60, 60, 5, 20, 25)}},
+        false, K::Constant, true, 1, 4, 0, 4));
+    c.push_back(make(
+        "parsec",
+        {{"multithread", rv(45, 60, 45, 85, 55, 50, 55, 5, 5, 5)}},
+        false, K::Constant, true, 2, 8, 0, 9));
+    c.push_back(make(
+        "matlab",
+        {{"numeric", rv(40, 50, 35, 75, 45, 55, 45, 5, 10, 10)}},
+        false, K::Constant, true, 1, 4, 0, 7));
+    c.push_back(make(
+        "cpu burn",
+        {{"burn", rv(20, 15, 10, 98, 15, 8, 10, 0, 0, 0)}},
+        false, K::Constant, true, 1, 2, 0, 4));
+    c.push_back(make(
+        "php",
+        {{"webapp", rv(65, 45, 30, 55, 45, 35, 30, 55, 10, 10)}},
+        true, K::Diurnal, true, 1, 2, 12.0, 4));
+    c.push_back(make(
+        "html",
+        {{"static", rv(50, 35, 22, 30, 30, 20, 18, 60, 8, 10)}},
+        true, K::Diurnal, true, 1, 2, 3.0, 4));
+    c.push_back(make(
+        "zipkin",
+        {{"tracing", rv(45, 40, 30, 40, 40, 45, 35, 55, 30, 30)}},
+        false, K::Constant, true, 1, 2, 0, 2));
+    c.push_back(make(
+        "sirius",
+        {{"assistant", rv(60, 55, 40, 75, 60, 65, 55, 45, 15, 12)}},
+        true, K::Bursty, true, 2, 4, 50.0, 2));
+    c.push_back(make(
+        "ix",
+        {{"dataplane", rv(70, 50, 32, 60, 55, 35, 35, 85, 2, 2)}},
+        true, K::Diurnal, true, 2, 4, 0.3, 2));
+
+    // ---- Scientific / engineering compute (training space) ----
+    c.push_back(make(
+        "zsim",
+        {{"simulation", rv(55, 60, 50, 92, 60, 65, 55, 5, 10, 8)}},
+        false, K::Constant, true, 1, 8, 0, 6));
+    c.push_back(make(
+        "cadence",
+        {{"synthesis", rv(50, 55, 45, 90, 55, 70, 45, 5, 20, 15)}},
+        false, K::Constant, true, 2, 8, 0, 5));
+    c.push_back(make(
+        "vivado",
+        {{"hls", rv(50, 55, 48, 88, 58, 75, 50, 5, 25, 20)}},
+        false, K::Constant, true, 2, 8, 0, 4));
+    c.push_back(make(
+        "n-body sim",
+        {{"nbody", rv(30, 55, 45, 90, 50, 45, 60, 5, 2, 2)}},
+        false, K::Constant, true, 2, 8, 0, 3));
+    c.push_back(make(
+        "bioparallel",
+        {{"bio", rv(40, 55, 42, 82, 55, 60, 55, 5, 15, 15)}},
+        false, K::Constant, true, 2, 8, 0, 3));
+
+    // ---- Build / developer tooling ----
+    c.push_back(make(
+        "make",
+        {{"compile", rv(65, 45, 35, 70, 35, 35, 30, 5, 30, 40)}},
+        false, K::Constant, true, 1, 8, 0, 7));
+    c.push_back(make(
+        "scons",
+        {{"compile", rv(60, 42, 32, 68, 32, 35, 28, 5, 28, 38)}},
+        false, K::Constant, true, 1, 4, 0, 2));
+    c.push_back(make(
+        "scala",
+        {{"sbt", rv(55, 45, 35, 65, 40, 45, 35, 10, 15, 20)}},
+        false, K::Constant, false, 1, 4, 0, 3));
+    c.push_back(make(
+        "javascript",
+        {{"node", rv(55, 40, 28, 50, 40, 40, 30, 45, 8, 8)}},
+        true, K::Bursty, false, 1, 2, 15.0, 3));
+    c.push_back(make(
+        "oProfile",
+        {{"profiling", rv(40, 35, 25, 50, 30, 25, 25, 5, 20, 25)}},
+        false, K::Constant, false, 1, 2, 0, 2));
+
+    // ---- Streaming / network-bound ----
+    c.push_back(make(
+        "musicStream",
+        {{"stream", rv(25, 25, 15, 30, 20, 20, 20, 65, 5, 8)}},
+        true, K::Diurnal, false, 1, 2, 20.0, 4));
+    c.push_back(make(
+        "video",
+        {{"stream", rv(30, 35, 20, 40, 30, 25, 25, 75, 5, 10)}},
+        true, K::Diurnal, false, 1, 2, 25.0, 6));
+    c.push_back(make(
+        "dwnld LF",
+        {{"download", rv(10, 15, 8, 15, 12, 15, 25, 85, 55, 60)}},
+        false, K::Constant, false, 1, 1, 0, 2));
+    c.push_back(make(
+        "rsync",
+        {{"sync", rv(15, 20, 12, 25, 15, 15, 25, 70, 50, 60)}},
+        false, K::Constant, false, 1, 1, 0, 2));
+    c.push_back(make(
+        "skype",
+        {{"call", rv(30, 28, 16, 35, 22, 25, 20, 55, 3, 5)}},
+        true, K::Bursty, false, 1, 2, 40.0, 2));
+    c.push_back(make(
+        "ping",
+        {{"ping", rv(8, 8, 4, 6, 4, 5, 3, 15, 0, 0)}},
+        false, K::Idle, false, 1, 1, 0, 2));
+    c.push_back(make(
+        "ssh",
+        {{"session", rv(12, 10, 6, 10, 6, 8, 5, 12, 3, 3)}},
+        false, K::Idle, false, 1, 1, 0, 2));
+
+    // ---- Interactive desktop sessions (outside training space) ----
+    c.push_back(make(
+        "email",
+        {{"client", rv(15, 12, 8, 10, 8, 12, 5, 8, 5, 3)}},
+        false, K::Idle, false, 1, 1, 0, 5));
+    c.push_back(make(
+        "browser",
+        {{"session", rv(45, 30, 20, 25, 20, 30, 15, 25, 5, 5)}},
+        false, K::Bursty, false, 1, 2, 0, 6));
+    c.push_back(make(
+        "latex",
+        {{"build", rv(35, 25, 15, 30, 15, 15, 10, 2, 10, 15)}},
+        false, K::Bursty, false, 1, 1, 0, 4));
+    c.push_back(make(
+        "vim",
+        {{"editing", rv(12, 10, 6, 8, 5, 8, 3, 2, 5, 5)}},
+        false, K::Idle, false, 1, 1, 0, 4));
+    c.push_back(make(
+        "ppt",
+        {{"slides", rv(20, 18, 10, 15, 10, 15, 8, 3, 8, 8)}},
+        false, K::Idle, false, 1, 1, 0, 2));
+    c.push_back(make(
+        "pdfview",
+        {{"viewing", rv(18, 15, 8, 12, 8, 12, 5, 2, 8, 5)}},
+        false, K::Idle, false, 1, 1, 0, 2));
+    c.push_back(make(
+        "photoshop",
+        {{"editing", rv(40, 45, 28, 55, 40, 55, 45, 3, 20, 18)}},
+        false, K::Bursty, false, 1, 2, 0, 2));
+    c.push_back(make(
+        "audacity",
+        {{"audio", rv(30, 30, 18, 45, 25, 30, 25, 3, 15, 20)}},
+        false, K::Bursty, false, 1, 2, 0, 2));
+
+    // ---- Administrative / filesystem chores ----
+    c.push_back(make(
+        "OS img",
+        {{"imgbuild", rv(35, 35, 25, 45, 30, 35, 35, 20, 70, 75)}},
+        false, K::Constant, false, 1, 2, 0, 2));
+    c.push_back(make(
+        "create VMs",
+        {{"provision", rv(30, 30, 20, 40, 28, 50, 35, 25, 45, 50)}},
+        false, K::Constant, false, 1, 2, 0, 2));
+    c.push_back(make(
+        "du -h",
+        {{"scan", rv(15, 20, 10, 20, 12, 10, 15, 2, 35, 55)}},
+        false, K::Constant, false, 1, 1, 0, 2));
+    c.push_back(make(
+        "cp/mv",
+        {{"copy", rv(12, 18, 10, 18, 10, 10, 20, 2, 50, 70)}},
+        false, K::Constant, false, 1, 1, 0, 2));
+    c.push_back(make(
+        "mkdir",
+        {{"touch", rv(8, 10, 5, 10, 5, 5, 3, 1, 15, 20)}},
+        false, K::Idle, false, 1, 1, 0, 1));
+    c.push_back(make(
+        "rm",
+        {{"delete", rv(8, 12, 6, 12, 6, 5, 5, 1, 20, 35)}},
+        false, K::Idle, false, 1, 1, 0, 1));
+    c.push_back(make(
+        "cr/del cgroup",
+        {{"cgroup", rv(20, 15, 8, 15, 8, 8, 5, 2, 5, 10)}},
+        false, K::Idle, false, 1, 1, 0, 1));
+
+    return c;
+}
+
+} // namespace
+
+const std::vector<FamilyDef>&
+catalog()
+{
+    static const std::vector<FamilyDef> instance = buildCatalog();
+    return instance;
+}
+
+const FamilyDef*
+findFamily(const std::string& name)
+{
+    for (const auto& f : catalog())
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+const std::vector<std::string>&
+controlledExperimentFamilies()
+{
+    static const std::vector<std::string> names = {
+        "hadoop", "spark", "memcached", "cassandra",
+        "speccpu", "http server", "mysql", "mongoDB",
+    };
+    return names;
+}
+
+sim::ResourceVector
+deriveSensitivity(const sim::ResourceVector& base, bool interactive)
+{
+    sim::ResourceVector s;
+    for (sim::Resource r : sim::kAllResources) {
+        double v = std::clamp(base[r] / 95.0, 0.0, 1.0);
+        if (interactive &&
+            (r == sim::Resource::LLC || r == sim::Resource::L1I)) {
+            // A latency-critical service's tail lives in on-chip hit
+            // rates even when its average pressure there is moderate.
+            v = std::min(1.0, v * 1.25 + 0.05);
+        }
+        s[r] = v;
+    }
+    return s;
+}
+
+AppSpec
+instantiate(const FamilyDef& family, const VariantDef& variant,
+            const std::string& dataset, util::Rng& rng)
+{
+    AppSpec spec;
+    spec.family = family.name;
+    spec.variant = variant.name;
+    spec.dataset = dataset;
+    spec.interactive = family.interactive;
+    spec.nominalP99Ms = family.nominalP99Ms;
+    spec.labeledInTraining = family.inTraining;
+    spec.vcpus = static_cast<int>(
+        rng.uniformInt(family.minVcpus, family.maxVcpus));
+
+    // Dataset scale stretches footprint-like resources: caches, memory,
+    // and storage. Compute intensity is dataset-invariant to first order.
+    double scale = 1.0;
+    if (dataset == "S")
+        scale = 0.90;
+    else if (dataset == "L")
+        scale = 1.10;
+    spec.base = variant.base;
+    for (sim::Resource r :
+         {sim::Resource::L2, sim::Resource::LLC, sim::Resource::MemCap,
+          sim::Resource::MemBw, sim::Resource::DiskCap,
+          sim::Resource::DiskBw}) {
+        spec.base[r] *= scale;
+    }
+    spec.base = spec.base.clamped();
+
+    // Per-instance profile spread: the within-class variation the
+    // recommender must see through (different inputs, versions, tuning).
+    for (sim::Resource r : sim::kAllResources)
+        spec.spread[r] = 2.0 + 0.02 * spec.base[r];
+
+    // Load pattern: draw level and phase so no two instances align.
+    double level = rng.uniform(0.75, 1.0);
+    switch (family.pattern) {
+      case LoadPattern::Kind::Constant:
+        spec.pattern = LoadPattern::constant(level);
+        break;
+      case LoadPattern::Kind::Diurnal:
+        spec.pattern = LoadPattern::diurnal(
+            level, rng.uniform(0.4, 0.6), rng.uniform(180.0, 420.0),
+            rng.uniform(0.0, 400.0));
+        break;
+      case LoadPattern::Kind::Bursty:
+        spec.pattern = LoadPattern::bursty(
+            level, rng.uniform(0.05, 0.2), rng.uniform(20.0, 80.0),
+            rng.uniform(0.3, 0.7), rng.uniform(0.0, 80.0));
+        break;
+      case LoadPattern::Kind::Idle:
+        spec.pattern = LoadPattern::idle(rng.uniform(0.08, 0.25));
+        break;
+    }
+
+    spec.sensitivity = deriveSensitivity(spec.base, spec.interactive);
+    return spec;
+}
+
+AppSpec
+randomSpec(const FamilyDef& family, util::Rng& rng)
+{
+    const VariantDef& variant =
+        family.variants[rng.index(family.variants.size())];
+    static const std::vector<std::string> datasets = {"S", "M", "L"};
+    return instantiate(family, variant, rng.pick(datasets), rng);
+}
+
+} // namespace workloads
+} // namespace bolt

@@ -1,0 +1,84 @@
+#ifndef BOLT_WORKLOADS_CATALOG_H
+#define BOLT_WORKLOADS_CATALOG_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/app.h"
+
+namespace bolt {
+namespace workloads {
+
+/**
+ * One algorithm / load-mix variant within an application family.
+ * `base` is the mean pressure profile at full load and medium dataset.
+ */
+struct VariantDef
+{
+    std::string name;
+    sim::ResourceVector base;
+};
+
+/**
+ * An application family from the paper's user study (Figure 11 lists 53
+ * labels: hadoop, spark, email, browser, cadence, zsim, ... ix).
+ *
+ * Families flagged `inTraining` belong to the space covered by the
+ * 120-app training set ("webservers, various analytics algorithms and
+ * datasets, and several key-value stores and databases", Section 3.4);
+ * Bolt can label those. Desktop/interactive-session tools (email,
+ * browsers, image editing, ...) are not in the training space — Bolt can
+ * still recover their resource characteristics but not their name
+ * (Section 4, Figure 12a vs 12b).
+ */
+struct FamilyDef
+{
+    std::string name;
+    std::vector<VariantDef> variants;
+    bool interactive = false; ///< Latency-critical service.
+    LoadPattern::Kind pattern = LoadPattern::Kind::Constant;
+    bool inTraining = true;
+    int minVcpus = 1;
+    int maxVcpus = 4;
+    double nominalP99Ms = 1.0;  ///< Unloaded tail latency if interactive.
+    double userStudyWeight = 1; ///< Relative occurrence in Figure 11.
+    /**
+     * Table 1 accuracy-report class ("memcached", "Hadoop", "Spark",
+     * "Cassandra", "speccpu2006") or empty when not broken out.
+     */
+    std::string table1Class;
+};
+
+/** The full 53-family catalog, index-stable across calls. */
+const std::vector<FamilyDef>& catalog();
+
+/** Lookup by family name; nullptr when unknown. */
+const FamilyDef* findFamily(const std::string& name);
+
+/** Families making up the controlled experiment's victim mix (§3.4). */
+const std::vector<std::string>& controlledExperimentFamilies();
+
+/**
+ * Derive the slowdown-sensitivity vector from a pressure profile: a job
+ * is sensitive to a resource roughly in proportion to how hard it uses
+ * it; interactive services are additionally cache-sensitive (their tail
+ * lives in on-chip hit rates).
+ */
+sim::ResourceVector deriveSensitivity(const sim::ResourceVector& base,
+                                      bool interactive);
+
+/**
+ * Build a concrete AppSpec from a family/variant: applies the dataset
+ * scale ("S" 0.75x, "M" 1.0x, "L" 1.25x on footprint-like resources),
+ * draws a load level and pattern phase, and derives sensitivity.
+ */
+AppSpec instantiate(const FamilyDef& family, const VariantDef& variant,
+                    const std::string& dataset, util::Rng& rng);
+
+/** Random variant + dataset from a family. */
+AppSpec randomSpec(const FamilyDef& family, util::Rng& rng);
+
+} // namespace workloads
+} // namespace bolt
+
+#endif // BOLT_WORKLOADS_CATALOG_H

@@ -1,0 +1,189 @@
+#include "generators.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bolt {
+namespace workloads {
+
+namespace {
+
+/** Families eligible for the training set (the paper's training space). */
+std::vector<const FamilyDef*>
+trainingFamilies()
+{
+    std::vector<const FamilyDef*> out;
+    for (const auto& f : catalog())
+        if (f.inTraining)
+            out.push_back(&f);
+    return out;
+}
+
+} // namespace
+
+std::vector<AppSpec>
+trainingSet(util::Rng& rng, size_t count)
+{
+    util::Rng stream = rng.substream("training-set");
+    auto families = trainingFamilies();
+    if (families.empty())
+        throw std::logic_error("trainingSet: no training families");
+
+    std::vector<AppSpec> out;
+    out.reserve(count);
+    // First pass: cover every (family, variant) pair at two input-load
+    // levels so the training matrix spans the space (Figure 4) ...
+    for (double level : {0.9, 0.5}) {
+        for (const FamilyDef* f : families) {
+            for (const auto& v : f->variants) {
+                if (out.size() >= count)
+                    break;
+                AppSpec spec = instantiate(*f, v, "M", stream);
+                spec.pattern = LoadPattern::constant(
+                    level + stream.uniform(-0.05, 0.05));
+                out.push_back(std::move(spec));
+            }
+        }
+    }
+    // ... then fill with varied datasets and *input load levels*: the
+    // paper's training set spans input load patterns, which is what lets
+    // the recommender match a service observed off-peak.
+    static const std::vector<std::string> datasets = {"S", "M", "L"};
+    size_t i = 0;
+    while (out.size() < count) {
+        const FamilyDef* f = families[i % families.size()];
+        const auto& v = f->variants[stream.index(f->variants.size())];
+        AppSpec spec = instantiate(*f, v, stream.pick(datasets), stream);
+        spec.pattern = LoadPattern::constant(stream.uniform(0.25, 1.0));
+        out.push_back(std::move(spec));
+        ++i;
+    }
+    out.resize(count);
+    return out;
+}
+
+std::vector<AppSpec>
+controlledTestSet(util::Rng& rng, size_t count)
+{
+    util::Rng stream = rng.substream("controlled-test-set");
+    std::vector<const FamilyDef*> families;
+    for (const auto& name : controlledExperimentFamilies()) {
+        const FamilyDef* f = findFamily(name);
+        if (!f)
+            throw std::logic_error("controlledTestSet: missing " + name);
+        families.push_back(f);
+    }
+
+    // Mix per Section 3.4: batch analytics and latency-critical services;
+    // weights roughly follow the dominant-resource counts of Figure 6b.
+    std::vector<double> weights = {0.20, 0.18, 0.17, 0.10,
+                                   0.15, 0.10, 0.06, 0.04};
+    std::vector<AppSpec> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        const FamilyDef* f = families[stream.weightedIndex(weights)];
+        AppSpec spec = randomSpec(*f, stream);
+        // Controlled-experiment victims are provisioned for peak and
+        // driven by steady load generators (§3.4); load-level diversity
+        // across instances comes from the drawn level, not from diurnal
+        // swings mid-experiment (those belong to the user study).
+        spec.pattern =
+            LoadPattern::constant(stream.uniform(0.75, 1.0));
+        out.push_back(std::move(spec));
+    }
+    return out;
+}
+
+std::vector<UserJob>
+userStudy(util::Rng& rng, size_t jobs, int users, double window_sec)
+{
+    util::Rng stream = rng.substream("user-study");
+    const auto& families = catalog();
+    std::vector<double> weights;
+    weights.reserve(families.size());
+    for (const auto& f : families)
+        weights.push_back(f.userStudyWeight);
+
+    // Each user has a preference skew: a couple of favorite families they
+    // submit repeatedly (visible as per-user color blocks in Figure 11).
+    std::vector<std::vector<double>> user_weights(
+        static_cast<size_t>(users), weights);
+    for (auto& w : user_weights) {
+        for (int k = 0; k < 3; ++k)
+            w[stream.index(w.size())] *= stream.uniform(2.0, 5.0);
+    }
+
+    std::vector<UserJob> out;
+    out.reserve(jobs);
+    for (size_t i = 0; i < jobs; ++i) {
+        UserJob job;
+        job.user = static_cast<int>(
+            stream.uniformInt(1, users));
+        const auto& w = user_weights[static_cast<size_t>(job.user - 1)];
+        const FamilyDef& fam = families[stream.weightedIndex(w)];
+        job.spec = randomSpec(fam, stream);
+        // Jobs arrive through the first ~80% of the window and run for
+        // minutes to the rest of the experiment.
+        job.submitSec = stream.uniform(0.0, window_sec * 0.8);
+        job.durationSec =
+            std::min(window_sec - job.submitSec,
+                     stream.uniform(300.0, window_sec * 0.6));
+        out.push_back(std::move(job));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const UserJob& a, const UserJob& b) {
+                  return a.submitSec < b.submitSec;
+              });
+    return out;
+}
+
+const AppSpec&
+PhasedVictim::at(double t) const
+{
+    if (phases.empty())
+        throw std::logic_error("PhasedVictim: empty");
+    auto idx = static_cast<size_t>(std::max(0.0, t) / phaseSec);
+    return phases[std::min(idx, phases.size() - 1)];
+}
+
+double
+PhasedVictim::totalSec() const
+{
+    return phaseSec * static_cast<double>(phases.size());
+}
+
+PhasedVictim
+phasedVictim(util::Rng& rng, double phase_sec)
+{
+    util::Rng stream = rng.substream("phased-victim");
+    PhasedVictim v;
+    v.phaseSec = phase_sec;
+
+    auto push = [&](const char* family, const char* variant,
+                    const char* dataset) {
+        const FamilyDef* f = findFamily(family);
+        if (!f)
+            throw std::logic_error("phasedVictim: missing family");
+        const VariantDef* var = nullptr;
+        for (const auto& cand : f->variants)
+            if (cand.name == variant)
+                var = &cand;
+        if (!var)
+            throw std::logic_error("phasedVictim: missing variant");
+        AppSpec spec = instantiate(*f, *var, dataset, stream);
+        spec.vcpus = 4; // the paper's 4-vCPU victim instance
+        v.phases.push_back(std::move(spec));
+    };
+
+    // SPEC -> Hadoop(SVM on Mahout) -> Spark -> memcached -> Cassandra,
+    // the exact sequence of Figure 8.
+    push("speccpu", "mcf", "M");
+    push("hadoop", "svm", "M");
+    push("spark", "kmeans", "L");
+    push("memcached", "rd-heavy", "M");
+    push("cassandra", "read", "M");
+    return v;
+}
+
+} // namespace workloads
+} // namespace bolt

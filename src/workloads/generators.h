@@ -1,0 +1,69 @@
+#ifndef BOLT_WORKLOADS_GENERATORS_H
+#define BOLT_WORKLOADS_GENERATORS_H
+
+#include <vector>
+
+#include "workloads/catalog.h"
+
+namespace bolt {
+namespace workloads {
+
+/**
+ * The 120-application training set of Section 3.4: webservers, analytics
+ * algorithms over varied datasets, key-value stores and databases,
+ * selected to cover the resource-characteristics space (Figure 4).
+ *
+ * Training draws use a dedicated RNG stream so there is no overlap with
+ * test instances in datasets or input loads, matching the paper's
+ * train/test separation.
+ */
+std::vector<AppSpec> trainingSet(util::Rng& rng, size_t count = 120);
+
+/**
+ * The 108 victim applications of the controlled experiment: batch
+ * analytics in Hadoop and Spark plus latency-critical services
+ * (webservers, memcached, Cassandra, databases) and SPEC workloads.
+ */
+std::vector<AppSpec> controlledTestSet(util::Rng& rng, size_t count = 108);
+
+/** One job submitted by a user in the EC2-style study. */
+struct UserJob
+{
+    int user = 0;       ///< 1..20.
+    AppSpec spec;       ///< What the user launched.
+    double submitSec = 0; ///< Submission time within the 4-hour window.
+    double durationSec = 0; ///< How long the job stays active.
+};
+
+/**
+ * The Section 4 user study: `users` users submit `jobs` applications of
+ * their preference over a `window_sec` window, mixing the full 53-label
+ * catalog with Figure 11's occurrence weights (server frameworks heavy,
+ * one-off desktop tools light).
+ */
+std::vector<UserJob> userStudy(util::Rng& rng, size_t jobs = 436,
+                               int users = 20,
+                               double window_sec = 4 * 3600.0);
+
+/**
+ * The Figure 8 victim: one 4-vCPU instance running consecutive jobs —
+ * SPEC (mcf), Hadoop (Mahout SVM), Spark, memcached, Cassandra — each
+ * for `phase_sec` seconds.
+ */
+struct PhasedVictim
+{
+    std::vector<AppSpec> phases;
+    double phaseSec = 80.0;
+
+    /** Spec active at time t (clamps to the last phase). */
+    const AppSpec& at(double t) const;
+    /** Total duration covered. */
+    double totalSec() const;
+};
+
+PhasedVictim phasedVictim(util::Rng& rng, double phase_sec = 80.0);
+
+} // namespace workloads
+} // namespace bolt
+
+#endif // BOLT_WORKLOADS_GENERATORS_H

@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Unit and property tests for the Bolt core: microbenchmarks, sparse
+ * observations, the training set, the hybrid recommender (analysis and
+ * additive decomposition), the profiler and the detector.
+ */
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/experiment.h"
+#include "sim/cluster.h"
+#include "workloads/generators.h"
+
+using namespace bolt;
+using namespace bolt::core;
+
+namespace {
+
+/** Shared fixture: a trained recommender (expensive, built once). */
+class TrainedFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        rng_ = new util::Rng(4242);
+        util::Rng tr = rng_->substream("train");
+        auto specs = workloads::trainingSet(tr);
+        training_ = new TrainingSet(TrainingSet::fromSpecs(specs, tr));
+        recommender_ = new HybridRecommender(*training_);
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete recommender_;
+        delete training_;
+        delete rng_;
+        recommender_ = nullptr;
+        training_ = nullptr;
+        rng_ = nullptr;
+    }
+
+    static util::Rng* rng_;
+    static TrainingSet* training_;
+    static HybridRecommender* recommender_;
+};
+
+util::Rng* TrainedFixture::rng_ = nullptr;
+TrainingSet* TrainedFixture::training_ = nullptr;
+HybridRecommender* TrainedFixture::recommender_ = nullptr;
+
+/** A one-host environment with the given victims and a 4-vCPU probe. */
+struct MiniHost
+{
+    sim::Cluster cluster{1};
+    sim::Tenant adversary;
+    std::vector<sim::TenantId> victims;
+    std::map<sim::TenantId, workloads::AppInstance> instances;
+    sim::ContentionModel contention{
+        sim::IsolationConfig::none(sim::Platform::VirtualMachine)};
+
+    explicit MiniHost(const std::vector<workloads::AppSpec>& specs,
+                      util::Rng rng)
+    {
+        adversary = {cluster.nextTenantId(), 4, true};
+        cluster.placeOn(0, adversary);
+        int i = 0;
+        for (const auto& spec : specs) {
+            sim::Tenant t{cluster.nextTenantId(), spec.vcpus, false};
+            cluster.placeOn(0, t);
+            victims.push_back(t.id);
+            instances.emplace(
+                t.id,
+                workloads::AppInstance(spec, rng.substream("v", i++)));
+        }
+    }
+
+    HostEnvironment
+    env()
+    {
+        HostEnvironment e;
+        e.server = &cluster.server(0);
+        e.adversary = adversary.id;
+        e.contention = &contention;
+        e.pressureAt = [this](double t) {
+            sim::PressureMap pm;
+            for (auto id : victims)
+                pm[id] = instances.at(id).pressureAt(t);
+            return pm;
+        };
+        return e;
+    }
+};
+
+workloads::AppSpec
+steadySpec(const char* family, const char* variant, util::Rng& rng,
+           double level = 0.9, int vcpus = 2)
+{
+    const auto* f = workloads::findFamily(family);
+    const workloads::VariantDef* v = &f->variants[0];
+    for (const auto& cand : f->variants)
+        if (cand.name == variant)
+            v = &cand;
+    auto spec = workloads::instantiate(*f, *v, "M", rng);
+    spec.pattern = workloads::LoadPattern::constant(level);
+    spec.vcpus = vcpus;
+    return spec;
+}
+
+} // namespace
+
+TEST(Microbenchmark, ReportsPressureAccuratelyWithoutNoise)
+{
+    Microbenchmark bench(sim::Resource::LLC);
+    util::Rng rng(1);
+    for (double pressure : {0.0, 20.0, 45.0, 80.0}) {
+        double ci = bench.measure(pressure, 0.0, rng);
+        EXPECT_NEAR(ci, pressure, Microbenchmark::kStepPercent + 1e-9)
+            << pressure;
+    }
+}
+
+TEST(Microbenchmark, MonotoneInPressure)
+{
+    Microbenchmark bench(sim::Resource::MemBw);
+    util::Rng rng(2);
+    double prev = -1.0;
+    for (double pressure = 0.0; pressure <= 100.0; pressure += 10.0) {
+        double ci = bench.measure(pressure, 0.0, rng);
+        EXPECT_GE(ci, prev - 1e-9);
+        prev = ci;
+    }
+}
+
+TEST(Microbenchmark, SmallVmCannotSeeLowPressure)
+{
+    // Fig. 10b: an adversarial VM below 4 vCPUs cannot generate enough
+    // contention; with half intensity, only pressure above ~50% shows.
+    Microbenchmark bench(sim::Resource::LLC);
+    util::Rng rng(3);
+    EXPECT_DOUBLE_EQ(bench.measure(30.0, 0.0, rng, 0.5), 0.0);
+    EXPECT_GT(bench.measure(80.0, 0.0, rng, 0.5), 0.0);
+}
+
+TEST(Microbenchmark, RampDuration)
+{
+    // Low pressure -> long ramp; high pressure -> quick detection.
+    EXPECT_GT(Microbenchmark::rampDurationSec(0.0),
+              Microbenchmark::rampDurationSec(90.0));
+    EXPECT_LE(Microbenchmark::rampDurationSec(0.0), 2.0);
+}
+
+TEST(Observation, BasicOps)
+{
+    SparseObservation obs;
+    EXPECT_EQ(obs.observedCount(), 0u);
+    obs.set(sim::Resource::LLC, 40.0);
+    obs.set(sim::Resource::NetBw, 20.0, SparseObservation::Bound::Upper);
+    EXPECT_EQ(obs.observedCount(), 2u);
+    EXPECT_EQ(obs.exactCount(), 1u);
+    EXPECT_TRUE(obs.isExact(sim::Resource::LLC));
+    EXPECT_FALSE(obs.isExact(sim::Resource::NetBw));
+    EXPECT_DOUBLE_EQ(obs.observedTotal(), 60.0);
+    obs.clear(sim::Resource::LLC);
+    EXPECT_FALSE(obs.has(sim::Resource::LLC));
+}
+
+TEST(Observation, CorePressureSeen)
+{
+    SparseObservation obs;
+    obs.set(sim::Resource::L1I, 0.0);
+    EXPECT_FALSE(obs.corePressureSeen());
+    obs.set(sim::Resource::L1D, 12.0);
+    EXPECT_TRUE(obs.corePressureSeen());
+}
+
+TEST(Observation, MinusAndMerge)
+{
+    SparseObservation obs;
+    obs.set(sim::Resource::LLC, 50.0);
+    obs.set(sim::Resource::MemBw, 10.0);
+    sim::ResourceVector peel;
+    peel[sim::Resource::LLC] = 30.0;
+    peel[sim::Resource::MemBw] = 40.0;
+    auto residual = obs.minus(peel);
+    EXPECT_DOUBLE_EQ(residual.get(sim::Resource::LLC), 20.0);
+    EXPECT_DOUBLE_EQ(residual.get(sim::Resource::MemBw), 0.0);
+
+    SparseObservation older;
+    older.set(sim::Resource::DiskBw, 33.0);
+    older.set(sim::Resource::LLC, 99.0); // must not override fresh
+    obs.mergeFrom(older);
+    EXPECT_DOUBLE_EQ(obs.get(sim::Resource::DiskBw), 33.0);
+    EXPECT_DOUBLE_EQ(obs.get(sim::Resource::LLC), 50.0);
+
+    auto exact = obs.allExact();
+    for (sim::Resource r : sim::kAllResources)
+        if (exact.has(r))
+            EXPECT_TRUE(exact.isExact(r));
+}
+
+TEST_F(TrainedFixture, TrainingSetWellFormed)
+{
+    EXPECT_EQ(training_->size(), 120u);
+    auto m = training_->matrix();
+    EXPECT_EQ(m.rows(), 120u);
+    EXPECT_EQ(m.cols(), sim::kNumResources);
+    EXPECT_FALSE(training_->classLabels().empty());
+    for (const auto& e : training_->entries()) {
+        EXPECT_GT(e.profiledLevel, 0.0);
+        for (sim::Resource r : sim::kAllResources) {
+            EXPECT_GE(e.profile[r], 0.0);
+            EXPECT_LE(e.profile[r], 100.0);
+        }
+    }
+}
+
+TEST_F(TrainedFixture, ResourceImportanceNormalized)
+{
+    auto importance = recommender_->resourceImportance();
+    EXPECT_NEAR(importance.total(), 1.0, 1e-9);
+    // The caches carry detection value (the paper's system insight):
+    // L1-i must rank above L2, which barely discriminates.
+    EXPECT_GT(importance[sim::Resource::L1I],
+              importance[sim::Resource::L2]);
+}
+
+TEST_F(TrainedFixture, ConceptsKeepNinetyPercentEnergy)
+{
+    size_t r = recommender_->conceptsKept();
+    const auto& s = recommender_->singularValues();
+    double total = 0.0, kept = 0.0;
+    for (size_t i = 0; i < s.size(); ++i) {
+        total += s[i] * s[i];
+        if (i < r)
+            kept += s[i] * s[i];
+    }
+    EXPECT_GE(kept / total, 0.90);
+    if (r > 1) {
+        double without = kept - s[r - 1] * s[r - 1];
+        EXPECT_LT(without / total, 0.90);
+    }
+}
+
+TEST_F(TrainedFixture, SelfProfileMatchesItsClass)
+{
+    // Feeding a training entry's own full profile must rank its class
+    // first with a decisive margin.
+    const auto& entry = training_->entry(5);
+    SparseObservation obs;
+    for (sim::Resource r : sim::kAllResources)
+        obs.set(r, entry.profile[r]);
+    auto result = recommender_->analyze(obs);
+    ASSERT_FALSE(result.ranking.empty());
+    EXPECT_EQ(training_->entry(result.ranking.front().first).classLabel(),
+              entry.classLabel());
+    EXPECT_GT(result.topScore(), 0.5);
+}
+
+TEST_F(TrainedFixture, ReconstructionTrustsExactCoordinates)
+{
+    SparseObservation obs;
+    obs.set(sim::Resource::LLC, 63.0);
+    obs.set(sim::Resource::NetBw, 55.0);
+    obs.set(sim::Resource::L1I, 72.0);
+    auto result = recommender_->analyze(obs);
+    EXPECT_DOUBLE_EQ(result.reconstructed[sim::Resource::LLC], 63.0);
+    EXPECT_DOUBLE_EQ(result.reconstructed[sim::Resource::NetBw], 55.0);
+    for (sim::Resource r : sim::kAllResources) {
+        EXPECT_GE(result.reconstructed[r], 0.0);
+        EXPECT_LE(result.reconstructed[r], 100.0);
+    }
+}
+
+TEST_F(TrainedFixture, DistributionNormalized)
+{
+    const auto& entry = training_->entry(20);
+    SparseObservation obs;
+    for (sim::Resource r : sim::kAllResources)
+        obs.set(r, entry.profile[r]);
+    auto result = recommender_->analyze(obs);
+    ASSERT_FALSE(result.distribution.empty());
+    double total = 0.0;
+    for (const auto& [label, share] : result.distribution) {
+        EXPECT_GT(share, 0.0);
+        total += share;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Distinct classes only.
+    for (size_t i = 0; i < result.distribution.size(); ++i)
+        for (size_t j = i + 1; j < result.distribution.size(); ++j)
+            EXPECT_NE(result.distribution[i].first,
+                      result.distribution[j].first);
+}
+
+TEST_F(TrainedFixture, DecomposeSingleTenantYieldsOnePart)
+{
+    const auto& entry = training_->entry(10);
+    SparseObservation obs;
+    for (sim::Resource r : sim::kAllResources)
+        obs.set(r, workloads::scaledPressure(entry.fullLoadBase, 0.8)[r]);
+    auto decomp = recommender_->decompose(obs, true, 3);
+    ASSERT_GE(decomp.parts.size(), 1u);
+    EXPECT_EQ(decomp.parts.size(), 1u);
+    EXPECT_EQ(training_->entry(decomp.parts[0].index).classLabel(),
+              entry.classLabel());
+    EXPECT_NEAR(decomp.parts[0].level, 0.8, 0.15);
+    EXPECT_GT(decomp.score, 0.3);
+}
+
+TEST_F(TrainedFixture, DecomposeSeparatesTwoTenants)
+{
+    // Aggregate uncore = sum of two apps; core coords from one of them.
+    // memcached (zero disk, cache-heavy) plus hadoop:sort (disk-heavy)
+    // are far apart in profile space, so the decomposition must find
+    // both families; the confusable neighbors (e.g. spark vs graphX)
+    // are covered by the statistical integration tests instead.
+    const TrainingSet::Entry* mem = nullptr;
+    const TrainingSet::Entry* sort = nullptr;
+    for (const auto& e : training_->entries()) {
+        if (!mem && e.family == "memcached" && e.profiledLevel > 0.7)
+            mem = &e;
+        if (!sort && e.classLabel() == "hadoop:sort" &&
+            e.profiledLevel > 0.7)
+            sort = &e;
+    }
+    ASSERT_NE(mem, nullptr);
+    ASSERT_NE(sort, nullptr);
+
+    SparseObservation obs;
+    for (sim::Resource r : sim::kAllResources) {
+        if (sim::isCoreResource(r)) {
+            obs.set(r, mem->profile[r]); // sibling channel: memcached
+        } else {
+            obs.set(r, std::min(100.0,
+                                mem->profile[r] + sort->profile[r]));
+        }
+    }
+    auto decomp = recommender_->decompose(obs, true, 3);
+    ASSERT_GE(decomp.parts.size(), 2u);
+    std::set<std::string> families;
+    for (const auto& p : decomp.parts)
+        families.insert(training_->entry(p.index).family);
+    EXPECT_TRUE(families.count("memcached"));
+    EXPECT_TRUE(families.count("hadoop"));
+}
+
+TEST_F(TrainedFixture, ProfilerRoundShape)
+{
+    util::Rng rng(77);
+    auto spec = steadySpec("memcached", "rd-heavy", rng, 0.9, 2);
+    MiniHost host({spec}, rng.substream("host"));
+    Profiler profiler;
+    auto env = host.env();
+    auto round = profiler.profile(env, 0.0, rng);
+    // Default round: one core probe + one uncore (+1 extra when the
+    // core reads zero).
+    EXPECT_GE(round.benchmarksRun, 2);
+    EXPECT_LE(round.benchmarksRun, 3);
+    EXPECT_GE(round.observation.observedCount(), 2u);
+    EXPECT_GT(round.durationSec, 0.5);
+    EXPECT_LT(round.durationSec, 6.0);
+    EXPECT_GE(round.focusCore, 0);
+}
+
+TEST_F(TrainedFixture, ProfilerShutterReturnsUncoreOnly)
+{
+    util::Rng rng(78);
+    auto spec = steadySpec("mysql", "oltp", rng, 0.8, 2);
+    MiniHost host({spec}, rng.substream("host"));
+    Profiler profiler;
+    auto env = host.env();
+    auto round = profiler.shutterProfile(env, 0.0, rng);
+    for (sim::Resource r : sim::kCoreResources)
+        EXPECT_FALSE(round.observation.has(r));
+    for (sim::Resource r : sim::kUncoreResources)
+        EXPECT_TRUE(round.observation.has(r));
+    EXPECT_LT(round.durationSec, 2.0);
+}
+
+TEST_F(TrainedFixture, EnvironmentHelpers)
+{
+    util::Rng rng(79);
+    auto spec = steadySpec("cassandra", "read", rng, 0.9, 3);
+    MiniHost host({spec}, rng.substream("host"));
+    auto env = host.env();
+    EXPECT_EQ(env.coResidentCount(), 1u);
+    EXPECT_EQ(env.adversaryCores().size(), 4u);
+    auto ext = env.visibleExternal(1.0);
+    EXPECT_GT(ext.total(), 0.0);
+}
+
+TEST_F(TrainedFixture, DetectorIdentifiesSteadySingleVictim)
+{
+    util::Rng rng(80);
+    auto spec = steadySpec("spark", "kmeans", rng, 0.9, 4);
+    MiniHost host({spec}, rng.substream("host"));
+    Detector detector(*recommender_);
+    auto env = host.env();
+    util::Rng drng = rng.substream("detect");
+    bool found = false;
+    auto rounds = detector.detectIteratively(
+        env, 0.0, drng, [&](const DetectionRound& r) {
+            found = found || r.detected(spec.classLabel());
+            return found;
+        });
+    EXPECT_TRUE(found) << "victim " << spec.classLabel()
+                       << " not identified in " << rounds.size()
+                       << " rounds";
+}
+
+TEST_F(TrainedFixture, DetectorReportsResourceCharacteristics)
+{
+    util::Rng rng(81);
+    auto spec = steadySpec("memcached", "rd-heavy", rng, 0.9, 2);
+    MiniHost host({spec}, rng.substream("host"));
+    Detector detector(*recommender_);
+    auto env = host.env();
+    util::Rng drng = rng.substream("detect");
+    auto round = detector.detectOnce(env, 0.0, drng);
+    ASSERT_FALSE(round.guesses.empty());
+    // The recovered profile must expose memcached's cache signature:
+    // the dominant resources include L1-i or LLC.
+    auto order = round.guesses.front().profile.byDecreasingPressure();
+    bool cache_on_top = order[0] == sim::Resource::L1I ||
+                        order[0] == sim::Resource::LLC ||
+                        order[1] == sim::Resource::L1I ||
+                        order[1] == sim::Resource::LLC;
+    EXPECT_TRUE(cache_on_top);
+}
+
+TEST_F(TrainedFixture, DetectorStopsAtMaxIterations)
+{
+    util::Rng rng(82);
+    auto spec = steadySpec("email", "client", rng, 0.15, 1);
+    MiniHost host({spec}, rng.substream("host"));
+    DetectorConfig cfg;
+    cfg.maxIterations = 3;
+    Detector detector(*recommender_, cfg);
+    auto env = host.env();
+    util::Rng drng = rng.substream("detect");
+    auto rounds = detector.detectIteratively(
+        env, 0.0, drng, [](const DetectionRound&) { return false; });
+    EXPECT_EQ(rounds.size(), 3u);
+}
+
+TEST_F(TrainedFixture, RoundMatchHelpers)
+{
+    util::Rng rng(83);
+    auto spec = steadySpec("memcached", "rd-heavy", rng, 0.9, 2);
+    DetectionRound round;
+    CoResidentGuess guess;
+    guess.classLabel = "memcached:rd-heavy";
+    guess.profile = spec.base;
+    round.guesses.push_back(guess);
+    EXPECT_TRUE(roundMatchesClass(round, spec));
+    EXPECT_TRUE(roundMatchesCharacteristics(round, spec));
+
+    DetectionRound wrong;
+    CoResidentGuess other;
+    other.classLabel = "hadoop:sort";
+    other.profile = workloads::findFamily("hadoop")->variants[5].base;
+    wrong.guesses.push_back(other);
+    EXPECT_FALSE(roundMatchesClass(wrong, spec));
+}
+
+/** Property sweep: microbenchmark accuracy across every resource. */
+class ProbeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ProbeSweep, MeasuresEveryResource)
+{
+    auto r = static_cast<sim::Resource>(GetParam());
+    Microbenchmark bench(r);
+    EXPECT_EQ(bench.target(), r);
+    util::Rng rng(900 + GetParam());
+    double ci = bench.measure(60.0, 0.0, rng);
+    EXPECT_NEAR(ci, 60.0, Microbenchmark::kStepPercent + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllResources, ProbeSweep,
+                         ::testing::Range(0, 10));

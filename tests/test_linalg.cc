@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit and property tests for the linalg library: dense matrices,
+ * one-sided Jacobi SVD, SGD PQ-reconstruction, and weighted Pearson.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/sgd.h"
+#include "linalg/svd.h"
+#include "util/rng.h"
+
+using namespace bolt::linalg;
+using bolt::util::Rng;
+
+namespace {
+
+/** Random m x n matrix with entries in [lo, hi]. */
+Matrix
+randomMatrix(size_t m, size_t n, Rng& rng, double lo = 0.0,
+             double hi = 100.0)
+{
+    Matrix out(m, n);
+    for (size_t r = 0; r < m; ++r)
+        for (size_t c = 0; c < n; ++c)
+            out(r, c) = rng.uniform(lo, hi);
+    return out;
+}
+
+/** Random rank-r matrix (product of two factors). */
+Matrix
+lowRankMatrix(size_t m, size_t n, size_t rank, Rng& rng)
+{
+    Matrix p = randomMatrix(m, rank, rng, 0.0, 1.0);
+    Matrix q = randomMatrix(rank, n, rng, 0.0, 1.0);
+    return p.multiply(q);
+}
+
+} // namespace
+
+TEST(Matrix, ConstructionAndAccess)
+{
+    Matrix m = {{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 6);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 2);
+    EXPECT_THROW(m.at(2, 0), std::out_of_range);
+    EXPECT_THROW(Matrix({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, RowColSetAppend)
+{
+    Matrix m(2, 3);
+    m.setRow(0, {1, 2, 3});
+    EXPECT_EQ(m.row(0), (std::vector<double>{1, 2, 3}));
+    EXPECT_EQ(m.col(1), (std::vector<double>{2, 0}));
+    m.appendRow({7, 8, 9});
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_DOUBLE_EQ(m(2, 2), 9);
+    EXPECT_THROW(m.appendRow({1}), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeAndMultiply)
+{
+    Matrix a = {{1, 2}, {3, 4}};
+    Matrix b = {{5, 6}, {7, 8}};
+    Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50);
+    Matrix at = a.transposed();
+    EXPECT_DOUBLE_EQ(at(0, 1), 3);
+    EXPECT_THROW(a.multiply(Matrix(3, 3)), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndNorm)
+{
+    Matrix i3 = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(i3.frobeniusNorm(), std::sqrt(3.0));
+    Matrix a = {{3, 4}};
+    EXPECT_DOUBLE_EQ(a.frobeniusNorm(), 5.0);
+}
+
+TEST(VectorOps, DotAndNorm)
+{
+    EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+    EXPECT_DOUBLE_EQ(norm({3, 4}), 5.0);
+    EXPECT_THROW(dot({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(WeightedPearson, PerfectCorrelation)
+{
+    std::vector<double> w(4, 1.0);
+    EXPECT_NEAR(weightedPearson({1, 2, 3, 4}, {2, 4, 6, 8}, w), 1.0,
+                1e-12);
+    EXPECT_NEAR(weightedPearson({1, 2, 3, 4}, {8, 6, 4, 2}, w), -1.0,
+                1e-12);
+}
+
+TEST(WeightedPearson, ZeroVarianceIsZero)
+{
+    std::vector<double> w(3, 1.0);
+    EXPECT_DOUBLE_EQ(weightedPearson({5, 5, 5}, {1, 2, 3}, w), 0.0);
+    EXPECT_DOUBLE_EQ(weightedPearson({1, 2, 3}, {1, 2, 3}, {0, 0, 0}),
+                     0.0);
+}
+
+TEST(WeightedPearson, WeightsChangeResult)
+{
+    // Heavily weighting the coordinates where the vectors agree must
+    // raise the correlation.
+    std::vector<double> a = {1, 2, 10};
+    std::vector<double> b = {1, 2, -10};
+    double uniform = weightedPearson(a, b, {1, 1, 1});
+    double skewed = weightedPearson(a, b, {10, 10, 0.01});
+    EXPECT_GT(skewed, uniform);
+}
+
+TEST(Svd, ReconstructsInput)
+{
+    Rng rng(101);
+    std::vector<std::pair<size_t, size_t>> shapes = {
+        {6, 4}, {10, 10}, {120, 10}, {3, 5}};
+    for (auto [m, n] : shapes) {
+        Matrix a = randomMatrix(m, n, rng);
+        auto result = svd(a);
+        EXPECT_LT(Matrix::maxAbsDiff(a, result.reconstruct()), 1e-6)
+            << m << "x" << n;
+    }
+}
+
+TEST(Svd, SingularValuesDecreasingAndNonNegative)
+{
+    Rng rng(102);
+    Matrix a = randomMatrix(30, 8, rng);
+    auto result = svd(a);
+    for (size_t i = 0; i + 1 < result.s.size(); ++i) {
+        EXPECT_GE(result.s[i], result.s[i + 1]);
+        EXPECT_GE(result.s[i + 1], 0.0);
+    }
+}
+
+TEST(Svd, OrthonormalFactors)
+{
+    Rng rng(103);
+    Matrix a = randomMatrix(20, 6, rng);
+    auto result = svd(a);
+    Matrix utu = result.u.transposed().multiply(result.u);
+    Matrix vtv = result.v.transposed().multiply(result.v);
+    EXPECT_LT(Matrix::maxAbsDiff(utu, Matrix::identity(6)), 1e-8);
+    EXPECT_LT(Matrix::maxAbsDiff(vtv, Matrix::identity(6)), 1e-8);
+}
+
+TEST(Svd, RankForEnergy)
+{
+    // A rank-2 matrix concentrates all energy in two singular values.
+    Rng rng(104);
+    Matrix a = lowRankMatrix(20, 8, 2, rng);
+    auto result = svd(a);
+    EXPECT_LE(result.rankForEnergy(0.999), 2u);
+    EXPECT_EQ(result.rankForEnergy(1e-9), 1u);
+}
+
+TEST(Svd, TruncatedReconstructionErrorShrinks)
+{
+    Rng rng(105);
+    Matrix a = randomMatrix(16, 6, rng);
+    auto result = svd(a);
+    double prev = 1e18;
+    for (size_t r = 1; r <= 6; ++r) {
+        Matrix approx = result.reconstructRank(r);
+        double err = 0.0;
+        for (size_t i = 0; i < a.rows(); ++i)
+            for (size_t j = 0; j < a.cols(); ++j)
+                err += std::pow(a(i, j) - approx(i, j), 2);
+        EXPECT_LE(err, prev + 1e-9);
+        prev = err;
+    }
+    EXPECT_NEAR(prev, 0.0, 1e-9);
+}
+
+TEST(Svd, ThrowsOnEmpty)
+{
+    EXPECT_THROW(svd(Matrix()), std::invalid_argument);
+}
+
+TEST(Sgd, FitsFullyObservedMatrix)
+{
+    Rng rng(201);
+    Matrix a = lowRankMatrix(15, 8, 3, rng);
+    SgdConfig cfg;
+    cfg.rank = 3;
+    cfg.epochs = 600;
+    cfg.learningRate = 0.05;
+    cfg.regularization = 0.001;
+    auto result = sgdFactorize(SparseMatrix::dense(a), cfg);
+    EXPECT_LT(result.trainRmse, 0.05);
+}
+
+TEST(Sgd, RecoversMissingEntriesOfLowRankMatrix)
+{
+    Rng rng(202);
+    Matrix a = lowRankMatrix(20, 8, 2, rng);
+    SparseMatrix sparse = SparseMatrix::dense(a);
+    // Hide 20% of the entries.
+    std::vector<std::pair<size_t, size_t>> hidden;
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t c = 0; c < a.cols(); ++c)
+            if (rng.bernoulli(0.2)) {
+                sparse.mask[r][c] = false;
+                hidden.push_back({r, c});
+            }
+    SgdConfig cfg;
+    cfg.rank = 2;
+    cfg.epochs = 800;
+    cfg.learningRate = 0.05;
+    cfg.regularization = 0.002;
+    auto result = sgdFactorize(sparse, cfg);
+    double err = 0.0;
+    for (auto [r, c] : hidden)
+        err += std::abs(result.predict(r, c) - a(r, c));
+    err /= static_cast<double>(hidden.size());
+    EXPECT_LT(err, 0.25) << "mean abs error on held-out entries";
+}
+
+TEST(Sgd, WarmStartConverges)
+{
+    Rng rng(203);
+    Matrix a = lowRankMatrix(12, 6, 2, rng);
+    auto s = svd(a);
+    SgdConfig cfg;
+    cfg.rank = 2;
+    cfg.epochs = 50;
+    cfg.regularization = 0.0005;
+    Matrix warm_p(a.rows(), 2), warm_q(a.cols(), 2);
+    for (size_t k = 0; k < 2; ++k) {
+        double root = std::sqrt(s.s[k]);
+        for (size_t r = 0; r < a.rows(); ++r)
+            warm_p(r, k) = s.u(r, k) * root;
+        for (size_t c = 0; c < a.cols(); ++c)
+            warm_q(c, k) = s.v(c, k) * root;
+    }
+    auto result =
+        sgdFactorize(SparseMatrix::dense(a), cfg, warm_p, warm_q);
+    EXPECT_LT(result.trainRmse, 0.01);
+    EXPECT_LE(result.epochsRun, 50u);
+}
+
+TEST(Sgd, ReconstructRowMatchesPredict)
+{
+    Rng rng(204);
+    Matrix a = lowRankMatrix(8, 5, 2, rng);
+    SgdConfig cfg;
+    cfg.rank = 2;
+    cfg.epochs = 100;
+    auto result = sgdFactorize(SparseMatrix::dense(a), cfg);
+    auto row = result.reconstructRow(3);
+    for (size_t c = 0; c < 5; ++c)
+        EXPECT_DOUBLE_EQ(row[c], result.predict(3, c));
+}
+
+TEST(Sgd, RejectsDegenerateInput)
+{
+    SgdConfig cfg;
+    EXPECT_THROW(sgdFactorize(SparseMatrix{}, cfg),
+                 std::invalid_argument);
+    SparseMatrix no_entries;
+    no_entries.values = Matrix(2, 2);
+    no_entries.mask.assign(2, std::vector<bool>(2, false));
+    EXPECT_THROW(sgdFactorize(no_entries, cfg), std::invalid_argument);
+}
+
+/** Property sweep: SVD must reconstruct matrices of many shapes. */
+class SvdShapeTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(SvdShapeTest, Reconstructs)
+{
+    auto [m, n] = GetParam();
+    Rng rng(m * 100 + n);
+    Matrix a = randomMatrix(m, n, rng, -50.0, 50.0);
+    auto result = svd(a);
+    EXPECT_LT(Matrix::maxAbsDiff(a, result.reconstruct()), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdShapeTest,
+    ::testing::Values(std::pair<size_t, size_t>{1, 1},
+                      std::pair<size_t, size_t>{1, 5},
+                      std::pair<size_t, size_t>{5, 1},
+                      std::pair<size_t, size_t>{2, 2},
+                      std::pair<size_t, size_t>{7, 3},
+                      std::pair<size_t, size_t>{3, 7},
+                      std::pair<size_t, size_t>{40, 10},
+                      std::pair<size_t, size_t>{64, 8}));

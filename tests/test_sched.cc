@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the sched library: least-loaded and Quasar-style
+ * placement, random placement, and the live-migration defense.
+ */
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+#include "workloads/catalog.h"
+
+using namespace bolt;
+using namespace bolt::sched;
+
+namespace {
+
+workloads::AppSpec
+specFor(const char* family, util::Rng& rng)
+{
+    const auto* f = workloads::findFamily(family);
+    return workloads::instantiate(*f, f->variants[0], "M", rng);
+}
+
+} // namespace
+
+TEST(LeastLoaded, PrefersEmptiestServer)
+{
+    sim::Cluster cluster(3);
+    util::Rng rng(1);
+    auto spec = specFor("memcached", rng);
+
+    // Pre-load server 0 heavily and server 1 lightly.
+    cluster.placeOn(0, sim::Tenant{cluster.nextTenantId(), 10, false});
+    cluster.placeOn(1, sim::Tenant{cluster.nextTenantId(), 2, false});
+
+    LeastLoadedScheduler ll;
+    auto pick = ll.pick(cluster, spec, 2);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 2u);
+}
+
+TEST(LeastLoaded, ReturnsNulloptWhenFull)
+{
+    sim::Cluster cluster(1, 2, 2);
+    cluster.placeOn(0, sim::Tenant{cluster.nextTenantId(), 4, false});
+    LeastLoadedScheduler ll;
+    util::Rng rng(2);
+    auto spec = specFor("mysql", rng);
+    EXPECT_FALSE(ll.pick(cluster, spec, 1).has_value());
+}
+
+TEST(LeastLoaded, UsesRecordedFootprintForTies)
+{
+    sim::Cluster cluster(2);
+    util::Rng rng(3);
+    LeastLoadedScheduler ll;
+
+    // Same slot usage on both servers, but server 0 carries a heavier
+    // recorded footprint.
+    auto heavy = specFor("spark", rng);
+    auto light = specFor("email", rng);
+    sim::TenantId a = cluster.nextTenantId();
+    cluster.placeOn(0, sim::Tenant{a, 2, false});
+    ll.record(a, 0, heavy);
+    sim::TenantId b = cluster.nextTenantId();
+    cluster.placeOn(1, sim::Tenant{b, 2, false});
+    ll.record(b, 1, light);
+
+    auto pick = ll.pick(cluster, specFor("mysql", rng), 2);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 1u);
+}
+
+TEST(Quasar, AvoidsProfileOverlap)
+{
+    sim::Cluster cluster(2);
+    util::Rng rng(4);
+    QuasarScheduler quasar;
+
+    // Server 0 hosts a memory-bound Spark job; server 1 hosts a
+    // disk-bound Hadoop sort. An incoming Spark job should avoid the
+    // Spark-loaded server.
+    auto spark = specFor("spark", rng); // kmeans: memory-bound
+    const auto* hf = workloads::findFamily("hadoop");
+    auto sort = workloads::instantiate(*hf, hf->variants[5], "M", rng);
+
+    sim::TenantId a = cluster.nextTenantId();
+    cluster.placeOn(0, sim::Tenant{a, 4, false});
+    quasar.record(a, 0, spark);
+    sim::TenantId b = cluster.nextTenantId();
+    cluster.placeOn(1, sim::Tenant{b, 4, false});
+    quasar.record(b, 1, sort);
+
+    auto pick = quasar.pick(cluster, specFor("spark", rng), 2);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 1u);
+}
+
+TEST(Quasar, ForgetReleasesFootprint)
+{
+    sim::Cluster cluster(2);
+    util::Rng rng(5);
+    QuasarScheduler quasar;
+    auto spark = specFor("spark", rng);
+    sim::TenantId a = cluster.nextTenantId();
+    cluster.placeOn(0, sim::Tenant{a, 4, false});
+    quasar.record(a, 0, spark);
+    quasar.forget(a);
+    cluster.remove(a);
+    // With the record gone, both servers look equal; the tie breaks
+    // toward more free slots, which is now identical — either is fine,
+    // but pick must succeed.
+    EXPECT_TRUE(quasar.pick(cluster, spark, 2).has_value());
+}
+
+TEST(Random, PicksOnlyFeasibleServers)
+{
+    sim::Cluster cluster(3, 2, 2);
+    cluster.placeOn(0, sim::Tenant{cluster.nextTenantId(), 4, false});
+    cluster.placeOn(1, sim::Tenant{cluster.nextTenantId(), 3, false});
+    RandomScheduler random{util::Rng(6)};
+    util::Rng rng(7);
+    auto spec = specFor("mysql", rng);
+    for (int i = 0; i < 20; ++i) {
+        auto pick = random.pick(cluster, spec, 2);
+        ASSERT_TRUE(pick.has_value());
+        EXPECT_EQ(*pick, 2u); // the only host with 2 free slots
+    }
+}
+
+TEST(Random, NulloptWhenNothingFits)
+{
+    sim::Cluster cluster(1, 1, 1);
+    cluster.placeOn(0, sim::Tenant{cluster.nextTenantId(), 1, false});
+    RandomScheduler random{util::Rng(8)};
+    util::Rng rng(9);
+    EXPECT_FALSE(
+        random.pick(cluster, specFor("email", rng), 1).has_value());
+}
+
+TEST(Migration, TriggersOnThreshold)
+{
+    MigrationController m(70.0, 8.0);
+    EXPECT_FALSE(m.sample(0.0, 50.0));
+    EXPECT_TRUE(m.sample(1.0, 80.0));
+    EXPECT_TRUE(m.migrating(1.0));
+    EXPECT_TRUE(m.migrating(8.9));
+    EXPECT_FALSE(m.migrating(9.0));
+    EXPECT_TRUE(m.migrated(9.0));
+    // One migration per controller: further samples do nothing.
+    EXPECT_FALSE(m.sample(10.0, 99.0));
+}
+
+TEST(Migration, SustainedThresholdRequired)
+{
+    MigrationController m(70.0, 8.0, 5.0);
+    // A transient spike does not trigger.
+    EXPECT_FALSE(m.sample(0.0, 90.0));
+    EXPECT_FALSE(m.sample(1.0, 50.0));
+    // The run restarts; five sustained seconds are needed.
+    for (double t = 2.0; t < 7.0; t += 1.0)
+        EXPECT_FALSE(m.sample(t, 90.0));
+    EXPECT_TRUE(m.sample(7.0, 90.0));
+    EXPECT_TRUE(m.migrating(7.5));
+    EXPECT_TRUE(m.migrated(15.0));
+}
+
+TEST(Migration, NeverTriggersBelowThreshold)
+{
+    MigrationController m(70.0, 8.0);
+    for (double t = 0; t < 100; t += 1.0)
+        EXPECT_FALSE(m.sample(t, 69.9));
+    EXPECT_FALSE(m.migrated(200.0));
+}

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit tests for the util library: RNG determinism and substreams,
+ * summary statistics, histograms, online stats, 2-D heatmaps, and the
+ * ASCII table/series renderers.
+ */
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace bolt::util;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.uniform() == b.uniform() ? 1 : 0;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SubstreamIsIndependentOfParentDraws)
+{
+    Rng parent(7);
+    Rng sub1 = parent.substream("alpha");
+    parent.uniform(); // advancing the parent must not change substreams
+    Rng sub2 = Rng(7).substream("alpha");
+    for (int i = 0; i < 20; ++i)
+        EXPECT_DOUBLE_EQ(sub1.uniform(), sub2.uniform());
+}
+
+TEST(Rng, SubstreamsWithDifferentLabelsDiffer)
+{
+    Rng parent(7);
+    Rng a = parent.substream("alpha");
+    Rng b = parent.substream("beta");
+    Rng c = parent.substream("alpha", 1);
+    EXPECT_NE(a.uniform(), b.uniform());
+    EXPECT_NE(Rng(7).substream("alpha").uniform(), c.uniform());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(2.0, 5.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ClampedGaussianStaysInBounds)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.clampedGaussian(50.0, 40.0, 0.0, 100.0);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 100.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    OnlineStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.gaussian(10.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(13);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 4000; ++i)
+        ++counts[rng.weightedIndex(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_GT(counts[2], counts[0]);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, WeightedIndexThrowsOnZeroMass)
+{
+    Rng rng(1);
+    std::vector<double> weights = {0.0, 0.0};
+    EXPECT_THROW(rng.weightedIndex(weights), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsValid)
+{
+    Rng rng(17);
+    auto perm = rng.permutation(50);
+    std::vector<bool> seen(50, false);
+    for (size_t v : perm) {
+        ASSERT_LT(v, 50u);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(Rng, IndexThrowsOnEmpty)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    s.addAll({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Summary, PercentileInterpolates)
+{
+    Summary s;
+    s.addAll({10.0, 20.0, 30.0, 40.0, 50.0});
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 30.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+}
+
+TEST(Summary, PercentileAfterMoreSamples)
+{
+    Summary s;
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 1.0);
+    s.add(3.0);
+    // The lazily-sorted cache must refresh when samples change.
+    EXPECT_DOUBLE_EQ(s.percentile(100), 3.0);
+}
+
+TEST(Summary, EmptyBehaviour)
+{
+    Summary s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(std::isnan(s.percentile(50)));
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-5.0);  // clamps into bin 0
+    h.add(0.5);
+    h.add(9.9);
+    h.add(15.0);  // clamps into the last bin
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(4), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(OnlineStats, MatchesBatch)
+{
+    OnlineStats o;
+    Summary s;
+    Rng rng(23);
+    for (int i = 0; i < 500; ++i) {
+        double v = rng.uniform(0, 100);
+        o.add(v);
+        s.add(v);
+    }
+    EXPECT_NEAR(o.mean(), s.mean(), 1e-9);
+    EXPECT_NEAR(o.stddev(), s.stddev(), 1e-9);
+}
+
+TEST(Heatmap2D, ProbabilityPerCell)
+{
+    Heatmap2D h(0.0, 100.0, 4);
+    h.add(10.0, 10.0, true);
+    h.add(10.0, 10.0, false);
+    h.add(90.0, 90.0, true);
+    EXPECT_DOUBLE_EQ(h.probability(0, 0), 0.5);
+    EXPECT_DOUBLE_EQ(h.probability(3, 3), 1.0);
+    EXPECT_TRUE(std::isnan(h.probability(1, 1)));
+    EXPECT_EQ(h.observations(0, 0), 2u);
+}
+
+TEST(AsciiTable, RendersAlignedRows)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_NE(out.find("|"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsMismatchedRow)
+{
+    AsciiTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+TEST(AsciiTable, NumberFormatting)
+{
+    EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(AsciiTable::percent(0.875, 1), "87.5%");
+}
+
+TEST(Series, PrintAndCsv)
+{
+    Series s1{"acc", {1, 2, 3}, {90, 80, 70}};
+    Series s2{"chars", {1, 2, 3}, {95, 92, 88}};
+    std::ostringstream os;
+    printSeries(os, "title", "x", {s1, s2}, 0);
+    EXPECT_NE(os.str().find("title"), std::string::npos);
+    EXPECT_NE(os.str().find("acc"), std::string::npos);
+
+    std::string path = "/tmp/bolt_test_series.csv";
+    writeCsv(path, "x", {s1, s2});
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "x,acc,chars");
+}
+
+TEST(AsciiHeatmap, RendersScale)
+{
+    AsciiHeatmap hm("t", "x", "y");
+    std::ostringstream os;
+    hm.print(os, 3, [](size_t bx, size_t by) {
+        return (bx + by) / 4.0;
+    });
+    EXPECT_NE(os.str().find("t"), std::string::npos);
+}
