@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coresidency_attack.dir/coresidency_attack.cc.o"
+  "CMakeFiles/coresidency_attack.dir/coresidency_attack.cc.o.d"
+  "coresidency_attack"
+  "coresidency_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coresidency_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

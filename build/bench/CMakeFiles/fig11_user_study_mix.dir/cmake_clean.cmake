@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_user_study_mix.dir/fig11_user_study_mix.cc.o"
+  "CMakeFiles/fig11_user_study_mix.dir/fig11_user_study_mix.cc.o.d"
+  "fig11_user_study_mix"
+  "fig11_user_study_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_user_study_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_user_study_mix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dos_attack.dir/fig13_dos_attack.cc.o"
+  "CMakeFiles/fig13_dos_attack.dir/fig13_dos_attack.cc.o.d"
+  "fig13_dos_attack"
+  "fig13_dos_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dos_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

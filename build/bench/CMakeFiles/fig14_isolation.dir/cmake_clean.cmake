@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_isolation.dir/fig14_isolation.cc.o"
+  "CMakeFiles/fig14_isolation.dir/fig14_isolation.cc.o.d"
+  "fig14_isolation"
+  "fig14_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_memcached_heatmaps.dir/fig2_memcached_heatmaps.cc.o"
+  "CMakeFiles/fig2_memcached_heatmaps.dir/fig2_memcached_heatmaps.cc.o.d"
+  "fig2_memcached_heatmaps"
+  "fig2_memcached_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_memcached_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_training_coverage.dir/fig4_training_coverage.cc.o"
+  "CMakeFiles/fig4_training_coverage.dir/fig4_training_coverage.cc.o.d"
+  "fig4_training_coverage"
+  "fig4_training_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_training_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_star_charts.dir/fig5_star_charts.cc.o"
+  "CMakeFiles/fig5_star_charts.dir/fig5_star_charts.cc.o.d"
+  "fig5_star_charts"
+  "fig5_star_charts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_star_charts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_coresidents_dominant.dir/fig6_coresidents_dominant.cc.o"
+  "CMakeFiles/fig6_coresidents_dominant.dir/fig6_coresidents_dominant.cc.o.d"
+  "fig6_coresidents_dominant"
+  "fig6_coresidents_dominant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_coresidents_dominant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

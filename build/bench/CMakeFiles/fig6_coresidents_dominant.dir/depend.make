@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_coresidents_dominant.
+# This may be replaced when dependencies are built.

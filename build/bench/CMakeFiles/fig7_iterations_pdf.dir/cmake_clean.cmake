@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_iterations_pdf.dir/fig7_iterations_pdf.cc.o"
+  "CMakeFiles/fig7_iterations_pdf.dir/fig7_iterations_pdf.cc.o.d"
+  "fig7_iterations_pdf"
+  "fig7_iterations_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_iterations_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

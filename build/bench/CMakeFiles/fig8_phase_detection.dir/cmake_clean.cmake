@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_phase_detection.dir/fig8_phase_detection.cc.o"
+  "CMakeFiles/fig8_phase_detection.dir/fig8_phase_detection.cc.o.d"
+  "fig8_phase_detection"
+  "fig8_phase_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_phase_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_accuracy_vs_pressure.dir/fig9_accuracy_vs_pressure.cc.o"
+  "CMakeFiles/fig9_accuracy_vs_pressure.dir/fig9_accuracy_vs_pressure.cc.o.d"
+  "fig9_accuracy_vs_pressure"
+  "fig9_accuracy_vs_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_accuracy_vs_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_recommender.dir/perf_recommender.cc.o"
+  "CMakeFiles/perf_recommender.dir/perf_recommender.cc.o.d"
+  "perf_recommender"
+  "perf_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_detection_accuracy.dir/table1_detection_accuracy.cc.o"
+  "CMakeFiles/table1_detection_accuracy.dir/table1_detection_accuracy.cc.o.d"
+  "table1_detection_accuracy"
+  "table1_detection_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_detection_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

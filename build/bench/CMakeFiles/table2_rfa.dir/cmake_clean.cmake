@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_rfa.dir/table2_rfa.cc.o"
+  "CMakeFiles/table2_rfa.dir/table2_rfa.cc.o.d"
+  "table2_rfa"
+  "table2_rfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_rfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

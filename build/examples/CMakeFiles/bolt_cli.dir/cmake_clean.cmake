@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_cli.dir/bolt_cli.cpp.o"
+  "CMakeFiles/bolt_cli.dir/bolt_cli.cpp.o.d"
+  "bolt_cli"
+  "bolt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

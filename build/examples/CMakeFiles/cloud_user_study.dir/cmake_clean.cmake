@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_user_study.dir/cloud_user_study.cpp.o"
+  "CMakeFiles/cloud_user_study.dir/cloud_user_study.cpp.o.d"
+  "cloud_user_study"
+  "cloud_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

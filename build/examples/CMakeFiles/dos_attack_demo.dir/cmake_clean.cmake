@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_attack_demo.dir/dos_attack_demo.cpp.o"
+  "CMakeFiles/dos_attack_demo.dir/dos_attack_demo.cpp.o.d"
+  "dos_attack_demo"
+  "dos_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

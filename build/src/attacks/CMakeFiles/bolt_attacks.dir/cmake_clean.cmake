@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_attacks.dir/coresidency.cc.o"
+  "CMakeFiles/bolt_attacks.dir/coresidency.cc.o.d"
+  "CMakeFiles/bolt_attacks.dir/dos.cc.o"
+  "CMakeFiles/bolt_attacks.dir/dos.cc.o.d"
+  "CMakeFiles/bolt_attacks.dir/rfa.cc.o"
+  "CMakeFiles/bolt_attacks.dir/rfa.cc.o.d"
+  "libbolt_attacks.a"
+  "libbolt_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/bolt_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/bolt_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/bolt_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/bolt_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/microbench.cc" "src/core/CMakeFiles/bolt_core.dir/microbench.cc.o" "gcc" "src/core/CMakeFiles/bolt_core.dir/microbench.cc.o.d"
+  "/root/repo/src/core/observation.cc" "src/core/CMakeFiles/bolt_core.dir/observation.cc.o" "gcc" "src/core/CMakeFiles/bolt_core.dir/observation.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/bolt_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/bolt_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/core/CMakeFiles/bolt_core.dir/recommender.cc.o" "gcc" "src/core/CMakeFiles/bolt_core.dir/recommender.cc.o.d"
+  "/root/repo/src/core/training.cc" "src/core/CMakeFiles/bolt_core.dir/training.cc.o" "gcc" "src/core/CMakeFiles/bolt_core.dir/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bolt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bolt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bolt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bolt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bolt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_core.dir/detector.cc.o"
+  "CMakeFiles/bolt_core.dir/detector.cc.o.d"
+  "CMakeFiles/bolt_core.dir/experiment.cc.o"
+  "CMakeFiles/bolt_core.dir/experiment.cc.o.d"
+  "CMakeFiles/bolt_core.dir/microbench.cc.o"
+  "CMakeFiles/bolt_core.dir/microbench.cc.o.d"
+  "CMakeFiles/bolt_core.dir/observation.cc.o"
+  "CMakeFiles/bolt_core.dir/observation.cc.o.d"
+  "CMakeFiles/bolt_core.dir/profiler.cc.o"
+  "CMakeFiles/bolt_core.dir/profiler.cc.o.d"
+  "CMakeFiles/bolt_core.dir/recommender.cc.o"
+  "CMakeFiles/bolt_core.dir/recommender.cc.o.d"
+  "CMakeFiles/bolt_core.dir/training.cc.o"
+  "CMakeFiles/bolt_core.dir/training.cc.o.d"
+  "libbolt_core.a"
+  "libbolt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

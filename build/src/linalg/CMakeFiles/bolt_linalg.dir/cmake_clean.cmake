@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_linalg.dir/matrix.cc.o"
+  "CMakeFiles/bolt_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/bolt_linalg.dir/sgd.cc.o"
+  "CMakeFiles/bolt_linalg.dir/sgd.cc.o.d"
+  "CMakeFiles/bolt_linalg.dir/svd.cc.o"
+  "CMakeFiles/bolt_linalg.dir/svd.cc.o.d"
+  "libbolt_linalg.a"
+  "libbolt_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_sched.dir/scheduler.cc.o"
+  "CMakeFiles/bolt_sched.dir/scheduler.cc.o.d"
+  "libbolt_sched.a"
+  "libbolt_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

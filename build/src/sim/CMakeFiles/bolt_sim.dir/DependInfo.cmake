@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/bolt_sim.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/bolt_sim.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/contention.cc" "src/sim/CMakeFiles/bolt_sim.dir/contention.cc.o" "gcc" "src/sim/CMakeFiles/bolt_sim.dir/contention.cc.o.d"
+  "/root/repo/src/sim/isolation.cc" "src/sim/CMakeFiles/bolt_sim.dir/isolation.cc.o" "gcc" "src/sim/CMakeFiles/bolt_sim.dir/isolation.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/sim/CMakeFiles/bolt_sim.dir/resource.cc.o" "gcc" "src/sim/CMakeFiles/bolt_sim.dir/resource.cc.o.d"
+  "/root/repo/src/sim/server.cc" "src/sim/CMakeFiles/bolt_sim.dir/server.cc.o" "gcc" "src/sim/CMakeFiles/bolt_sim.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bolt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_sim.dir/cluster.cc.o"
+  "CMakeFiles/bolt_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/bolt_sim.dir/contention.cc.o"
+  "CMakeFiles/bolt_sim.dir/contention.cc.o.d"
+  "CMakeFiles/bolt_sim.dir/isolation.cc.o"
+  "CMakeFiles/bolt_sim.dir/isolation.cc.o.d"
+  "CMakeFiles/bolt_sim.dir/resource.cc.o"
+  "CMakeFiles/bolt_sim.dir/resource.cc.o.d"
+  "CMakeFiles/bolt_sim.dir/server.cc.o"
+  "CMakeFiles/bolt_sim.dir/server.cc.o.d"
+  "libbolt_sim.a"
+  "libbolt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_util.dir/rng.cc.o"
+  "CMakeFiles/bolt_util.dir/rng.cc.o.d"
+  "CMakeFiles/bolt_util.dir/stats.cc.o"
+  "CMakeFiles/bolt_util.dir/stats.cc.o.d"
+  "CMakeFiles/bolt_util.dir/table.cc.o"
+  "CMakeFiles/bolt_util.dir/table.cc.o.d"
+  "libbolt_util.a"
+  "libbolt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/app.cc" "src/workloads/CMakeFiles/bolt_workloads.dir/app.cc.o" "gcc" "src/workloads/CMakeFiles/bolt_workloads.dir/app.cc.o.d"
+  "/root/repo/src/workloads/catalog.cc" "src/workloads/CMakeFiles/bolt_workloads.dir/catalog.cc.o" "gcc" "src/workloads/CMakeFiles/bolt_workloads.dir/catalog.cc.o.d"
+  "/root/repo/src/workloads/generators.cc" "src/workloads/CMakeFiles/bolt_workloads.dir/generators.cc.o" "gcc" "src/workloads/CMakeFiles/bolt_workloads.dir/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bolt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bolt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

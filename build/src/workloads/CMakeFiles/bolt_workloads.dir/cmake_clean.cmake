@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bolt_workloads.dir/app.cc.o"
+  "CMakeFiles/bolt_workloads.dir/app.cc.o.d"
+  "CMakeFiles/bolt_workloads.dir/catalog.cc.o"
+  "CMakeFiles/bolt_workloads.dir/catalog.cc.o.d"
+  "CMakeFiles/bolt_workloads.dir/generators.cc.o"
+  "CMakeFiles/bolt_workloads.dir/generators.cc.o.d"
+  "libbolt_workloads.a"
+  "libbolt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bolt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

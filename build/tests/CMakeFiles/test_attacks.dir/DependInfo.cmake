@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attacks.cc" "tests/CMakeFiles/test_attacks.dir/test_attacks.cc.o" "gcc" "tests/CMakeFiles/test_attacks.dir/test_attacks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/bolt_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bolt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bolt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bolt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bolt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bolt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bolt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
