@@ -15,6 +15,7 @@
 #include "core/experiment.h"
 #include "util/table.h"
 #include "workloads/app.h"
+#include "util/thread_pool.h"
 
 using namespace bolt;
 
@@ -35,8 +36,10 @@ accuracyWith(const std::function<void(core::ExperimentConfig&)>& tweak,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    util::applyThreadsFlag(argc, argv);
+
     std::cout << "== Detector design ablations (20 hosts, 52 victims) "
                  "==\n";
     util::AsciiTable table({"Configuration", "Accuracy"});

@@ -9,6 +9,7 @@
 
 #include "core/experiment.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace bolt;
 
@@ -38,8 +39,10 @@ report(const char* title, const core::ExperimentResult& result)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    util::applyThreadsFlag(argc, argv);
+
     {
         core::ExperimentConfig cfg;
         cfg.victims = 40;

@@ -15,6 +15,7 @@
 #include "sim/cluster.h"
 #include "util/table.h"
 #include "workloads/generators.h"
+#include "util/thread_pool.h"
 
 using namespace bolt;
 
@@ -36,8 +37,15 @@ intervalAccuracy(double interval_sec, uint64_t seed)
     core::HybridRecommender recommender(training);
     core::Detector detector(recommender);
 
-    int correct = 0, total = 0;
-    for (int run = 0; run < 6; ++run) {
+    // The six trial runs are independent (every RNG stream below is a
+    // pure function of (seed, run)), so they fan out on the global
+    // thread pool; per-run tallies land in their own slots and the sum
+    // is thread-count invariant.
+    constexpr size_t kRuns = 6;
+    std::vector<int> run_correct(kRuns, 0), run_total(kRuns, 0);
+    util::parallelFor(0, kRuns, [&](size_t run_idx) {
+        int run = static_cast<int>(run_idx);
+        int correct = 0, total = 0;
         util::Rng victim_rng = rng.substream("v", run);
         auto victim = workloads::phasedVictim(victim_rng, 70.0);
         sim::Cluster cluster(1);
@@ -70,9 +78,12 @@ intervalAccuracy(double interval_sec, uint64_t seed)
         // most recent label).
         std::string latest;
         double last_detection = -1e9;
+        int detect_round = 0;
         for (double t = 0.0; t < victim.totalSec(); t += 5.0) {
             if (t - last_detection >= interval_sec) {
-                auto round = detector.detectOnce(env, t, drng);
+                auto round = detector.detectOnce(env, t, drng,
+                                                 nullptr,
+                                                 detect_round++);
                 latest = round.topClass();
                 last_detection = t;
             }
@@ -80,6 +91,13 @@ intervalAccuracy(double interval_sec, uint64_t seed)
             correct +=
                 latest == victim.at(t).classLabel() ? 1 : 0;
         }
+        run_correct[run_idx] = correct;
+        run_total[run_idx] = total;
+    }, 1);
+    int correct = 0, total = 0;
+    for (size_t i = 0; i < kRuns; ++i) {
+        correct += run_correct[i];
+        total += run_total[i];
     }
     return static_cast<double>(correct) / static_cast<double>(total);
 }
@@ -116,8 +134,10 @@ experimentAccuracy(int adversary_vcpus, int benchmarks, uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    util::applyThreadsFlag(argc, argv);
+
     std::cout << "== Figure 10a: accuracy vs profiling interval "
                  "(paper: rapid drop past 30 s) ==\n";
     util::Series interval{"accuracy (%)", {}, {}};

@@ -117,6 +117,7 @@ main()
     sim::ContentionModel contention{
         sim::IsolationConfig::none(sim::Platform::VirtualMachine)};
     util::Rng drng = rng.substream("detect");
+    int detect_round = 0;
 
     for (size_t i = 0; i < kInstances; ++i) {
         if (on_instance[i].empty())
@@ -162,7 +163,8 @@ main()
                         pm[id] = placed[j].app.pressureAt(when);
                     return pm;
                 };
-                auto round = detector.detectOnce(env, t, drng);
+                auto round = detector.detectOnce(
+                    env, t, drng, nullptr, detect_round++);
                 for (const auto& [j, id] : ids) {
                     auto& p = placed[j];
                     if (core::roundMatchesClass(round, p.job.spec) &&

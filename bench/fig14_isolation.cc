@@ -14,12 +14,15 @@
 
 #include "core/experiment.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace bolt;
 
 int
-main()
+main(int argc, char** argv)
 {
+    util::applyThreadsFlag(argc, argv);
+
     struct Step
     {
         const char* label;

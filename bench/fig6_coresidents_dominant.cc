@@ -12,12 +12,15 @@
 #include "core/experiment.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace bolt;
 
 int
-main()
+main(int argc, char** argv)
 {
+    util::applyThreadsFlag(argc, argv);
+
     // A denser victim mix exercises the full 1..5 co-residency range.
     std::map<int, util::Summary> by_co;
     std::map<sim::Resource, std::pair<size_t, size_t>> by_dom;

@@ -9,12 +9,15 @@
 
 #include "core/experiment.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace bolt;
 
 int
-main()
+main(int argc, char** argv)
 {
+    util::applyThreadsFlag(argc, argv);
+
     core::ExperimentConfig cfg;
     cfg.victims = 140;
     cfg.seed = 23;

@@ -61,10 +61,12 @@ main()
                             "similarity", "correct"});
     util::Rng drng = rng.substream("detect");
     int correct = 0, total = 0;
+    int detect_round = 0;
     int phase_changes_caught = 0;
     std::string last_detected;
     for (double t = 0.0; t < victim.totalSec(); t += 20.0) {
-        auto round = detector.detectOnce(env, t, drng);
+        auto round = detector.detectOnce(env, t, drng, nullptr,
+                                         detect_round++);
         const auto& truth = victim.at(t);
         std::string detected = round.topClass();
         double similarity =

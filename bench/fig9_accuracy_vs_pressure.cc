@@ -10,12 +10,15 @@
 
 #include "core/experiment.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace bolt;
 
 int
-main()
+main(int argc, char** argv)
 {
+    util::applyThreadsFlag(argc, argv);
+
     std::map<sim::Resource,
              std::map<int, std::pair<size_t, size_t>>>
         bins;

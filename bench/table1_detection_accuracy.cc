@@ -11,12 +11,15 @@
 
 #include "core/experiment.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace bolt;
 
 int
-main()
+main(int argc, char** argv)
 {
+    util::applyThreadsFlag(argc, argv);
+
     std::cout << "== Table 1: detection accuracy, controlled experiment "
                  "(paper: 87% LL / 89% Quasar aggregate) ==\n";
 

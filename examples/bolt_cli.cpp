@@ -4,6 +4,7 @@
  * with configurable parameters without writing code.
  *
  *   bolt_cli experiment [--servers N] [--victims N] [--seed S]
+ *                       [--threads N]
  *                       [--quasar] [--isolation none|pinning|net|mem|
  *                        cache|core-full|core-only]
  *                       [--platform baremetal|container|vm]
@@ -12,7 +13,8 @@
  *   bolt_cli dos        [--seed S]
  *   bolt_cli coresidency [--probes N] [--waves N] [--seed S]
  *
- * Every run is deterministic for a given seed.
+ * Every run is deterministic for a given seed; --threads only
+ * changes wall-clock time, never results.
  */
 #include <cstring>
 #include <iostream>
@@ -24,6 +26,7 @@
 #include "attacks/dos.h"
 #include "core/experiment.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "workloads/generators.h"
 
 using namespace bolt;
@@ -248,6 +251,8 @@ usage()
         << "usage: bolt_cli <experiment|detect|dos|coresidency> "
            "[--flag value ...]\n"
            "  experiment  --servers N --victims N --seed S [--quasar]\n"
+           "              --threads N (0 = hardware; any value gives\n"
+           "              bit-identical results)\n"
            "              --platform baremetal|container|vm\n"
            "              --isolation none|pinning|net|mem|cache|"
            "core-full|core-only\n"
@@ -266,6 +271,7 @@ main(int argc, char** argv)
         usage();
         return 2;
     }
+    util::applyThreadsFlag(argc, argv);
     Args args(argc, argv, 2);
     std::string command = argv[1];
     if (command == "experiment")

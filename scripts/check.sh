@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full verification: build + ctest in the plain configuration, then
+# again under ThreadSanitizer (BOLT_SANITIZE=thread) to vet the thread
+# pool and the parallel experiment engine.
+#
+# Usage: scripts/check.sh [--plain-only|--tsan-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_config() {
+    local dir="$1"
+    shift
+    echo "== Configuring ${dir} ($*) =="
+    cmake -B "${dir}" -S . "$@"
+    echo "== Building ${dir} =="
+    cmake --build "${dir}" -j "$(nproc)"
+    echo "== Testing ${dir} =="
+    ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+}
+
+mode="${1:-all}"
+
+if [[ "${mode}" != "--tsan-only" ]]; then
+    run_config build
+fi
+
+if [[ "${mode}" != "--plain-only" ]]; then
+    # TSan slows execution ~5-15x; the suite still finishes in minutes.
+    run_config build-tsan -DBOLT_SANITIZE=thread
+fi
+
+echo "All checks passed."

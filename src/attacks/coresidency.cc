@@ -138,7 +138,9 @@ CoResidencyAttack::run() const
                     pm[a.id] = instances.at(a.id).pressureAt(t);
             return pm;
         };
-        auto round = detector.detectOnce(env, elapsed, detect_rng);
+        auto round = detector.detectOnce(
+            env, elapsed, detect_rng, nullptr,
+            static_cast<int>(wave * config_.probeVms + p));
         elapsed = std::max(elapsed, round.profilingSec);
 
         for (const auto& g : round.guesses) {

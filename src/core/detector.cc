@@ -29,13 +29,13 @@ Detector::Detector(const HybridRecommender& recommender,
 
 DetectionRound
 Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
-                     const SparseObservation* prior) const
+                     const SparseObservation* prior,
+                     int round_index) const
 {
     DetectionRound round;
     double now = t;
 
-    ProfileRound prof =
-        profiler_.profile(env, now, rng, roundCounter_++);
+    ProfileRound prof = profiler_.profile(env, now, rng, round_index);
     now += prof.durationSec;
     round.benchmarksRun += prof.benchmarksRun;
     round.coreShared = prof.coreShared;
@@ -180,7 +180,8 @@ Detector::detectIteratively(
     SparseObservation carry;
     for (int iter = 0; iter < config_.maxIterations; ++iter) {
         DetectionRound round = detectOnce(
-            env, t, rng, config_.carryObservations ? &carry : nullptr);
+            env, t, rng, config_.carryObservations ? &carry : nullptr,
+            iter);
         carry = round.aggregate;
         bool done = stop && stop(round);
         rounds.push_back(std::move(round));

@@ -100,14 +100,24 @@ class Detector
     /**
      * One full detection round starting at virtual time t.
      *
+     * Thread-safety: const and free of hidden state — safe to call
+     * concurrently from multiple threads on the same Detector, provided
+     * each caller owns its Rng and HostEnvironment. The focus-core
+     * rotation that a shared mutable counter used to provide is now the
+     * caller's `round_index`, which keeps results independent of the
+     * order hosts are processed in (and hence of the thread count).
+     *
      * @param prior Optional observation carried from earlier rounds;
      *              unprobed resources inherit its values, widening the
      *              recommender's signal as iterations accumulate.
+     * @param round_index Rotates the focus core across rounds; pass the
+     *              iteration number (or any per-host counter). -1 picks
+     *              the focus core randomly from `rng`.
      */
     DetectionRound detectOnce(const HostEnvironment& env, double t,
                               util::Rng& rng,
-                              const SparseObservation* prior = nullptr)
-        const;
+                              const SparseObservation* prior = nullptr,
+                              int round_index = 0) const;
 
     /**
      * Periodic detection: runs up to config().maxIterations rounds,
@@ -125,8 +135,6 @@ class Detector
     const HybridRecommender& recommender_;
     DetectorConfig config_;
     Profiler profiler_;
-    /** Rotates the focus core across rounds (round-robin). */
-    mutable int roundCounter_ = 0;
 };
 
 } // namespace core

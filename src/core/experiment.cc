@@ -3,8 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace bolt {
 namespace core {
+
+namespace {
+
+/**
+ * Phase tags for counter-based RNG stream derivation. Every stochastic
+ * task that may run on a pool thread draws from Rng::stream(seed,
+ * {phase, ...}) with coordinates that identify the task (server id,
+ * victim tenant id), never from a stream another task also draws from —
+ * this is what keeps results bit-identical at any thread count. The
+ * sequential phases (training-set construction, victim generation,
+ * placement) keep the root substream derivation, which is likewise a
+ * pure function of the seed.
+ */
+enum RngPhase : uint64_t {
+    kPhaseInstance = 3,
+    kPhaseDetect = 4,
+};
+
+} // namespace
 
 double
 ExperimentResult::aggregateAccuracy() const
@@ -170,8 +191,6 @@ ControlledExperiment::ControlledExperiment(ExperimentConfig config)
 ExperimentResult
 ControlledExperiment::run()
 {
-    util::Rng root(config_.seed);
-
     // Training: profile the 120-app training set offline. The adversary
     // trains on the platform it will attack (baremetal/container/VM)
     // but without the extra partitioning mechanisms the cloud may have
@@ -179,6 +198,7 @@ ControlledExperiment::run()
     // exactly what degrades accuracy in Section 6.
     sim::IsolationConfig channel =
         sim::IsolationConfig::none(config_.isolation.platform);
+    util::Rng root(config_.seed);
     util::Rng train_rng = root.substream("training");
     auto train_specs =
         workloads::trainingSet(train_rng, config_.trainingApps);
@@ -254,26 +274,34 @@ ControlledExperiment::run()
         ++victims_on[*choice];
         placed.push_back({t.id, *choice, spec});
         instances.emplace(
-            t.id, workloads::AppInstance(
-                      spec, victim_rng.substream("instance", t.id)));
+            t.id,
+            workloads::AppInstance(
+                spec, util::Rng::stream(config_.seed,
+                                        {kPhaseInstance, *choice, t.id})));
     }
 
     // Detection: each host's adversary runs iterative detection,
-    // stopping per victim on correct identification.
+    // stopping per victim on correct identification. Hosts are
+    // independent — the detector, recommender and contention model are
+    // shared read-only, each host's AppInstances belong to it alone,
+    // and every host draws from its own counter-based RNG stream — so
+    // the per-server loop fans out on the global thread pool. Each
+    // server writes only its own slot of `per_server`, which is then
+    // concatenated in server order: output is byte-identical to the
+    // sequential loop at any thread count.
     sim::ContentionModel contention(config_.isolation);
-    ExperimentResult result;
-    util::Rng detect_rng = root.substream("detection");
+    std::vector<std::vector<VictimOutcome>> per_server(cluster.size());
 
-    for (size_t s = 0; s < cluster.size(); ++s) {
+    cluster.forEachServer([&](size_t s, const sim::Server& server) {
         std::vector<const PlacedVictim*> here;
         for (const auto& pv : placed)
             if (pv.server == s)
                 here.push_back(&pv);
         if (here.empty())
-            continue;
+            return;
 
         HostEnvironment env;
-        env.server = &cluster.server(s);
+        env.server = &server;
         env.adversary = adversaries[s];
         env.contention = &contention;
         env.pressureAt = [&](double t) {
@@ -287,7 +315,8 @@ ControlledExperiment::run()
 
         std::map<sim::TenantId, int> found_class;
         std::map<sim::TenantId, bool> found_char;
-        util::Rng host_rng = detect_rng.substream("host", s);
+        util::Rng host_rng =
+            util::Rng::stream(config_.seed, {kPhaseDetect, s});
         double t0 = host_rng.uniform(0.0, 10.0);
 
         SparseObservation carry;
@@ -295,9 +324,14 @@ ControlledExperiment::run()
              ++iter) {
             double t = t0 + (iter - 1) *
                                 config_.detector.profilingIntervalSec;
+            // Stagger the focus-core rotation start across hosts (the
+            // sequential engine's global round counter had the same
+            // effect); the offset depends only on the server index, so
+            // it is thread-count invariant.
             DetectionRound round = detector.detectOnce(
                 env, t, host_rng,
-                config_.detector.carryObservations ? &carry : nullptr);
+                config_.detector.carryObservations ? &carry : nullptr,
+                static_cast<int>(s) + iter - 1);
             carry = round.aggregate;
             bool all_done = true;
             for (const auto* pv : here) {
@@ -325,9 +359,14 @@ ControlledExperiment::run()
             o.classCorrect = it != found_class.end();
             o.iterations = o.classCorrect ? it->second : 0;
             o.charCorrect = found_char[pv->id];
-            result.outcomes.push_back(std::move(o));
+            per_server[s].push_back(std::move(o));
         }
-    }
+    });
+
+    ExperimentResult result;
+    for (auto& bucket : per_server)
+        for (auto& o : bucket)
+            result.outcomes.push_back(std::move(o));
     return result;
 }
 

@@ -18,6 +18,9 @@ namespace core {
  * Configuration of the controlled detection experiment (Section 3.4):
  * a 40-server virtualized cluster, an adversarial VM per host, and 108
  * victim workloads placed by a least-loaded or Quasar-style scheduler.
+ *
+ * Counts are dimensionless; pressures elsewhere are percentage points
+ * in [0, 100]; times are virtual seconds.
  */
 struct ExperimentConfig
 {
@@ -89,13 +92,29 @@ struct ExperimentResult
  * and recommender, provisions the cluster, schedules victims, and runs
  * iterative detection from every host's adversarial VM, stopping per
  * victim on correct identification (the paper's protocol).
+ *
+ * Parallelism: training and placement are sequential (the scheduler is
+ * stateful); the per-host detection phase fans out across the global
+ * util::ThreadPool, one task per server.
+ *
+ * Thread-safety: a ControlledExperiment instance is not itself safe to
+ * share across threads (run() populates victims_), but any number of
+ * instances may run() concurrently, and one run() internally uses every
+ * pool thread.
  */
 class ControlledExperiment
 {
   public:
     explicit ControlledExperiment(ExperimentConfig config);
 
-    /** Run the full experiment. Deterministic for a given config. */
+    /**
+     * Run the full experiment.
+     *
+     * Deterministic for a given config: every stochastic stage draws
+     * from a counter-based RNG stream keyed by (seed, phase, server id,
+     * victim id), so the result — including outcome order — is
+     * bit-identical regardless of ThreadPool::globalThreads().
+     */
     ExperimentResult run();
 
     /** The victim specs scheduled in the last run (for inspection). */

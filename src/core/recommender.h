@@ -98,6 +98,17 @@ struct Decomposition
  *
  * SVD runs once per training set; each query performs a warm-started
  * SGD completion of its sparse row plus one weighted-Pearson pass.
+ *
+ * Thread-safety: construction is not thread-safe, but a constructed
+ * recommender is immutable — analyze(), decompose() and the other const
+ * members carry no hidden state and may be called concurrently from any
+ * number of threads (the parallel experiment engine shares one instance
+ * across all per-server detection tasks). The referenced TrainingSet
+ * must outlive the recommender and must not be mutated during queries.
+ *
+ * Units: observation and profile entries are resource-pressure
+ * percentage points in [0, 100]; similarity scores and distribution
+ * shares are dimensionless in [0, 1].
  */
 class HybridRecommender
 {

@@ -1,7 +1,10 @@
 #include "sgd.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/thread_pool.h"
 
 namespace bolt {
 namespace linalg {
@@ -76,24 +79,44 @@ sgdFactorize(const SparseMatrix& data, const SgdConfig& config,
                 res.q(j, k) = rng.gaussian(0.0, 0.1);
     }
 
+    const size_t batch =
+        config.batchSize > 1 ? config.batchSize : size_t{1};
+    std::vector<double> batch_err(batch);
+
     double prev_rmse = std::numeric_limits<double>::infinity();
     for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
         auto order = rng.permutation(entries.size());
         double sq_err = 0.0;
-        for (size_t idx : order) {
-            const Entry& e = entries[idx];
-            double pred = res.predict(e.row, e.col);
-            double err = e.value - pred;
-            sq_err += err * err;
-            for (size_t k = 0; k < r; ++k) {
-                double pk = res.p(e.row, k);
-                double qk = res.q(e.col, k);
-                res.p(e.row, k) +=
-                    config.learningRate *
-                    (err * qk - config.regularization * pk);
-                res.q(e.col, k) +=
-                    config.learningRate *
-                    (err * pk - config.regularization * qk);
+        for (size_t base = 0; base < order.size(); base += batch) {
+            size_t count = std::min(batch, order.size() - base);
+            if (count > 1) {
+                // Mini-batch epoch: every gradient in the batch reads
+                // the batch-start factors, so the errors can be
+                // computed in parallel (each index owns its slot);
+                // updates are then applied in the fixed shuffled order,
+                // keeping the result thread-count invariant.
+                util::parallelFor(0, count, [&](size_t i) {
+                    const Entry& e = entries[order[base + i]];
+                    batch_err[i] = e.value - res.predict(e.row, e.col);
+                });
+            } else {
+                const Entry& e = entries[order[base]];
+                batch_err[0] = e.value - res.predict(e.row, e.col);
+            }
+            for (size_t i = 0; i < count; ++i) {
+                const Entry& e = entries[order[base + i]];
+                double err = batch_err[i];
+                sq_err += err * err;
+                for (size_t k = 0; k < r; ++k) {
+                    double pk = res.p(e.row, k);
+                    double qk = res.q(e.col, k);
+                    res.p(e.row, k) +=
+                        config.learningRate *
+                        (err * qk - config.regularization * pk);
+                    res.q(e.col, k) +=
+                        config.learningRate *
+                        (err * pk - config.regularization * qk);
+                }
             }
         }
         res.trainRmse =

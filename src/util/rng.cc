@@ -41,6 +41,21 @@ Rng::substream(std::string_view label, uint64_t index) const
     return Rng(mixed);
 }
 
+Rng
+Rng::stream(uint64_t seed, std::initializer_list<uint64_t> path)
+{
+    // Chain a SplitMix64 finalizer over the coordinates, salting each
+    // position so {1, 0} and {0, 1} (and prefixes like {1} vs {1, 0})
+    // land on different streams.
+    uint64_t h = splitmix64(seed ^ 0xB01709EB01709EULL);
+    uint64_t pos = 1;
+    for (uint64_t id : path) {
+        h = splitmix64(h ^ splitmix64(id + pos * 0x9E3779B97F4A7C15ULL));
+        ++pos;
+    }
+    return Rng(h);
+}
+
 double
 Rng::uniform(double lo, double hi)
 {

@@ -2,6 +2,7 @@
 #define BOLT_UTIL_RNG_H
 
 #include <cstdint>
+#include <initializer_list>
 #include <random>
 #include <string_view>
 #include <vector>
@@ -34,6 +35,21 @@ class Rng
      * side-effect free on the parent.
      */
     Rng substream(std::string_view label, uint64_t index = 0) const;
+
+    /**
+     * Counter-based stream derivation for parallel tasks.
+     *
+     * Builds an independent stream from a root seed and a path of
+     * integer coordinates, e.g. stream(seed, {kPhaseDetect, server_id})
+     * or stream(seed, {kPhaseInstance, server_id, victim_id}). The
+     * derivation is a pure function of (seed, path) — no draws from any
+     * parent stream — so tasks can derive their streams in any order on
+     * any thread and results stay bit-identical regardless of thread
+     * count. Distinct paths (including distinct lengths) yield
+     * decorrelated streams.
+     */
+    static Rng stream(uint64_t seed,
+                      std::initializer_list<uint64_t> path);
 
     /** Uniform double in [lo, hi). */
     double uniform(double lo = 0.0, double hi = 1.0);

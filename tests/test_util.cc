@@ -1,8 +1,8 @@
 /**
  * @file
  * Unit tests for the util library: RNG determinism and substreams,
- * summary statistics, histograms, online stats, 2-D heatmaps, and the
- * ASCII table/series renderers.
+ * summary statistics, histograms, online stats, 2-D heatmaps, the
+ * ASCII table/series renderers, and the work-stealing thread pool.
  */
 #include <cmath>
 #include <fstream>
@@ -13,6 +13,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace bolt::util;
 
@@ -271,4 +272,97 @@ TEST(AsciiHeatmap, RendersScale)
         return (bx + by) / 4.0;
     });
     EXPECT_NE(os.str().find("t"), std::string::npos);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(2003);
+    for (auto& h : hits)
+        h.store(0);
+    pool.parallelFor(0, hits.size(),
+                     [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(1, hits[i].load()) << i;
+}
+
+TEST(ThreadPool, UnevenTasksAreStolenAcrossWorkers)
+{
+    // One chunk is 1000x slower than the rest; with grain 1 the other
+    // workers must steal the remaining chunks for this to finish fast.
+    ThreadPool pool(4);
+    std::atomic<long> total{0};
+    pool.parallelFor(
+        0, 64,
+        [&](size_t i) {
+            volatile long acc = 0;
+            long spins = i == 0 ? 2000000 : 2000;
+            for (long k = 0; k < spins; ++k)
+                acc += k;
+            total.fetch_add(1);
+        },
+        1);
+    EXPECT_EQ(64, total.load());
+}
+
+TEST(ThreadPool, NestedParallelForCompletes)
+{
+    ThreadPool::setGlobalThreads(4);
+    std::vector<std::atomic<int>> hits(16 * 16);
+    for (auto& h : hits)
+        h.store(0);
+    parallelFor(0, 16, [&](size_t i) {
+        parallelFor(0, 16, [&](size_t j) {
+            hits[i * 16 + j].fetch_add(1);
+        });
+    });
+    for (size_t k = 0; k < hits.size(); ++k)
+        ASSERT_EQ(1, hits[k].load()) << k;
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100,
+                         [](size_t i) {
+                             if (i == 57)
+                                 throw std::runtime_error("boom");
+                         },
+                         1),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitRunsDetachedTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::mutex m;
+    std::condition_variable cv;
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&] {
+            if (ran.fetch_add(1) + 1 == 32) {
+                std::lock_guard<std::mutex> lock(m);
+                cv.notify_all();
+            }
+        });
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait_for(lock, std::chrono::seconds(10),
+                [&] { return ran.load() == 32; });
+    EXPECT_EQ(32, ran.load());
+}
+
+TEST(Rng, CounterStreamMatchesRegardlessOfDerivationOrder)
+{
+    // Derive the same stream key from different threads in different
+    // orders; the draw sequence must not depend on any of that.
+    ThreadPool pool(4);
+    std::vector<double> first_draw(32);
+    pool.parallelFor(0, 32, [&](size_t i) {
+        first_draw[i] = Rng::stream(123, {7, i}).uniform();
+    }, 1);
+    for (size_t i = 0; i < 32; ++i)
+        EXPECT_DOUBLE_EQ(first_draw[i],
+                         Rng::stream(123, {7, i}).uniform())
+            << i;
 }
