@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Full verification: build + ctest in the plain configuration, then
 # again under ThreadSanitizer (BOLT_SANITIZE=thread) to vet the thread
-# pool and the parallel experiment engine.
+# pool and the parallel experiment engine. Finally a Release build runs
+# the recommender query-path benchmark, which fails if its output
+# digest diverges from the committed golden (bench/BENCH_recommender.golden)
+# and writes throughput/latency numbers to BENCH_recommender.json.
 #
-# Usage: scripts/check.sh [--plain-only|--tsan-only]
+# Usage: scripts/check.sh [--plain-only|--tsan-only|--bench-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,13 +24,28 @@ run_config() {
 
 mode="${1:-all}"
 
-if [[ "${mode}" != "--tsan-only" ]]; then
+if [[ "${mode}" == "--plain-only" || "${mode}" == "all" ]]; then
     run_config build
 fi
 
-if [[ "${mode}" != "--plain-only" ]]; then
+if [[ "${mode}" == "--tsan-only" || "${mode}" == "all" ]]; then
     # TSan slows execution ~5-15x; the suite still finishes in minutes.
     run_config build-tsan -DBOLT_SANITIZE=thread
+fi
+
+if [[ "${mode}" == "--bench-only" || "${mode}" == "all" ]]; then
+    echo "== Configuring build-release (Release) =="
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+    echo "== Building recommender benchmark =="
+    cmake --build build-release -j "$(nproc)" --target perf_recommender
+    echo "== Recommender query-path benchmark (digest-gated) =="
+    # Exits non-zero if the query-output digest does not match the
+    # committed golden, i.e. if an optimization changed results.
+    ./build-release/bench/perf_recommender \
+        --json BENCH_recommender.json \
+        --golden bench/BENCH_recommender.golden
+    echo "== BENCH_recommender.json =="
+    cat BENCH_recommender.json
 fi
 
 echo "All checks passed."

@@ -1,0 +1,30 @@
+#include "profile_table.h"
+
+#include <algorithm>
+
+namespace bolt {
+namespace core {
+
+ScaledProfileTable::ScaledProfileTable(const TrainingSet& training)
+    : count_(training.size())
+{
+    base_.resize(count_ * sim::kNumResources);
+    lo_.resize(count_ * sim::kNumResources);
+    hi_.resize(count_ * sim::kNumResources);
+    for (size_t e = 0; e < count_; ++e) {
+        const sim::ResourceVector& full = training.entry(e).fullLoadBase;
+        for (size_t c = 0; c < sim::kNumResources; ++c) {
+            base_[e * sim::kNumResources + c] = full.at(c);
+            // The scaling law is monotone in level (nondecreasing for
+            // nonnegative bases, nonincreasing otherwise), so the range
+            // extremes sit at the grid endpoints either way.
+            double a = at(e, c, kLevelMin);
+            double b = at(e, c, kLevelMax);
+            lo_[e * sim::kNumResources + c] = std::min(a, b);
+            hi_[e * sim::kNumResources + c] = std::max(a, b);
+        }
+    }
+}
+
+} // namespace core
+} // namespace bolt

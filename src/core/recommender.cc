@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
 
 namespace bolt {
 namespace core {
@@ -14,6 +16,139 @@ namespace {
  * deviation of this many points halves-ish the similarity score.
  */
 constexpr double kMatchDistanceScale = 12.0;
+
+/**
+ * Safety slack (pressure points) on decompose()'s candidate pruning
+ * bound. The bound is already provably conservative — every step it
+ * takes is a monotone floating-point operation on quantities that
+ * dominate the exact ones — so the slack only makes the skip condition
+ * slightly harder to meet.
+ */
+constexpr double kPruneSlack = 1e-6;
+
+} // namespace
+
+/**
+ * Reusable working memory for one analyze()/decompose() call. Handed
+ * out per thread-pool worker (or from the spare list) by the
+ * recommender, so after a thread's first query every buffer here is a
+ * capacity-warm vector or a fixed-size array: the query hot loops
+ * allocate nothing.
+ */
+struct QueryScratch
+{
+    // Collaborative-filtering completion: entry list, factor storage
+    // and cached shuffle orders (see linalg::SgdScratch).
+    linalg::SgdScratch sgd;
+    std::vector<double> fullRow; ///< Reconstructed victim row.
+
+    // The observation unpacked into flat arrays over the *observed*
+    // coordinates only, with the weight sums every deviation loop
+    // divides by (accumulated in the same coordinate order as the
+    // uncached code, so the bits match).
+    size_t obsCount = 0;
+    size_t obsIdx[sim::kNumResources] = {};
+    double obsVal[sim::kNumResources] = {};
+    bool obsExact[sim::kNumResources] = {};
+    double obsWeight[sim::kNumResources] = {};
+    double wsumAll = 0.0;   ///< Weight sum over observed coordinates.
+    double wsumExact = 0.0; ///< ... over Exact coordinates only.
+    size_t exactCount = 0;
+    bool hasUpper = false;
+
+    // Observed core-coordinate subset (decompose()'s shortlist ranks
+    // part-0 candidates on these alone when a core is shared).
+    size_t coreCount = 0;
+    size_t coreIdx[sim::kCoreResources.size()] = {};
+    double coreVal[sim::kCoreResources.size()] = {};
+    double coreWeight[sim::kCoreResources.size()] = {};
+    double coreWsum = 0.0;
+
+    /** (class id, score) accumulator for the similarity distribution. */
+    std::vector<std::pair<size_t, double>> classScores;
+
+    // decompose() working state.
+    std::vector<std::pair<double, size_t>> shortlist;
+    std::vector<DecompositionPart> solo;
+    std::vector<DecompositionPart> bestParts;
+    std::vector<DecompositionPart> improvedParts;
+    std::vector<DecompositionPart> baseParts;
+    std::vector<DecompositionPart> parts;
+    /**
+     * Per-part predicted values on the observed coordinates, row-major
+     * (row p holds part p's load-scaled profile). Kept in sync with
+     * whichever part vector is being evaluated, so a level refit only
+     * recomputes the one row that moved.
+     */
+    std::vector<double> partPred;
+    /** Per-coordinate prediction-sum bounds of the fixed base parts. */
+    double baseLo[sim::kNumResources] = {};
+    double baseHi[sim::kNumResources] = {};
+};
+
+/** RAII lease of a QueryScratch from a recommender's per-thread pool. */
+struct ScratchLease
+{
+    const HybridRecommender& rec;
+    HybridRecommender::ScratchHandle handle;
+
+    explicit ScratchLease(const HybridRecommender& r)
+        : rec(r), handle(r.acquireScratch())
+    {
+    }
+    ~ScratchLease() { rec.releaseScratch(handle); }
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+
+    QueryScratch& operator*() const { return *handle.scratch; }
+};
+
+namespace {
+
+/**
+ * Flatten the observed coordinates of `observation` into `s`'s arrays.
+ * Coordinate order is ascending resource index — the order the uncached
+ * deviation loops visited them — so the precomputed weight sums are
+ * bit-identical to the per-call accumulations they replace.
+ */
+void
+unpackObservation(const SparseObservation& observation,
+                  const std::vector<double>& weights, QueryScratch& s)
+{
+    s.obsCount = 0;
+    s.wsumAll = 0.0;
+    s.wsumExact = 0.0;
+    s.exactCount = 0;
+    s.hasUpper = false;
+    s.coreCount = 0;
+    s.coreWsum = 0.0;
+    for (size_t c = 0; c < sim::kNumResources; ++c) {
+        auto res = static_cast<sim::Resource>(c);
+        if (!observation.has(res))
+            continue;
+        bool exact = observation.isExact(res);
+        double w = weights[c];
+        s.obsIdx[s.obsCount] = c;
+        s.obsVal[s.obsCount] = observation.get(res);
+        s.obsExact[s.obsCount] = exact;
+        s.obsWeight[s.obsCount] = w;
+        ++s.obsCount;
+        s.wsumAll += w;
+        if (exact) {
+            s.wsumExact += w;
+            ++s.exactCount;
+        } else {
+            s.hasUpper = true;
+        }
+        if (sim::isCoreResource(res)) {
+            s.coreIdx[s.coreCount] = c;
+            s.coreVal[s.coreCount] = observation.get(res);
+            s.coreWeight[s.coreCount] = w;
+            ++s.coreCount;
+            s.coreWsum += w;
+        }
+    }
+}
 
 } // namespace
 
@@ -41,8 +176,9 @@ HybridRecommender::HybridRecommender(const TrainingSet& training,
     // ones (L1-i, LLC). Standardized concepts capture what actually
     // separates applications, matching the paper's observation that the
     // LLC and L1-i caches carry the most detection value.
-    linalg::Matrix a = training_.matrix();
+    const linalg::Matrix& a = training_.matrix();
     size_t m = a.rows();
+    size_t n = a.cols();
     linalg::Matrix standardized(m, sim::kNumResources);
     for (size_t c = 0; c < sim::kNumResources; ++c) {
         double mean = 0.0;
@@ -77,6 +213,71 @@ HybridRecommender::HybridRecommender(const TrainingSet& training,
     if (total > 0.0)
         for (auto& w : resourceWeights_)
             w /= total;
+
+    // Hoist the query-invariant half of analyze()'s completion problem:
+    // warm-start factors from the truncated SVD (plus the victim row's
+    // centroid warm start) and the normalized training block of the
+    // sparse matrix. Per query only the victim's Exact entries vary.
+    sgdRank_ = std::max<size_t>(rank_, 4);
+    warmP_ = linalg::Matrix(m + 1, sgdRank_);
+    warmQ_ = linalg::Matrix(n, sgdRank_);
+    for (size_t k = 0; k < sgdRank_ && k < svd_.s.size(); ++k) {
+        double root = std::sqrt(std::max(0.0, svd_.s[k] / 100.0));
+        for (size_t r = 0; r < m; ++r)
+            warmP_(r, k) = svd_.u(r, k) * root;
+        for (size_t c = 0; c < n; ++c)
+            warmQ_(c, k) = svd_.v(c, k) * root;
+    }
+    // The victim row starts at the training centroid in factor space.
+    for (size_t k = 0; k < sgdRank_; ++k) {
+        double mean = 0.0;
+        for (size_t r = 0; r < m; ++r)
+            mean += warmP_(r, k);
+        warmP_(m, k) = mean / static_cast<double>(m);
+    }
+    entryPrefix_.reserve(m * n);
+    for (size_t r = 0; r < m; ++r)
+        for (size_t c = 0; c < n; ++c)
+            entryPrefix_.push_back({r, c, a(r, c) / 100.0});
+
+    table_ = ScaledProfileTable(training_);
+
+    scratchPool_ = &util::ThreadPool::global();
+    workerScratch_.resize(scratchPool_->threadCount());
+}
+
+HybridRecommender::~HybridRecommender() = default;
+
+HybridRecommender::ScratchHandle
+HybridRecommender::acquireScratch() const
+{
+    util::ThreadPool::WorkerRef worker = util::ThreadPool::currentWorker();
+    if (worker.pool != nullptr && worker.pool == scratchPool_ &&
+        worker.index < workerScratch_.size()) {
+        // A worker index is exclusive to its thread, so its slot needs
+        // no lock; queries never fan out to the pool, so the slot can't
+        // be re-entered either.
+        auto& slot = workerScratch_[worker.index];
+        if (!slot)
+            slot = std::make_unique<QueryScratch>();
+        return {slot.get(), false};
+    }
+    std::lock_guard<std::mutex> lock(spareMutex_);
+    if (!spare_.empty()) {
+        QueryScratch* s = spare_.back().release();
+        spare_.pop_back();
+        return {s, true};
+    }
+    return {new QueryScratch, true};
+}
+
+void
+HybridRecommender::releaseScratch(ScratchHandle h) const
+{
+    if (!h.pooled)
+        return;
+    std::lock_guard<std::mutex> lock(spareMutex_);
+    spare_.emplace_back(h.scratch);
 }
 
 SimilarityResult
@@ -85,58 +286,49 @@ HybridRecommender::analyze(const SparseObservation& observation) const
     SimilarityResult result;
     result.conceptsKept = rank_;
 
-    linalg::Matrix a = training_.matrix();
+    const linalg::Matrix& a = training_.matrix();
     size_t m = a.rows();
     size_t n = a.cols();
 
+    ScratchLease lease(*this);
+    QueryScratch& s = *lease;
+    unpackObservation(observation, resourceWeights_, s);
+
     // Stage 1 — collaborative filtering: complete the sparse victim row
-    // by PQ-reconstruction. The training rows are fully observed; the
-    // victim contributes only its measured entries. Warm-starting from
-    // the truncated SVD factors makes the SGD converge in a few dozen
-    // epochs.
-    // Pressures are normalized to [0, 1] for the factorization so the
-    // SGD step size is scale-free.
-    linalg::SparseMatrix sparse;
-    sparse.values = linalg::Matrix(m + 1, n);
-    sparse.mask.assign(m + 1, std::vector<bool>(n, true));
-    for (size_t r = 0; r < m; ++r)
-        for (size_t c = 0; c < n; ++c)
-            sparse.values(r, c) = a(r, c) / 100.0;
-    for (size_t c = 0; c < n; ++c) {
-        auto res = static_cast<sim::Resource>(c);
-        // Only Exact entries inform the completion: an Upper (aggregate)
-        // entry is not the victim's own pressure.
-        bool known = observation.isExact(res);
-        sparse.mask[m][c] = known;
-        sparse.values(m, c) = known ? observation.get(res) / 100.0 : 0.0;
+    // by PQ-reconstruction, warm-started from the truncated SVD factors
+    // precomputed in the constructor. The training rows are fully
+    // observed; the victim contributes only its measured entries — and
+    // only the Exact ones, since an Upper (aggregate) entry is not the
+    // victim's own pressure. Pressures are normalized to [0, 1] for the
+    // factorization so the SGD step size is scale-free.
+    s.sgd.entries.assign(entryPrefix_.begin(), entryPrefix_.end());
+    for (size_t i = 0; i < s.obsCount; ++i) {
+        if (s.obsExact[i])
+            s.sgd.entries.push_back({m, s.obsIdx[i], s.obsVal[i] / 100.0});
     }
 
     linalg::SgdConfig sgd_cfg;
-    sgd_cfg.rank = std::max<size_t>(rank_, 4);
+    sgd_cfg.rank = sgdRank_;
     sgd_cfg.epochs = config_.sgdEpochs;
     sgd_cfg.learningRate = config_.sgdLearningRate;
     sgd_cfg.regularization = config_.sgdRegularization;
     sgd_cfg.seed = config_.seed;
 
-    linalg::Matrix warm_p(m + 1, sgd_cfg.rank);
-    linalg::Matrix warm_q(n, sgd_cfg.rank);
-    for (size_t k = 0; k < sgd_cfg.rank && k < svd_.s.size(); ++k) {
-        double root = std::sqrt(std::max(0.0, svd_.s[k] / 100.0));
-        for (size_t r = 0; r < m; ++r)
-            warm_p(r, k) = svd_.u(r, k) * root;
-        for (size_t c = 0; c < n; ++c)
-            warm_q(c, k) = svd_.v(c, k) * root;
-    }
-    // The victim row starts at the training centroid in factor space.
-    for (size_t k = 0; k < sgd_cfg.rank; ++k) {
-        double mean = 0.0;
-        for (size_t r = 0; r < m; ++r)
-            mean += warm_p(r, k);
-        warm_p(m, k) = mean / static_cast<double>(m);
-    }
+    const linalg::SgdResult& completion =
+        linalg::sgdFactorizeWarm(sgd_cfg, warmP_, warmQ_, s.sgd);
 
-    auto completion = linalg::sgdFactorize(sparse, sgd_cfg, warm_p, warm_q);
-    auto full_row = completion.reconstructRow(m);
+    s.fullRow.resize(n);
+    std::vector<double>& full_row = s.fullRow;
+    {
+        const double* pr = completion.p.rowPtr(m);
+        for (size_t c = 0; c < n; ++c) {
+            const double* qr = completion.q.rowPtr(c);
+            double acc = 0.0;
+            for (size_t k = 0; k < sgdRank_; ++k)
+                acc += pr[k] * qr[k];
+            full_row[c] = acc;
+        }
+    }
     // Back to pressure points; Exact measurements are trusted over the
     // low-rank estimate, Upper bounds cap it.
     for (size_t c = 0; c < n; ++c) {
@@ -160,28 +352,26 @@ HybridRecommender::analyze(const SparseObservation& observation) const
     // Weighted deviation between the observation and a candidate's
     // profile predicted at input load `level` (Exact entries: absolute;
     // Upper entries: one-sided, since other co-residents may account for
-    // the remainder of the aggregate reading).
-    auto deviation_at = [&](const sim::ResourceVector& base, double level,
+    // the remainder of the aggregate reading). Candidate profiles come
+    // from the precomputed level table.
+    auto deviation_at = [&](size_t entry_idx, double level,
                             bool exact_only) {
-        sim::ResourceVector pred =
-            workloads::scaledPressure(base, level);
-        double dist = 0.0, wsum = 0.0;
-        for (size_t c = 0; c < n; ++c) {
-            auto res = static_cast<sim::Resource>(c);
-            if (!observation.has(res))
-                continue;
-            double w = resourceWeights_[c];
-            if (observation.isExact(res)) {
-                dist += w * std::abs(full_row[c] - pred.at(c));
+        double dist = 0.0;
+        for (size_t i = 0; i < s.obsCount; ++i) {
+            size_t c = s.obsIdx[i];
+            double w = s.obsWeight[i];
+            double pred = table_.at(entry_idx, c, level);
+            if (s.obsExact[i]) {
+                dist += w * std::abs(full_row[c] - pred);
             } else {
                 if (exact_only)
                     continue;
-                double over = std::max(0.0, pred.at(c) - full_row[c]);
-                double under = std::max(0.0, full_row[c] - pred.at(c));
+                double over = std::max(0.0, pred - full_row[c]);
+                double under = std::max(0.0, full_row[c] - pred);
                 dist += w * (over + 0.05 * under);
             }
-            wsum += w;
         }
+        double wsum = exact_only ? s.wsumExact : s.wsumAll;
         return wsum > 0.0 ? dist / wsum : 1e9;
     };
 
@@ -192,14 +382,14 @@ HybridRecommender::analyze(const SparseObservation& observation) const
     // The level is fitted on the Exact coordinates only: aggregate
     // (Upper) readings carry other co-residents' pressure and would drag
     // the fit away from the attributable evidence.
-    bool any_exact = observation.exactCount() > 0;
-    auto fit_level = [&](const TrainingSet::Entry& e) {
+    bool any_exact = s.exactCount > 0;
+    auto fit_level = [&](size_t entry_idx) {
         double lo = 0.05, hi = 1.1;
         for (int it = 0; it < 18; ++it) {
             double m1 = lo + (hi - lo) / 3.0;
             double m2 = hi - (hi - lo) / 3.0;
-            if (deviation_at(e.fullLoadBase, m1, any_exact) <
-                deviation_at(e.fullLoadBase, m2, any_exact)) {
+            if (deviation_at(entry_idx, m1, any_exact) <
+                deviation_at(entry_idx, m2, any_exact)) {
                 hi = m2;
             } else {
                 lo = m1;
@@ -207,8 +397,8 @@ HybridRecommender::analyze(const SparseObservation& observation) const
         }
         return 0.5 * (lo + hi);
     };
-    auto observed_match = [&](const TrainingSet::Entry& e) {
-        double dist = deviation_at(e.fullLoadBase, fit_level(e), false);
+    auto observed_match = [&](size_t entry_idx) {
+        double dist = deviation_at(entry_idx, fit_level(entry_idx), false);
         return std::exp(-dist / kMatchDistanceScale);
     };
 
@@ -216,20 +406,16 @@ HybridRecommender::analyze(const SparseObservation& observation) const
     // contaminated by the other co-residents, so the Pearson shape term
     // would pull matches toward the blend; only the one-sided direct
     // match is trustworthy there.
-    bool has_upper = false;
-    for (size_t c = 0; c < n; ++c) {
-        auto res = static_cast<sim::Resource>(c);
-        if (observation.has(res) && !observation.isExact(res))
-            has_upper = true;
-    }
-    double direct_weight = has_upper ? 1.0 : 0.7;
+    double direct_weight = s.hasUpper ? 1.0 : 0.7;
 
     result.ranking.reserve(m);
+    std::span<const double> full_span(full_row);
+    std::span<const double> weight_span(resourceWeights_);
     for (size_t r = 0; r < m; ++r) {
-        double direct = observed_match(training_.entry(r));
+        double direct = observed_match(r);
         double pearson = std::max(
-            0.0, linalg::weightedPearson(full_row, a.row(r),
-                                         resourceWeights_));
+            0.0,
+            linalg::weightedPearson(full_span, a.rowSpan(r), weight_span));
         result.ranking.emplace_back(
             r, direct_weight * direct + (1.0 - direct_weight) * pearson);
     }
@@ -239,20 +425,18 @@ HybridRecommender::analyze(const SparseObservation& observation) const
                      });
 
     if (!result.ranking.empty()) {
-        result.topFittedLevel =
-            fit_level(training_.entry(result.ranking.front().first));
+        result.topFittedLevel = fit_level(result.ranking.front().first);
     }
 
     // Detection confidence: the gap between the best match and the best
     // candidate of any other class. Two observed coordinates rarely
     // separate classes; five usually do.
     if (!result.ranking.empty()) {
-        const std::string top_class =
-            training_.entry(result.ranking.front().first).classLabel();
+        size_t top_class =
+            training_.classIdOf(result.ranking.front().first);
         result.margin = result.ranking.front().second;
         for (size_t k = 1; k < result.ranking.size(); ++k) {
-            if (training_.entry(result.ranking[k].first).classLabel() !=
-                top_class) {
+            if (training_.classIdOf(result.ranking[k].first) != top_class) {
                 result.margin = result.ranking.front().second -
                                 result.ranking[k].second;
                 break;
@@ -266,7 +450,8 @@ HybridRecommender::analyze(const SparseObservation& observation) const
     // neighbor restores class-specific detail (e.g. memcached's zero
     // disk traffic).
     if (!result.ranking.empty() && result.ranking.front().second > 0.0) {
-        auto best = a.row(result.ranking.front().first);
+        std::span<const double> best =
+            a.rowSpan(result.ranking.front().first);
         for (size_t c = 0; c < n; ++c) {
             auto res = static_cast<sim::Resource>(c);
             if (!observation.has(res)) {
@@ -280,28 +465,32 @@ HybridRecommender::analyze(const SparseObservation& observation) const
     // Distribution over the strongest distinct classes: positive scores
     // normalized to shares, which is how the paper reports matches
     // ("65% similar to memcached, 18% to Spark PageRank, ...").
-    std::vector<std::pair<std::string, double>> classes;
+    // Classes are compared by interned id; label strings are only
+    // copied for the returned top-K entries.
+    s.classScores.clear();
     for (const auto& [idx, score] : result.ranking) {
-        if (score <= 0.0 || classes.size() >= config_.topK)
+        if (score <= 0.0 || s.classScores.size() >= config_.topK)
             break;
-        std::string label = training_.entry(idx).classLabel();
+        size_t cls = training_.classIdOf(idx);
         bool seen = false;
-        for (auto& [l, s] : classes) {
-            if (l == label) {
+        for (const auto& [c2, sc] : s.classScores) {
+            if (c2 == cls) {
                 seen = true;
                 break;
             }
         }
         if (!seen)
-            classes.emplace_back(label, score);
+            s.classScores.emplace_back(cls, score);
     }
     double total = 0.0;
-    for (const auto& [l, s] : classes)
-        total += s;
+    for (const auto& [cls, sc] : s.classScores)
+        total += sc;
     if (total > 0.0)
-        for (auto& [l, s] : classes)
-            s /= total;
-    result.distribution = std::move(classes);
+        for (auto& [cls, sc] : s.classScores)
+            sc /= total;
+    result.distribution.reserve(s.classScores.size());
+    for (const auto& [cls, sc] : s.classScores)
+        result.distribution.emplace_back(training_.className(cls), sc);
     return result;
 }
 
@@ -312,35 +501,50 @@ HybridRecommender::decompose(const SparseObservation& observation,
 {
     size_t m = training_.size();
 
+    ScratchLease lease(*this);
+    QueryScratch& s = *lease;
+    unpackObservation(observation, resourceWeights_, s);
+
+    const size_t stride = s.obsCount;
+    s.partPred.resize((max_parts + 2) * stride);
+    s.shortlist.clear();
+    s.shortlist.reserve(m);
+    s.solo.reserve(max_parts + 1);
+    s.bestParts.reserve(max_parts + 1);
+    s.improvedParts.reserve(max_parts + 1);
+    s.baseParts.reserve(max_parts + 1);
+    s.parts.reserve(max_parts + 1);
+
+    /** Recompute partPred row `row` for entry `entry_idx` at `level`. */
+    auto refresh_part = [&](size_t row, size_t entry_idx, double level) {
+        double* pred = s.partPred.data() + row * stride;
+        for (size_t i = 0; i < s.obsCount; ++i)
+            pred[i] = table_.at(entry_idx, s.obsIdx[i], level);
+    };
+
     // Weighted deviation between the observation and the sum of the
-    // parts' load-scaled profiles. Core entries are explained by part 0
-    // alone (the focus-core sibling) when a core is shared, and by
-    // nothing otherwise (no co-resident touches the adversary's cores).
+    // parts' load-scaled profiles, read from the cached partPred rows
+    // (callers keep row p in sync with parts[p], so a level refit only
+    // recomputes the row that moved — the others are reused). Core
+    // entries are explained by part 0 alone (the focus-core sibling)
+    // when a core is shared, and by nothing otherwise (no co-resident
+    // touches the adversary's cores).
     auto deviation = [&](const std::vector<DecompositionPart>& parts) {
-        double dist = 0.0, wsum = 0.0;
-        for (size_t c = 0; c < sim::kNumResources; ++c) {
-            auto res = static_cast<sim::Resource>(c);
-            if (!observation.has(res))
-                continue;
+        double dist = 0.0;
+        for (size_t i = 0; i < s.obsCount; ++i) {
             double pred = 0.0;
-            if (sim::isCoreResource(res)) {
-                if (core_shared && !parts.empty()) {
-                    pred = workloads::scaledPressure(
-                        training_.entry(parts[0].index).fullLoadBase,
-                        parts[0].level)[res];
-                }
+            if (sim::isCoreResource(
+                    static_cast<sim::Resource>(s.obsIdx[i]))) {
+                if (core_shared && !parts.empty())
+                    pred = s.partPred[i]; // Row 0: part 0's profile.
             } else {
-                for (const auto& p : parts)
-                    pred += workloads::scaledPressure(
-                        training_.entry(p.index).fullLoadBase,
-                        p.level)[res];
+                for (size_t p = 0; p < parts.size(); ++p)
+                    pred += s.partPred[p * stride + i];
                 pred = std::min(pred, 100.0);
             }
-            double w = resourceWeights_[c];
-            dist += w * std::abs(observation.get(res) - pred);
-            wsum += w;
+            dist += s.obsWeight[i] * std::abs(s.obsVal[i] - pred);
         }
-        return wsum > 0.0 ? dist / wsum : 1e9;
+        return s.wsumAll > 0.0 ? dist / s.wsumAll : 1e9;
     };
 
     // Ternary-search the load level of one part, holding others fixed.
@@ -350,8 +554,10 @@ HybridRecommender::decompose(const SparseObservation& observation,
             double m1 = lo + (hi - lo) / 3.0;
             double m2 = hi - (hi - lo) / 3.0;
             parts[which].level = m1;
+            refresh_part(which, parts[which].index, m1);
             double d1 = deviation(parts);
             parts[which].level = m2;
+            refresh_part(which, parts[which].index, m2);
             double d2 = deviation(parts);
             if (d1 < d2)
                 hi = m2;
@@ -359,6 +565,7 @@ HybridRecommender::decompose(const SparseObservation& observation,
                 lo = m1;
         }
         parts[which].level = 0.5 * (lo + hi);
+        refresh_part(which, parts[which].index, parts[which].level);
     };
 
     // Shortlist part-0 candidates. With a shared core, the core signal
@@ -367,18 +574,13 @@ HybridRecommender::decompose(const SparseObservation& observation,
     // part 0 to ghost blends. Without core sharing, every entry
     // competes on the full (uncore) signal.
     auto core_deviation = [&](size_t idx, double level) {
-        const auto& base = training_.entry(idx).fullLoadBase;
-        sim::ResourceVector pred =
-            workloads::scaledPressure(base, level);
-        double dist = 0.0, wsum = 0.0;
-        for (sim::Resource res : sim::kCoreResources) {
-            if (!observation.has(res))
-                continue;
-            double w = resourceWeights_[sim::index(res)];
-            dist += w * std::abs(observation.get(res) - pred[res]);
-            wsum += w;
+        double dist = 0.0;
+        for (size_t i = 0; i < s.coreCount; ++i) {
+            dist += s.coreWeight[i] *
+                    std::abs(s.coreVal[i] -
+                             table_.at(idx, s.coreIdx[i], level));
         }
-        return wsum > 0.0 ? dist / wsum : 1e9;
+        return s.coreWsum > 0.0 ? dist / s.coreWsum : 1e9;
     };
     auto core_fit = [&](size_t idx) {
         double lo = 0.05, hi = 1.1;
@@ -393,31 +595,34 @@ HybridRecommender::decompose(const SparseObservation& observation,
         return core_deviation(idx, 0.5 * (lo + hi));
     };
 
-    std::vector<std::pair<double, size_t>> shortlist;
-    shortlist.reserve(m);
     for (size_t i = 0; i < m; ++i) {
         if (core_shared) {
-            shortlist.emplace_back(core_fit(i), i);
+            s.shortlist.emplace_back(core_fit(i), i);
         } else {
-            std::vector<DecompositionPart> solo{{i, 1.0}};
-            refit(solo, 0);
-            shortlist.emplace_back(deviation(solo), i);
+            s.solo.clear();
+            s.solo.push_back({i, 1.0});
+            refresh_part(0, i, 1.0);
+            refit(s.solo, 0);
+            s.shortlist.emplace_back(deviation(s.solo), i);
         }
     }
-    std::sort(shortlist.begin(), shortlist.end());
-    size_t k0 = std::min(prune, shortlist.size());
+    std::sort(s.shortlist.begin(), s.shortlist.end());
+    size_t k0 = std::min(prune, s.shortlist.size());
 
     // Best single-part explanation over the full observation (the
     // shortlist above may be core-anchored, which is the wrong ranking
     // for the single-tenant hypothesis).
-    Decomposition best;
+    double best_distance = 1e9;
+    s.bestParts.clear();
     for (size_t i = 0; i < m; ++i) {
-        std::vector<DecompositionPart> solo{{i, 1.0}};
-        refit(solo, 0);
-        double d = deviation(solo);
-        if (d < best.distance) {
-            best.distance = d;
-            best.parts = solo;
+        s.solo.clear();
+        s.solo.push_back({i, 1.0});
+        refresh_part(0, i, 1.0);
+        refit(s.solo, 0);
+        double d = deviation(s.solo);
+        if (d < best_distance) {
+            best_distance = d;
+            s.bestParts = s.solo;
         }
     }
 
@@ -426,14 +631,15 @@ HybridRecommender::decompose(const SparseObservation& observation,
     // descent. The candidate pool for the added part is the full
     // training set; part 0 stays within the anchored shortlist.
     for (size_t depth = 2; depth <= max_parts; ++depth) {
-        Decomposition improved = best;
+        double improved_distance = best_distance;
+        s.improvedParts = s.bestParts;
         bool found = false;
         for (size_t s0 = 0; s0 < k0; ++s0) {
             // Re-anchoring part 0 per candidate only matters at depth 2;
             // beyond that the incumbent parts are kept.
-            std::vector<DecompositionPart> base_parts;
             if (depth == 2) {
-                base_parts = {{shortlist[s0].second, 0.8}};
+                s.baseParts.clear();
+                s.baseParts.push_back({s.shortlist[s0].second, 0.8});
             } else {
                 // Deeper searches keep the incumbent parts but still
                 // re-anchor part 0 within the strongest few shortlist
@@ -441,34 +647,97 @@ HybridRecommender::decompose(const SparseObservation& observation,
                 // in a bad decomposition).
                 if (s0 >= 4)
                     break;
-                base_parts = best.parts;
+                s.baseParts = s.bestParts;
                 if (s0 > 0 && core_shared)
-                    base_parts[0] = {shortlist[s0].second, 0.8};
+                    s.baseParts[0] = {s.shortlist[s0].second, 0.8};
+            }
+            // Per-coordinate bounds on the base parts' prediction over
+            // every level assignment the coordinate descent can reach
+            // (levels stay inside the table's grid range). Summed in
+            // part order, like the exact evaluation.
+            bool prune_ok = s.wsumAll > 0.0;
+            if (prune_ok) {
+                for (size_t i = 0; i < s.obsCount; ++i) {
+                    size_t c = s.obsIdx[i];
+                    double lo_sum = 0.0, hi_sum = 0.0;
+                    if (sim::isCoreResource(
+                            static_cast<sim::Resource>(c))) {
+                        if (core_shared) {
+                            lo_sum = table_.lo(s.baseParts[0].index, c);
+                            hi_sum = table_.hi(s.baseParts[0].index, c);
+                        }
+                    } else {
+                        for (const auto& p : s.baseParts) {
+                            lo_sum += table_.lo(p.index, c);
+                            hi_sum += table_.hi(p.index, c);
+                        }
+                    }
+                    s.baseLo[i] = lo_sum;
+                    s.baseHi[i] = hi_sum;
+                }
             }
             for (size_t j = 0; j < m; ++j) {
-                std::vector<DecompositionPart> parts = base_parts;
-                parts.push_back({j, 0.8});
+                if (prune_ok) {
+                    // Lower-bound the candidate's best reachable
+                    // deviation; skip the coordinate descent when even
+                    // the bound cannot beat the incumbent. Every step
+                    // below is a monotone floating-point operation on
+                    // quantities that bound the exact evaluation's, so
+                    // the bound never exceeds the exact deviation and
+                    // pruning never changes the search's outcome.
+                    double lb_dist = 0.0;
+                    for (size_t i = 0; i < s.obsCount; ++i) {
+                        size_t c = s.obsIdx[i];
+                        double lo_v, hi_v;
+                        if (sim::isCoreResource(
+                                static_cast<sim::Resource>(c))) {
+                            lo_v = core_shared ? s.baseLo[i] : 0.0;
+                            hi_v = core_shared ? s.baseHi[i] : 0.0;
+                        } else {
+                            lo_v = std::min(
+                                s.baseLo[i] + table_.lo(j, c), 100.0);
+                            hi_v = std::min(
+                                s.baseHi[i] + table_.hi(j, c), 100.0);
+                        }
+                        double v = s.obsVal[i];
+                        double gap = v < lo_v
+                                         ? lo_v - v
+                                         : (v > hi_v ? v - hi_v : 0.0);
+                        lb_dist += s.obsWeight[i] * gap;
+                    }
+                    if (lb_dist / s.wsumAll >
+                        improved_distance + kPruneSlack)
+                        continue;
+                }
+                s.parts = s.baseParts;
+                s.parts.push_back({j, 0.8});
+                for (size_t p = 0; p < s.parts.size(); ++p)
+                    refresh_part(p, s.parts[p].index, s.parts[p].level);
                 // Two rounds of coordinate descent over the levels.
                 for (int round = 0; round < 2; ++round)
-                    for (size_t p = 0; p < parts.size(); ++p)
-                        refit(parts, p);
-                double d = deviation(parts);
-                if (d < improved.distance) {
-                    improved.distance = d;
-                    improved.parts = parts;
+                    for (size_t p = 0; p < s.parts.size(); ++p)
+                        refit(s.parts, p);
+                double d = deviation(s.parts);
+                if (d < improved_distance) {
+                    improved_distance = d;
+                    s.improvedParts = s.parts;
                     found = true;
                 }
             }
         }
         // Occam margin: an extra tenant must reduce the unexplained
         // signal meaningfully, or the simpler explanation stands.
-        if (!found || improved.distance > best.distance * 0.88 ||
-            best.distance - improved.distance < 0.7) {
+        if (!found || improved_distance > best_distance * 0.88 ||
+            best_distance - improved_distance < 0.7) {
             break;
         }
-        best = improved;
+        best_distance = improved_distance;
+        s.bestParts = s.improvedParts;
     }
 
+    Decomposition best;
+    best.parts = s.bestParts;
+    best.distance = best_distance;
     best.score = std::exp(-best.distance / kMatchDistanceScale);
     return best;
 }

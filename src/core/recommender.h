@@ -1,17 +1,27 @@
 #ifndef BOLT_CORE_RECOMMENDER_H
 #define BOLT_CORE_RECOMMENDER_H
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/observation.h"
+#include "core/profile_table.h"
 #include "core/training.h"
 #include "linalg/sgd.h"
 #include "linalg/svd.h"
 
 namespace bolt {
+
+namespace util {
+class ThreadPool;
+} // namespace util
+
 namespace core {
+
+struct QueryScratch;
 
 /** Tuning knobs for the hybrid recommender (Section 3.2). */
 struct RecommenderConfig
@@ -99,12 +109,25 @@ struct Decomposition
  * SVD runs once per training set; each query performs a warm-started
  * SGD completion of its sparse row plus one weighted-Pearson pass.
  *
+ * Everything query-invariant is hoisted into the constructor: the SGD
+ * warm-start factors (including the victim row's centroid warm start),
+ * the normalized training block of the completion problem, and a flat
+ * table of load-scaled training profiles (ScaledProfileTable). Per-query
+ * working memory lives in reusable QueryScratch buffers handed out per
+ * thread-pool worker, so after each thread's first query the hot loops
+ * of analyze() and decompose() perform no heap allocation (only the
+ * returned result vectors are freshly built). All caching is invisible
+ * in the outputs: results are bit-identical to the uncached computation.
+ *
  * Thread-safety: construction is not thread-safe, but a constructed
- * recommender is immutable — analyze(), decompose() and the other const
- * members carry no hidden state and may be called concurrently from any
- * number of threads (the parallel experiment engine shares one instance
- * across all per-server detection tasks). The referenced TrainingSet
- * must outlive the recommender and must not be mutated during queries.
+ * recommender behaves as immutable — analyze(), decompose() and the
+ * other const members may be called concurrently from any number of
+ * threads (the parallel experiment engine shares one instance across
+ * all per-server detection tasks). Internally each concurrent caller
+ * uses a distinct QueryScratch: thread-pool workers get a fixed slot by
+ * worker index, other threads borrow from a mutex-guarded spare list.
+ * The referenced TrainingSet must outlive the recommender and must not
+ * be mutated during queries.
  *
  * Units: observation and profile entries are resource-pressure
  * percentage points in [0, 100]; similarity scores and distribution
@@ -115,6 +138,10 @@ class HybridRecommender
   public:
     HybridRecommender(const TrainingSet& training,
                       RecommenderConfig config = {});
+    ~HybridRecommender();
+
+    HybridRecommender(const HybridRecommender&) = delete;
+    HybridRecommender& operator=(const HybridRecommender&) = delete;
 
     /** Analyze one sparse profiling signal. */
     SimilarityResult analyze(const SparseObservation& observation) const;
@@ -159,12 +186,44 @@ class HybridRecommender
     const RecommenderConfig& config() const { return config_; }
 
   private:
+    /**
+     * One leased QueryScratch plus where to return it. Worker-slot
+     * scratch (pooled == false) needs no return; spare-list scratch is
+     * handed back under spareMutex_.
+     */
+    struct ScratchHandle
+    {
+        QueryScratch* scratch = nullptr;
+        bool pooled = false;
+    };
+    ScratchHandle acquireScratch() const;
+    void releaseScratch(ScratchHandle h) const;
+    friend struct ScratchLease;
+
     const TrainingSet& training_;
     RecommenderConfig config_;
     linalg::SvdResult svd_;
     size_t rank_ = 0;
     std::vector<double> resourceWeights_; ///< w_i, normalized.
     std::vector<double> columnSpread_;    ///< Per-resource training stddev.
+
+    // Query-invariant caches, built once in the constructor.
+    size_t sgdRank_ = 0;       ///< max(rank_, 4): completion rank.
+    linalg::Matrix warmP_;     ///< (m+1) x sgdRank_ warm start + centroid.
+    linalg::Matrix warmQ_;     ///< n x sgdRank_ warm start.
+    /** Normalized ([0, 1]) training block of the completion problem. */
+    std::vector<linalg::SgdEntry> entryPrefix_;
+    ScaledProfileTable table_; ///< Load-scaled training profiles.
+
+    // Per-thread query scratch. Workers of scratchPool_ use their slot
+    // in workerScratch_; everyone else borrows from spare_. The pool
+    // pointer is only ever *compared*, never dereferenced, so a stale
+    // pointer after ThreadPool::setGlobalThreads merely demotes lookups
+    // to the spare list.
+    const util::ThreadPool* scratchPool_ = nullptr;
+    mutable std::vector<std::unique_ptr<QueryScratch>> workerScratch_;
+    mutable std::mutex spareMutex_;
+    mutable std::vector<std::unique_ptr<QueryScratch>> spare_;
 };
 
 } // namespace core

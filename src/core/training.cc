@@ -8,6 +8,18 @@ namespace core {
 void
 TrainingSet::add(Entry entry)
 {
+    matrix_.appendRow(entry.profile.toVector());
+    std::string label = entry.classLabel();
+    auto it = std::find(distinctClasses_.begin(), distinctClasses_.end(),
+                        label);
+    if (it == distinctClasses_.end()) {
+        classIds_.push_back(distinctClasses_.size());
+        distinctClasses_.push_back(label);
+    } else {
+        classIds_.push_back(
+            static_cast<size_t>(it - distinctClasses_.begin()));
+    }
+    classLabels_.push_back(std::move(label));
     entries_.push_back(std::move(entry));
 }
 
@@ -40,27 +52,10 @@ TrainingSet::fromSpecs(const std::vector<workloads::AppSpec>& specs,
     return out;
 }
 
-linalg::Matrix
-TrainingSet::matrix() const
-{
-    linalg::Matrix m(entries_.size(), sim::kNumResources);
-    for (size_t i = 0; i < entries_.size(); ++i) {
-        auto row = entries_[i].profile.toVector();
-        m.setRow(i, row);
-    }
-    return m;
-}
-
 std::vector<std::string>
 TrainingSet::classLabels() const
 {
-    std::vector<std::string> out;
-    for (const auto& e : entries_) {
-        std::string label = e.classLabel();
-        if (std::find(out.begin(), out.end(), label) == out.end())
-            out.push_back(std::move(label));
-    }
-    return out;
+    return distinctClasses_;
 }
 
 } // namespace core

@@ -73,14 +73,44 @@ class TrainingSet
     const Entry& entry(size_t i) const { return entries_.at(i); }
     const std::vector<Entry>& entries() const { return entries_; }
 
-    /** Profiles as an (apps x resources) matrix for the recommender. */
-    linalg::Matrix matrix() const;
+    /**
+     * Profiles as an (apps x resources) matrix for the recommender.
+     * Cached: rows are appended as entries are added, so repeated calls
+     * are free. The reference is invalidated by add().
+     */
+    const linalg::Matrix& matrix() const { return matrix_; }
 
-    /** All distinct class labels present. */
+    /**
+     * Cached `entry(i).classLabel()` — the query path compares classes
+     * per candidate, and building the string each time would allocate
+     * inside the recommender's hot ranking loop.
+     */
+    const std::string& classLabelOf(size_t i) const
+    {
+        return classLabels_.at(i);
+    }
+
+    /**
+     * Interned class id of entry i: entries share an id iff they share
+     * a class label. Ids index classLabels()'s first-occurrence order.
+     */
+    size_t classIdOf(size_t i) const { return classIds_.at(i); }
+
+    /** Class label for an interned class id (see classIdOf). */
+    const std::string& className(size_t id) const
+    {
+        return distinctClasses_.at(id);
+    }
+
+    /** All distinct class labels present (first-occurrence order). */
     std::vector<std::string> classLabels() const;
 
   private:
     std::vector<Entry> entries_;
+    linalg::Matrix matrix_;             ///< entries_ x kNumResources.
+    std::vector<std::string> classLabels_;  ///< Per entry.
+    std::vector<size_t> classIds_;          ///< Per entry, interned.
+    std::vector<std::string> distinctClasses_;
 };
 
 } // namespace core

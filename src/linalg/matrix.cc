@@ -166,8 +166,8 @@ norm(const std::vector<double>& a)
 }
 
 double
-weightedPearson(const std::vector<double>& a, const std::vector<double>& b,
-                const std::vector<double>& weights)
+weightedPearson(std::span<const double> a, std::span<const double> b,
+                std::span<const double> weights)
 {
     if (a.size() != b.size() || a.size() != weights.size())
         throw std::invalid_argument("weightedPearson: length mismatch");
@@ -196,6 +196,15 @@ weightedPearson(const std::vector<double>& a, const std::vector<double>& b,
     if (va <= 0.0 || vb <= 0.0)
         return 0.0;
     return cov / std::sqrt(va * vb);
+}
+
+double
+weightedPearson(const std::vector<double>& a, const std::vector<double>& b,
+                const std::vector<double>& weights)
+{
+    return weightedPearson(std::span<const double>(a),
+                           std::span<const double>(b),
+                           std::span<const double>(weights));
 }
 
 } // namespace linalg

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <vector>
 
 namespace bolt {
@@ -40,6 +41,22 @@ class Matrix
 
     /** Copy of row r as a vector. */
     std::vector<double> row(size_t r) const;
+
+    /**
+     * Zero-copy view of row r (rows are contiguous). Invalidated by any
+     * operation that reshapes the matrix (appendRow, assignment).
+     */
+    std::span<const double> rowSpan(size_t r) const
+    {
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    /** Raw pointer to row r (mutable); same validity as rowSpan. */
+    double* rowPtr(size_t r) { return data_.data() + r * cols_; }
+    const double* rowPtr(size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
 
     /** Copy of column c as a vector. */
     std::vector<double> col(size_t c) const;
@@ -83,7 +100,12 @@ double norm(const std::vector<double>& a);
  * cov(a, b; w) = sum_i w_i (a_i - m(a;w)) (b_i - m(b;w)) / sum_i w_i with
  * weighted means m(.; w). Returns 0 when either side has zero weighted
  * variance (no information).
+ *
+ * The span form is the allocation-free primitive (pair it with
+ * Matrix::rowSpan in ranking loops); the vector overload forwards to it.
  */
+double weightedPearson(std::span<const double> a, std::span<const double> b,
+                       std::span<const double> weights);
 double weightedPearson(const std::vector<double>& a,
                        const std::vector<double>& b,
                        const std::vector<double>& weights);

@@ -36,6 +36,99 @@ SparseMatrix::dense(const Matrix& m)
     return out;
 }
 
+const std::vector<size_t>&
+SgdScratch::epochOrder(uint64_t seed, size_t count, size_t epoch)
+{
+    PermCache* cache = nullptr;
+    for (auto& c : caches) {
+        if (c.seed == seed && c.count == count) {
+            cache = &c;
+            break;
+        }
+    }
+    if (cache == nullptr) {
+        caches.emplace_back();
+        cache = &caches.back();
+        cache->seed = seed;
+        cache->count = count;
+        cache->rng = util::Rng(seed);
+    }
+    while (cache->orders.size() <= epoch)
+        cache->orders.push_back(cache->rng.permutation(count));
+    return cache->orders[epoch];
+}
+
+namespace {
+
+/**
+ * The SGD epoch loop shared by both entry points. `order_for(epoch)`
+ * supplies the shuffled visit order — drawn live in sgdFactorize,
+ * replayed from SgdScratch's cache in sgdFactorizeWarm — so the two
+ * paths cannot drift arithmetically.
+ */
+template <typename OrderFn>
+void
+runSgdEpochs(SgdResult& res, const std::vector<SgdEntry>& entries,
+             const SgdConfig& config, std::vector<double>& batch_err,
+             OrderFn&& order_for)
+{
+    const size_t r = config.rank;
+    const size_t batch =
+        config.batchSize > 1 ? config.batchSize : size_t{1};
+    batch_err.resize(batch);
+
+    double prev_rmse = std::numeric_limits<double>::infinity();
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        const std::vector<size_t>& order = order_for(epoch);
+        double sq_err = 0.0;
+        for (size_t base = 0; base < order.size(); base += batch) {
+            size_t count = std::min(batch, order.size() - base);
+            if (count > 1) {
+                // Mini-batch epoch: every gradient in the batch reads
+                // the batch-start factors, so the errors can be
+                // computed in parallel (each index owns its slot);
+                // updates are then applied in the fixed shuffled order,
+                // keeping the result thread-count invariant.
+                util::parallelFor(0, count, [&](size_t i) {
+                    const SgdEntry& e = entries[order[base + i]];
+                    batch_err[i] = e.value - res.predict(e.row, e.col);
+                });
+            } else {
+                const SgdEntry& e = entries[order[base]];
+                const double* pr = res.p.rowPtr(e.row);
+                const double* qr = res.q.rowPtr(e.col);
+                double acc = 0.0;
+                for (size_t k = 0; k < r; ++k)
+                    acc += pr[k] * qr[k];
+                batch_err[0] = e.value - acc;
+            }
+            for (size_t i = 0; i < count; ++i) {
+                const SgdEntry& e = entries[order[base + i]];
+                double err = batch_err[i];
+                sq_err += err * err;
+                double* pr = res.p.rowPtr(e.row);
+                double* qr = res.q.rowPtr(e.col);
+                for (size_t k = 0; k < r; ++k) {
+                    double pk = pr[k];
+                    double qk = qr[k];
+                    pr[k] += config.learningRate *
+                             (err * qk - config.regularization * pk);
+                    qr[k] += config.learningRate *
+                             (err * pk - config.regularization * qk);
+                }
+            }
+        }
+        res.trainRmse =
+            std::sqrt(sq_err / static_cast<double>(entries.size()));
+        res.epochsRun = epoch + 1;
+        if (std::abs(prev_rmse - res.trainRmse) < config.tolerance)
+            break;
+        prev_rmse = res.trainRmse;
+    }
+}
+
+} // namespace
+
 SgdResult
 sgdFactorize(const SparseMatrix& data, const SgdConfig& config,
              const std::optional<Matrix>& warm_p,
@@ -51,8 +144,13 @@ sgdFactorize(const SparseMatrix& data, const SgdConfig& config,
 
     // Collect observed entries once; SGD iterates over them in a
     // per-epoch shuffled order.
-    struct Entry { size_t row, col; double value; };
-    std::vector<Entry> entries;
+    size_t observed = 0;
+    for (size_t i = 0; i < m; ++i)
+        for (size_t j = 0; j < n; ++j)
+            if (data.known(i, j))
+                ++observed;
+    std::vector<SgdEntry> entries;
+    entries.reserve(observed);
     for (size_t i = 0; i < m; ++i)
         for (size_t j = 0; j < n; ++j)
             if (data.known(i, j))
@@ -79,53 +177,38 @@ sgdFactorize(const SparseMatrix& data, const SgdConfig& config,
                 res.q(j, k) = rng.gaussian(0.0, 0.1);
     }
 
-    const size_t batch =
-        config.batchSize > 1 ? config.batchSize : size_t{1};
-    std::vector<double> batch_err(batch);
+    std::vector<double> batch_err;
+    std::vector<size_t> order;
+    runSgdEpochs(res, entries, config, batch_err,
+                 [&](size_t) -> const std::vector<size_t>& {
+                     order = rng.permutation(entries.size());
+                     return order;
+                 });
+    return res;
+}
 
-    double prev_rmse = std::numeric_limits<double>::infinity();
-    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
-        auto order = rng.permutation(entries.size());
-        double sq_err = 0.0;
-        for (size_t base = 0; base < order.size(); base += batch) {
-            size_t count = std::min(batch, order.size() - base);
-            if (count > 1) {
-                // Mini-batch epoch: every gradient in the batch reads
-                // the batch-start factors, so the errors can be
-                // computed in parallel (each index owns its slot);
-                // updates are then applied in the fixed shuffled order,
-                // keeping the result thread-count invariant.
-                util::parallelFor(0, count, [&](size_t i) {
-                    const Entry& e = entries[order[base + i]];
-                    batch_err[i] = e.value - res.predict(e.row, e.col);
-                });
-            } else {
-                const Entry& e = entries[order[base]];
-                batch_err[0] = e.value - res.predict(e.row, e.col);
-            }
-            for (size_t i = 0; i < count; ++i) {
-                const Entry& e = entries[order[base + i]];
-                double err = batch_err[i];
-                sq_err += err * err;
-                for (size_t k = 0; k < r; ++k) {
-                    double pk = res.p(e.row, k);
-                    double qk = res.q(e.col, k);
-                    res.p(e.row, k) +=
-                        config.learningRate *
-                        (err * qk - config.regularization * pk);
-                    res.q(e.col, k) +=
-                        config.learningRate *
-                        (err * pk - config.regularization * qk);
-                }
-            }
-        }
-        res.trainRmse =
-            std::sqrt(sq_err / static_cast<double>(entries.size()));
-        res.epochsRun = epoch + 1;
-        if (std::abs(prev_rmse - res.trainRmse) < config.tolerance)
-            break;
-        prev_rmse = res.trainRmse;
+const SgdResult&
+sgdFactorizeWarm(const SgdConfig& config, const Matrix& warm_p,
+                 const Matrix& warm_q, SgdScratch& scratch)
+{
+    if (warm_p.rows() == 0 || warm_q.rows() == 0 || config.rank == 0 ||
+        warm_p.cols() != config.rank || warm_q.cols() != config.rank) {
+        throw std::invalid_argument("sgdFactorizeWarm: warm-start shape");
     }
+    if (scratch.entries.empty())
+        throw std::invalid_argument(
+            "sgdFactorizeWarm: no observed entries");
+
+    SgdResult& res = scratch.result;
+    res.p = warm_p;
+    res.q = warm_q;
+    res.trainRmse = 0.0;
+    res.epochsRun = 0;
+    runSgdEpochs(res, scratch.entries, config, scratch.batchErr,
+                 [&](size_t epoch) -> const std::vector<size_t>& {
+                     return scratch.epochOrder(
+                         config.seed, scratch.entries.size(), epoch);
+                 });
     return res;
 }
 

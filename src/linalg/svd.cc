@@ -19,13 +19,18 @@ SvdResult::reconstructRank(size_t rank) const
 {
     rank = std::min(rank, s.size());
     Matrix out(u.rows(), v.rows());
-    for (size_t r = 0; r < u.rows(); ++r)
-        for (size_t c = 0; c < v.rows(); ++c) {
-            double acc = 0.0;
-            for (size_t k = 0; k < rank; ++k)
-                acc += u(r, k) * s[k] * v(c, k);
-            out(r, c) = acc;
+    // Rank-1 updates over contiguous output rows: each cell still
+    // accumulates (u(r,k) * s[k]) * v(c,k) in ascending k, so the sum
+    // is bit-identical to the naive triple loop, but u(r,k)*s[k] is
+    // hoisted out of the inner loop and the writes are sequential.
+    for (size_t k = 0; k < rank; ++k) {
+        for (size_t r = 0; r < u.rows(); ++r) {
+            double su = u(r, k) * s[k];
+            double* orow = out.rowPtr(r);
+            for (size_t c = 0; c < v.rows(); ++c)
+                orow[c] += su * v(c, k);
         }
+    }
     return out;
 }
 

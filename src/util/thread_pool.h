@@ -99,6 +99,24 @@ class ThreadPool
     /** Worker count the global pool has (or would be created with). */
     static unsigned globalThreads();
 
+    /**
+     * Identity of the calling thread within its pool: which pool it
+     * belongs to (nullptr for threads that are not pool workers, e.g.
+     * main) and its worker index in [0, threadCount()).
+     *
+     * Lets callers hand out per-worker scratch slots without locking:
+     * a worker index is exclusive to its thread for the pool's
+     * lifetime. Compare `pool` against a pool pointer you hold — do
+     * not dereference it, since the worker may outlive callers'
+     * assumptions (setGlobalThreads replaces the global pool).
+     */
+    struct WorkerRef
+    {
+        const ThreadPool* pool = nullptr;
+        size_t index = 0;
+    };
+    static WorkerRef currentWorker();
+
   private:
     struct Worker
     {

@@ -92,26 +92,13 @@ AppInstance::AppInstance(AppSpec spec, util::Rng rng)
 {
 }
 
-namespace {
-
-/** Capacity resources hold their footprint regardless of request load. */
-bool
-loadInvariant(sim::Resource r)
-{
-    return r == sim::Resource::MemCap || r == sim::Resource::DiskCap;
-}
-
-} // namespace
-
 sim::ResourceVector
 scaledPressure(const sim::ResourceVector& base, double load)
 {
     sim::ResourceVector out;
-    for (sim::Resource r : sim::kAllResources) {
-        double scale = loadInvariant(r) ? std::max(load, 0.85) : load;
-        out[r] = base[r] * scale;
-    }
-    return out.clamped();
+    for (sim::Resource r : sim::kAllResources)
+        out[r] = scaledPressureAt(base[r], r, load);
+    return out;
 }
 
 sim::ResourceVector

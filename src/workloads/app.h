@@ -1,6 +1,7 @@
 #ifndef BOLT_WORKLOADS_APP_H
 #define BOLT_WORKLOADS_APP_H
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -142,6 +143,40 @@ constexpr double kTailAmplification = 2.9;
 
 /** Upper bound on tail inflation (client timeouts / load shedding). */
 constexpr double kTailSaturation = 150.0;
+
+/**
+ * Capacity resources (memory, disk footprints) hold their allocation
+ * regardless of request load; everything else scales with it.
+ */
+constexpr bool
+isLoadInvariant(sim::Resource r)
+{
+    return r == sim::Resource::MemCap || r == sim::Resource::DiskCap;
+}
+
+/**
+ * Load multiplier floor for capacity resources: a dataset stays
+ * resident even when the request rate collapses.
+ */
+constexpr double kCapacityLoadFloor = 0.85;
+
+/**
+ * Scalar form of the load-scaling law: the pressure resource `r` exerts
+ * at load multiplier `load` given its full-load pressure `base_r`.
+ *
+ * Piecewise linear in `load` — a single knot at kCapacityLoadFloor for
+ * capacity resources, a saturation at 100 — which is what lets the
+ * recommender precompute flat per-entry tables (core/profile_table.h)
+ * whose evaluation is bit-identical to calling this function.
+ * scaledPressure() below is exactly this applied per resource.
+ */
+inline double
+scaledPressureAt(double base_r, sim::Resource r, double load)
+{
+    double scale =
+        isLoadInvariant(r) ? std::max(load, kCapacityLoadFloor) : load;
+    return std::clamp(base_r * scale, 0.0, 100.0);
+}
 
 /**
  * Pressure profile of an application with full-load profile `base`

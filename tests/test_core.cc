@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/detector.h"
+#include "core/profile_table.h"
 #include "core/experiment.h"
 #include "sim/cluster.h"
 #include "workloads/generators.h"
@@ -481,3 +482,56 @@ TEST_P(ProbeSweep, MeasuresEveryResource)
 
 INSTANTIATE_TEST_SUITE_P(AllResources, ProbeSweep,
                          ::testing::Range(0, 10));
+
+TEST_F(TrainedFixture, TrainingMatrixAndLabelsAreCachedConsistently)
+{
+    // matrix() returns the same cached object on every call.
+    const linalg::Matrix& m1 = training_->matrix();
+    const linalg::Matrix& m2 = training_->matrix();
+    EXPECT_EQ(&m1, &m2);
+    ASSERT_EQ(training_->size(), m1.rows());
+    for (size_t i = 0; i < training_->size(); ++i) {
+        const auto& e = training_->entry(i);
+        auto profile = e.profile.toVector();
+        for (size_t c = 0; c < sim::kNumResources; ++c)
+            EXPECT_EQ(profile[c], m1(i, c)) << i;
+        // Cached class labels and interned ids agree with the entry.
+        EXPECT_EQ(e.classLabel(), training_->classLabelOf(i)) << i;
+        EXPECT_EQ(training_->classLabelOf(i),
+                  training_->className(training_->classIdOf(i)))
+            << i;
+    }
+}
+
+TEST_F(TrainedFixture, ScaledProfileTableMatchesScaledPressureExactly)
+{
+    ScaledProfileTable table(*training_);
+    ASSERT_EQ(training_->size(), table.entries());
+    // Levels across the whole grid range, including the capacity-floor
+    // knot (0.85) and both endpoints.
+    const double levels[] = {ScaledProfileTable::kLevelMin,
+                             0.1,
+                             0.3,
+                             0.5,
+                             0.7,
+                             0.85,
+                             0.9,
+                             1.0,
+                             ScaledProfileTable::kLevelMax};
+    for (size_t e = 0; e < training_->size(); ++e) {
+        const auto& base = training_->entry(e).fullLoadBase;
+        for (double level : levels) {
+            sim::ResourceVector direct =
+                workloads::scaledPressure(base, level);
+            for (size_t c = 0; c < sim::kNumResources; ++c) {
+                // Exact, not approximate: the table must be a perfect
+                // stand-in for building the scaled profile vector.
+                ASSERT_EQ(direct.at(c), table.at(e, c, level))
+                    << "entry " << e << " res " << c << " level "
+                    << level;
+                ASSERT_LE(table.lo(e, c), table.at(e, c, level));
+                ASSERT_GE(table.hi(e, c), table.at(e, c, level));
+            }
+        }
+    }
+}

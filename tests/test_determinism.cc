@@ -9,11 +9,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iterator>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/recommender.h"
 #include "linalg/sgd.h"
 #include "util/thread_pool.h"
+#include "workloads/generators.h"
 
 using namespace bolt;
 using namespace bolt::core;
@@ -150,4 +155,213 @@ TEST(Determinism, ParallelForCoversEveryIndexOnce)
                       [&](size_t i) { hits[i] += 1; });
     for (size_t i = 0; i < hits.size(); ++i)
         ASSERT_EQ(1, hits[i]) << i;
+}
+
+// ---------------------------------------------------------------------------
+// Recommender golden tests: the query-path caches (warm-start factors,
+// permutation replay, level tables, per-thread scratch, candidate
+// pruning) must be invisible in the outputs. The literals below were
+// recorded from the pre-optimization implementation at full precision;
+// every comparison is exact (EXPECT_EQ on doubles, not near-equality).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** The fixed training set the golden values refer to. */
+TrainingSet
+goldenTraining()
+{
+    util::Rng rng(1);
+    auto specs = workloads::trainingSet(rng);
+    return TrainingSet::fromSpecs(specs, rng);
+}
+
+/** Entry 17's profile, first five resources, all Exact. */
+SparseObservation
+goldenObsA(const TrainingSet& training)
+{
+    SparseObservation obs;
+    const auto& e = training.entry(17);
+    size_t n = 0;
+    for (sim::Resource r : sim::kAllResources) {
+        if (n++ >= 5)
+            break;
+        obs.set(r, e.profile[r]);
+    }
+    return obs;
+}
+
+/** Entry 42 at 0.6 load: L1I/CPU Exact, LLC inflated and Upper. */
+SparseObservation
+goldenObsB(const TrainingSet& training)
+{
+    SparseObservation obs;
+    const auto& e = training.entry(42);
+    auto p = workloads::scaledPressure(e.fullLoadBase, 0.6);
+    obs.set(sim::Resource::L1I, p[sim::Resource::L1I]);
+    obs.set(sim::Resource::CPU, p[sim::Resource::CPU]);
+    obs.set(sim::Resource::LLC, p[sim::Resource::LLC] + 7.0,
+            SparseObservation::Bound::Upper);
+    return obs;
+}
+
+/** Aggregate blend: entry 5 at 0.7 (core + uncore) plus 40 at 0.5. */
+SparseObservation
+goldenObsC(const TrainingSet& training)
+{
+    SparseObservation obs;
+    auto pa =
+        workloads::scaledPressure(training.entry(5).fullLoadBase, 0.7);
+    auto pb =
+        workloads::scaledPressure(training.entry(40).fullLoadBase, 0.5);
+    for (sim::Resource r : sim::kAllResources) {
+        double v = sim::isCoreResource(r)
+                       ? pa[r]
+                       : std::min(pa[r] + pb[r], 100.0);
+        obs.set(r, v);
+    }
+    return obs;
+}
+
+constexpr std::pair<size_t, double> kGoldenATop5[] = {
+    {66, 0.89729227369622877},  {17, 0.86001635938147758},
+    {110, 0.83241547858308262}, {19, 0.82893404220931854},
+    {23, 0.82841562152663772},
+};
+constexpr double kGoldenAMargin = 0.064876795113146146;
+constexpr double kGoldenALevel = 0.85845476205570537;
+constexpr double kGoldenARecon[] = {
+    19.477911857039675,  37.406807162857852, 32.098826912160263,
+    44.374717149588378,  38.172171358439094, 11.54738417072657,
+    41.549730796117288,  5.9102561254694255, 6.6612618205141887,
+    4.9026349608159165,
+};
+constexpr double kGoldenCDistance = 0.14683519884015681;
+
+} // namespace
+
+TEST(Determinism, RecommenderGoldenAnalyzeExact)
+{
+    util::ThreadPool::setGlobalThreads(2);
+    TrainingSet training = goldenTraining();
+    HybridRecommender rec(training);
+    auto r = rec.analyze(goldenObsA(training));
+
+    ASSERT_GE(r.ranking.size(), std::size(kGoldenATop5));
+    for (size_t k = 0; k < std::size(kGoldenATop5); ++k) {
+        EXPECT_EQ(kGoldenATop5[k].first, r.ranking[k].first) << k;
+        EXPECT_EQ(kGoldenATop5[k].second, r.ranking[k].second) << k;
+    }
+    EXPECT_EQ(kGoldenAMargin, r.margin);
+    EXPECT_EQ(kGoldenALevel, r.topFittedLevel);
+    EXPECT_EQ(2u, r.conceptsKept);
+    for (size_t c = 0; c < sim::kNumResources; ++c)
+        EXPECT_EQ(kGoldenARecon[c], r.reconstructed.at(c)) << c;
+
+    const std::pair<std::string, double> dist[] = {
+        {"speccpu:libquantum", 0.21352656617219895},
+        {"minebench:datamining", 0.1980879853542645},
+        {"speccpu:lbm", 0.19725951599591973},
+        {"speccpu:soplex", 0.1971361486256096},
+        {"parsec:multithread", 0.19398978385200724},
+    };
+    ASSERT_EQ(std::size(dist), r.distribution.size());
+    for (size_t k = 0; k < std::size(dist); ++k) {
+        EXPECT_EQ(dist[k].first, r.distribution[k].first) << k;
+        EXPECT_EQ(dist[k].second, r.distribution[k].second) << k;
+    }
+
+    // Back-to-back queries reuse the same scratch buffers; stale state
+    // from the first must not bleed into the second.
+    auto r2 = rec.analyze(goldenObsA(training));
+    EXPECT_EQ(r.ranking, r2.ranking);
+    EXPECT_EQ(r.distribution, r2.distribution);
+    EXPECT_EQ(r.margin, r2.margin);
+}
+
+TEST(Determinism, RecommenderGoldenAnalyzeWithUpperBound)
+{
+    util::ThreadPool::setGlobalThreads(2);
+    TrainingSet training = goldenTraining();
+    HybridRecommender rec(training);
+    auto r = rec.analyze(goldenObsB(training));
+
+    const std::pair<size_t, double> top3[] = {
+        {42, 0.97845208236722514},
+        {0, 0.96727096824298098},
+        {92, 0.96280349495496831},
+    };
+    ASSERT_GE(r.ranking.size(), std::size(top3));
+    for (size_t k = 0; k < std::size(top3); ++k) {
+        EXPECT_EQ(top3[k].first, r.ranking[k].first) << k;
+        EXPECT_EQ(top3[k].second, r.ranking[k].second) << k;
+    }
+    EXPECT_EQ(0.011181114124244163, r.margin);
+    EXPECT_EQ(0.60008004171405616, r.topFittedLevel);
+}
+
+TEST(Determinism, RecommenderGoldenDecompose)
+{
+    util::ThreadPool::setGlobalThreads(2);
+    TrainingSet training = goldenTraining();
+    HybridRecommender rec(training);
+    SparseObservation obs = goldenObsC(training);
+
+    auto shared = rec.decompose(obs, true, 3);
+    ASSERT_EQ(2u, shared.parts.size());
+    EXPECT_EQ(5u, shared.parts[0].index);
+    EXPECT_EQ(0.6931000807239186, shared.parts[0].level);
+    EXPECT_EQ(40u, shared.parts[1].index);
+    EXPECT_EQ(0.50612005848250319, shared.parts[1].level);
+    EXPECT_EQ(kGoldenCDistance, shared.distance);
+    EXPECT_EQ(0.98783829212325025, shared.score);
+
+    auto unshared = rec.decompose(obs, false, 2);
+    ASSERT_EQ(2u, unshared.parts.size());
+    EXPECT_EQ(1u, unshared.parts[0].index);
+    EXPECT_EQ(1.0191360847205995, unshared.parts[0].level);
+    EXPECT_EQ(115u, unshared.parts[1].index);
+    EXPECT_EQ(0.34000208866082982, unshared.parts[1].level);
+    EXPECT_EQ(7.7007752564741061, unshared.distance);
+    EXPECT_EQ(0.52638032753529185, unshared.score);
+}
+
+TEST(Determinism, RecommenderIdenticalAcrossThreadsAndScratchPaths)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        util::ThreadPool::setGlobalThreads(threads);
+        TrainingSet training = goldenTraining();
+        HybridRecommender rec(training);
+        SparseObservation obsA = goldenObsA(training);
+        SparseObservation obsC = goldenObsC(training);
+
+        // Worker-slot scratch: queries issued from inside pool tasks
+        // (grain 1 spreads them across workers). Spare-list scratch:
+        // queries issued from this thread, which is not a pool worker.
+        std::vector<SimilarityResult> fromWorkers(2 * threads);
+        util::parallelFor(
+            0, fromWorkers.size(),
+            [&](size_t i) { fromWorkers[i] = rec.analyze(obsA); }, 1);
+        auto fromMain = rec.analyze(obsA);
+
+        EXPECT_EQ(kGoldenALevel, fromMain.topFittedLevel) << threads;
+        EXPECT_EQ(kGoldenAMargin, fromMain.margin) << threads;
+        for (const auto& r : fromWorkers) {
+            EXPECT_EQ(fromMain.ranking, r.ranking) << threads;
+            EXPECT_EQ(fromMain.distribution, r.distribution) << threads;
+            EXPECT_EQ(fromMain.margin, r.margin) << threads;
+            EXPECT_EQ(fromMain.topFittedLevel, r.topFittedLevel)
+                << threads;
+        }
+
+        std::vector<Decomposition> decs(threads + 1);
+        util::parallelFor(
+            0, decs.size(),
+            [&](size_t i) { decs[i] = rec.decompose(obsC, true, 3); }, 1);
+        for (const auto& d : decs) {
+            EXPECT_EQ(kGoldenCDistance, d.distance) << threads;
+            ASSERT_EQ(2u, d.parts.size()) << threads;
+            EXPECT_EQ(5u, d.parts[0].index) << threads;
+        }
+    }
 }

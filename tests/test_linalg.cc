@@ -4,6 +4,8 @@
  * one-sided Jacobi SVD, SGD PQ-reconstruction, and weighted Pearson.
  */
 #include <cmath>
+#include <span>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -297,3 +299,114 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<size_t, size_t>{3, 7},
                       std::pair<size_t, size_t>{40, 10},
                       std::pair<size_t, size_t>{64, 8}));
+
+TEST(Matrix, RowSpanAndRowPtrAliasRowData)
+{
+    Matrix m = {{1, 2, 3}, {4, 5, 6}};
+    auto span = m.rowSpan(1);
+    ASSERT_EQ(3u, span.size());
+    EXPECT_EQ(4.0, span[0]);
+    EXPECT_EQ(6.0, span[2]);
+    // The span is a view, not a copy.
+    m(1, 0) = 40.0;
+    EXPECT_EQ(40.0, span[0]);
+    EXPECT_EQ(m.rowPtr(1), span.data());
+    auto copy = m.row(1);
+    for (size_t c = 0; c < copy.size(); ++c)
+        EXPECT_EQ(copy[c], span[c]);
+}
+
+TEST(WeightedPearson, SpanOverloadMatchesVectorOverload)
+{
+    Rng rng(311);
+    Matrix m = randomMatrix(4, 10, rng);
+    std::vector<double> w(10);
+    for (auto& x : w)
+        x = rng.uniform(0.1, 1.0);
+    for (size_t r = 1; r < m.rows(); ++r) {
+        double via_vectors = weightedPearson(m.row(0), m.row(r), w);
+        double via_spans = weightedPearson(
+            m.rowSpan(0), m.rowSpan(r), std::span<const double>(w));
+        EXPECT_EQ(via_vectors, via_spans) << r;
+    }
+}
+
+TEST(Svd, ReconstructRankMatchesNaiveTripleLoop)
+{
+    Rng rng(312);
+    Matrix a = randomMatrix(12, 10, rng, -50.0, 50.0);
+    auto s = svd(a);
+    for (size_t rank : {size_t{1}, size_t{3}, s.s.size()}) {
+        Matrix fast = s.reconstructRank(rank);
+        // The pre-optimization accumulation: per-cell k-inner sums.
+        Matrix naive(s.u.rows(), s.v.rows());
+        for (size_t r = 0; r < s.u.rows(); ++r)
+            for (size_t c = 0; c < s.v.rows(); ++c) {
+                double acc = 0.0;
+                for (size_t k = 0; k < rank; ++k)
+                    acc += s.u(r, k) * s.s[k] * s.v(c, k);
+                naive(r, c) = acc;
+            }
+        EXPECT_EQ(0.0, Matrix::maxAbsDiff(naive, fast)) << rank;
+    }
+}
+
+TEST(Sgd, WarmEntryPathMatchesSgdFactorize)
+{
+    Rng rng(313);
+    Matrix a = lowRankMatrix(14, 8, 3, rng);
+    auto data = SparseMatrix::dense(a);
+    for (size_t i = 0; i < data.rows(); ++i)
+        for (size_t j = 0; j < data.cols(); ++j)
+            if ((i * 5 + j) % 4 == 0)
+                data.mask[i][j] = false;
+
+    auto s = svd(a);
+    SgdConfig cfg;
+    cfg.rank = 3;
+    cfg.epochs = 30;
+    Matrix warm_p(a.rows(), 3), warm_q(a.cols(), 3);
+    for (size_t k = 0; k < 3; ++k) {
+        double root = std::sqrt(s.s[k]);
+        for (size_t r = 0; r < a.rows(); ++r)
+            warm_p(r, k) = s.u(r, k) * root;
+        for (size_t c = 0; c < a.cols(); ++c)
+            warm_q(c, k) = s.v(c, k) * root;
+    }
+    auto classic = sgdFactorize(data, cfg, warm_p, warm_q);
+
+    SgdScratch scratch;
+    for (size_t i = 0; i < data.rows(); ++i)
+        for (size_t j = 0; j < data.cols(); ++j)
+            if (data.known(i, j))
+                scratch.entries.push_back({i, j, data.values(i, j)});
+    const SgdResult& warm = sgdFactorizeWarm(cfg, warm_p, warm_q, scratch);
+
+    EXPECT_EQ(0.0, Matrix::maxAbsDiff(classic.p, warm.p));
+    EXPECT_EQ(0.0, Matrix::maxAbsDiff(classic.q, warm.q));
+    EXPECT_EQ(classic.trainRmse, warm.trainRmse);
+    EXPECT_EQ(classic.epochsRun, warm.epochsRun);
+
+    // A second solve on the same scratch replays the cached shuffle
+    // orders and reuses the factor storage: still bit-identical.
+    const SgdResult& again = sgdFactorizeWarm(cfg, warm_p, warm_q, scratch);
+    EXPECT_EQ(0.0, Matrix::maxAbsDiff(classic.p, again.p));
+    EXPECT_EQ(0.0, Matrix::maxAbsDiff(classic.q, again.q));
+    EXPECT_EQ(classic.trainRmse, again.trainRmse);
+}
+
+TEST(Sgd, WarmEntryPathValidatesInput)
+{
+    SgdConfig cfg;
+    cfg.rank = 2;
+    SgdScratch scratch;
+    Matrix warm_p(3, 2), warm_q(4, 2);
+    // No observed entries.
+    EXPECT_THROW(sgdFactorizeWarm(cfg, warm_p, warm_q, scratch),
+                 std::invalid_argument);
+    // Warm-start rank mismatch.
+    scratch.entries.push_back({0, 0, 1.0});
+    Matrix bad_p(3, 1);
+    EXPECT_THROW(sgdFactorizeWarm(cfg, bad_p, warm_q, scratch),
+                 std::invalid_argument);
+}
