@@ -12,6 +12,7 @@
  */
 #include <iostream>
 
+#include "obs/report.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "workloads/app.h"
@@ -38,6 +39,8 @@ accuracyWith(const std::function<void(core::ExperimentConfig&)>& tweak,
 int
 main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::applyThreadsFlag(argc, argv);
 
     std::cout << "== Detector design ablations (20 hosts, 52 victims) "

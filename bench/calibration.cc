@@ -7,6 +7,7 @@
  */
 #include <iostream>
 
+#include "obs/report.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -41,6 +42,8 @@ report(const char* title, const core::ExperimentResult& result)
 int
 main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::applyThreadsFlag(argc, argv);
 
     {

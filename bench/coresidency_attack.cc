@@ -11,14 +11,17 @@
  */
 #include <iostream>
 
+#include "obs/report.h"
 #include "attacks/coresidency.h"
 #include "util/table.h"
 
 using namespace bolt;
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     std::cout << "== Section 5.3: VM co-residency detection ==\n";
     util::AsciiTable table({"Seed", "P(land)", "Waves", "VMs",
                             "Candidates", "Base lat (ms)",

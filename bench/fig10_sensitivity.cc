@@ -10,6 +10,7 @@
  */
 #include <iostream>
 
+#include "obs/report.h"
 #include "core/detector.h"
 #include "core/experiment.h"
 #include "sim/cluster.h"
@@ -136,6 +137,8 @@ experimentAccuracy(int adversary_vcpus, int benchmarks, uint64_t seed)
 int
 main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::applyThreadsFlag(argc, argv);
 
     std::cout << "== Figure 10a: accuracy vs profiling interval "

@@ -9,14 +9,17 @@
 #include <iostream>
 #include <map>
 
+#include "obs/report.h"
 #include "util/table.h"
 #include "workloads/generators.h"
 
 using namespace bolt;
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::Rng rng(2017);
     auto jobs = workloads::userStudy(rng);
 

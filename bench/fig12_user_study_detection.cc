@@ -13,6 +13,7 @@
 #include <iostream>
 #include <map>
 
+#include "obs/report.h"
 #include "core/detector.h"
 #include "core/experiment.h"
 #include "sim/cluster.h"
@@ -23,8 +24,10 @@
 using namespace bolt;
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::Rng rng(2017);
 
     // Train once with the same 120-app set as the controlled experiment.

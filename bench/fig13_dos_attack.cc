@@ -12,14 +12,17 @@
  */
 #include <iostream>
 
+#include "obs/report.h"
 #include "attacks/dos.h"
 #include "util/table.h"
 
 using namespace bolt;
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     attacks::DosTimelineExperiment experiment;
     auto bolt_run = experiment.run(true);
     auto naive_run = experiment.run(false);

@@ -12,6 +12,7 @@
  */
 #include <iostream>
 
+#include "obs/report.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -21,6 +22,8 @@ using namespace bolt;
 int
 main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::applyThreadsFlag(argc, argv);
 
     struct Step

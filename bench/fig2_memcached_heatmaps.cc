@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "obs/report.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workloads/generators.h"
@@ -18,8 +19,10 @@
 using namespace bolt;
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::Rng rng(2);
     // Sample a large mixed population of instances at their natural
     // load levels, measure their (noisy) pressure, and bin P(memcached).

@@ -7,6 +7,7 @@
  */
 #include <iostream>
 
+#include "obs/report.h"
 #include "core/training.h"
 #include "util/table.h"
 #include "workloads/generators.h"
@@ -41,8 +42,10 @@ scatter(const char* title, const std::vector<std::pair<double, double>>& pts)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::Rng rng(2017);
     auto specs = workloads::trainingSet(rng);
     auto training = core::TrainingSet::fromSpecs(specs, rng);

@@ -8,6 +8,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "obs/report.h"
 #include "core/recommender.h"
 #include "util/table.h"
 #include "workloads/generators.h"
@@ -33,8 +34,10 @@ starChart(const char* title, const sim::ResourceVector& profile)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::Rng rng(55);
     util::Rng tr = rng.substream("train");
     auto train_specs = workloads::trainingSet(tr);

@@ -9,6 +9,7 @@
  */
 #include <iostream>
 
+#include "obs/report.h"
 #include "core/experiment.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -19,6 +20,8 @@ using namespace bolt;
 int
 main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::applyThreadsFlag(argc, argv);
 
     // A denser victim mix exercises the full 1..5 co-residency range.

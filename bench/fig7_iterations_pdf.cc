@@ -7,6 +7,7 @@
  */
 #include <iostream>
 
+#include "obs/report.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -16,6 +17,8 @@ using namespace bolt;
 int
 main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::applyThreadsFlag(argc, argv);
 
     core::ExperimentConfig cfg;

@@ -7,6 +7,7 @@
  */
 #include <iostream>
 
+#include "obs/report.h"
 #include "core/detector.h"
 #include "core/experiment.h"
 #include "sim/cluster.h"
@@ -16,8 +17,10 @@
 using namespace bolt;
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::Rng rng(88);
     util::Rng tr = rng.substream("train");
     auto train_specs = workloads::trainingSet(tr);

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/report.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -42,6 +43,8 @@ flagValue(int argc, char** argv, const char* name, long fallback)
 int
 main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     core::ExperimentConfig cfg;
     cfg.servers =
         static_cast<size_t>(flagValue(argc, argv, "--servers", 40));

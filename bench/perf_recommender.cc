@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.h"
 #include "core/recommender.h"
 #include "linalg/sgd.h"
 #include "linalg/svd.h"
@@ -440,7 +441,16 @@ int
 jsonMode(const std::string& json_path, const std::string& golden_path,
          size_t reps, bool dump_golden)
 {
+    // Metrics are recorded for the whole harness so the report can show
+    // the query path's internals (prune-hit rate, scratch sourcing).
+    // The digest gate below proves recording never changes results.
+    auto& metrics = obs::MetricsRegistry::global();
+    bool metrics_were_enabled = metrics.enabled();
+    metrics.setEnabled(true);
+    metrics.reset();
     HarnessResult r = runHarness(reps);
+    obs::Snapshot snap = metrics.snapshot();
+    metrics.setEnabled(metrics_were_enabled);
 
     if (dump_golden) {
         // Emit a fresh golden file (digest + this build's throughput as
@@ -483,8 +493,38 @@ jsonMode(const std::string& json_path, const std::string& golden_path,
        << "  \"multi_thread\": {\n"
        << "    \"threads\": " << r.mtThreads << ",\n"
        << "    \"queries_per_sec\": " << r.mtQps << "\n"
-       << "  },\n"
-       << "  \"baseline\": {\n"
+       << "  },\n";
+
+    // Query-path internals from the metrics registry, over every query
+    // the harness ran (timed reps, both thread modes, digest passes).
+    uint64_t prune_skipped =
+        snap.counter(obs::MetricId::kRecommenderPruneSkipped).value;
+    uint64_t prune_evaluated =
+        snap.counter(obs::MetricId::kRecommenderPruneEvaluated).value;
+    uint64_t prune_total = prune_skipped + prune_evaluated;
+    js << "  \"metrics\": {\n"
+       << "    \"analyze_calls\": "
+       << snap.counter(obs::MetricId::kRecommenderAnalyzeCalls).value
+       << ",\n"
+       << "    \"decompose_calls\": "
+       << snap.counter(obs::MetricId::kRecommenderDecomposeCalls).value
+       << ",\n"
+       << "    \"prune_skipped\": " << prune_skipped << ",\n"
+       << "    \"prune_evaluated\": " << prune_evaluated << ",\n"
+       << "    \"prune_hit_rate\": "
+       << (prune_total ? static_cast<double>(prune_skipped) /
+                             static_cast<double>(prune_total)
+                       : 0.0)
+       << ",\n"
+       << "    \"scratch_worker_hits\": "
+       << snap.counter(obs::MetricId::kRecommenderScratchWorkerHits).value
+       << ",\n"
+       << "    \"scratch_spare_acquisitions\": "
+       << snap.counter(obs::MetricId::kRecommenderScratchSpareAcquisitions)
+              .value
+       << "\n  },\n";
+
+    js << "  \"baseline\": {\n"
        << "    \"recorded\": " << (g.loaded ? "true" : "false") << ",\n"
        << "    \"single_thread_queries_per_sec\": " << g.baselineStQps
        << ",\n"
@@ -520,6 +560,8 @@ jsonMode(const std::string& json_path, const std::string& golden_path,
 int
 main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::applyThreadsFlag(argc, argv);
 
     std::string json_path, golden_path = "bench/BENCH_recommender.golden";

@@ -9,6 +9,7 @@
  */
 #include <iostream>
 
+#include "obs/report.h"
 #include "core/experiment.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -18,6 +19,8 @@ using namespace bolt;
 int
 main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::applyThreadsFlag(argc, argv);
 
     std::cout << "== Table 1: detection accuracy, controlled experiment "

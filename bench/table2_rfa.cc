@@ -9,6 +9,7 @@
  */
 #include <iostream>
 
+#include "obs/report.h"
 #include "attacks/rfa.h"
 #include "util/table.h"
 #include "workloads/catalog.h"
@@ -34,8 +35,10 @@ steady(const char* family, const char* variant, double level,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::Rng rng(77);
     sim::ContentionModel contention{
         sim::IsolationConfig::none(sim::Platform::VirtualMachine)};

@@ -13,18 +13,33 @@
  *   bolt_cli dos        [--seed S]
  *   bolt_cli coresidency [--probes N] [--waves N] [--seed S]
  *
- * Every run is deterministic for a given seed; --threads only
- * changes wall-clock time, never results.
+ * Every subcommand also takes the shared observability flags:
+ *   --metrics-out FILE  write a RunReport JSON (config + metrics)
+ *   --trace-out FILE    write a sim-time trace (Chrome JSON; .jsonl
+ *                       for flat JSONL)
+ *   --log-level L       error|warn|info|debug (default warn)
+ *
+ * Every run is deterministic for a given seed; --threads only changes
+ * wall-clock time, never results, and the observability flags never
+ * change results either (scripts/check.sh --obs enforces both).
+ *
+ * Unknown flags are an error: a typo'd --victms must not silently run
+ * the default experiment.
  */
+#include <chrono>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <map>
-#include <set>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "attacks/coresidency.h"
 #include "attacks/dos.h"
 #include "core/experiment.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "workloads/generators.h"
@@ -33,19 +48,68 @@ using namespace bolt;
 
 namespace {
 
-/** Minimal flag parser: --name value pairs after the subcommand. */
+/** One accepted flag of a subcommand. */
+struct FlagSpec
+{
+    const char* name; ///< Without the leading "--".
+    bool takesValue;
+};
+
+/** Flags every subcommand accepts (consumed before Args sees them,
+ * except --threads, which applyThreadsFlag reads in place). */
+const std::vector<FlagSpec> kCommonFlags = {
+    {"threads", true},
+};
+
+/**
+ * Strict flag parser: --name [value] tokens after the subcommand,
+ * validated against the subcommand's spec. Unknown flags, missing
+ * values and stray positional tokens are errors — a typo must fail
+ * loudly, not silently run a default configuration.
+ */
 class Args
 {
   public:
-    Args(int argc, char** argv, int first) : argc_(argc), argv_(argv)
+    /** @return false (with a message on stderr) on any parse error. */
+    bool
+    parse(int argc, char** argv, int first,
+          const std::vector<FlagSpec>& spec)
     {
-        for (int i = first; i + 1 < argc_; i += 2) {
-            if (std::strncmp(argv_[i], "--", 2) == 0)
-                values_[argv_[i] + 2] = argv_[i + 1];
+        auto find = [&spec](const std::string& name) -> const FlagSpec* {
+            for (const auto& f : spec)
+                if (name == f.name)
+                    return &f;
+            for (const auto& f : kCommonFlags)
+                if (name == f.name)
+                    return &f;
+            return nullptr;
+        };
+        for (int i = first; i < argc; ++i) {
+            if (std::strncmp(argv[i], "--", 2) != 0) {
+                std::cerr << "bolt_cli: unexpected argument '" << argv[i]
+                          << "'\n"
+                          << validFlagsLine(spec);
+                return false;
+            }
+            std::string name = argv[i] + 2;
+            const FlagSpec* f = find(name);
+            if (!f) {
+                std::cerr << "bolt_cli: unknown flag '--" << name << "'\n"
+                          << validFlagsLine(spec);
+                return false;
+            }
+            if (f->takesValue) {
+                if (i + 1 >= argc) {
+                    std::cerr << "bolt_cli: flag '--" << name
+                              << "' requires a value\n";
+                    return false;
+                }
+                values_[name] = argv[++i];
+            } else {
+                values_[name] = "";
+            }
         }
-        for (int i = first; i < argc_; ++i)
-            if (std::strncmp(argv_[i], "--", 2) == 0)
-                flags_.insert(argv_[i] + 2);
+        return true;
     }
 
     std::string
@@ -69,13 +133,22 @@ class Args
         return it == values_.end() ? fallback : std::stod(it->second);
     }
 
-    bool has(const std::string& name) const { return flags_.count(name); }
+    bool has(const std::string& name) const { return values_.count(name); }
 
   private:
-    int argc_;
-    char** argv_;
+    static std::string
+    validFlagsLine(const std::vector<FlagSpec>& spec)
+    {
+        std::string line = "valid flags:";
+        for (const auto& f : spec)
+            line += std::string(" --") + f.name;
+        for (const auto& f : kCommonFlags)
+            line += std::string(" --") + f.name;
+        line += " --metrics-out --trace-out --log-level\n";
+        return line;
+    }
+
     std::map<std::string, std::string> values_;
-    std::set<std::string> flags_;
 };
 
 sim::Platform
@@ -106,6 +179,31 @@ parseIsolation(const std::string& name, sim::Platform platform)
     return sim::IsolationConfig::none(platform);
 }
 
+/** Wall-clock timer for the RunReport (observability only). */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+std::string
+hex64(uint64_t v)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << v;
+    return os.str();
+}
+
 int
 runExperiment(const Args& args)
 {
@@ -120,7 +218,31 @@ runExperiment(const Args& args)
         args.get("isolation", "none"),
         parsePlatform(args.get("platform", "vm")));
 
+    obs::RunReport report("experiment");
+    report.set("servers", static_cast<uint64_t>(cfg.servers));
+    report.set("victims", static_cast<uint64_t>(cfg.victims));
+    report.set("seed", cfg.seed);
+    report.set("policy", args.has("quasar") ? "quasar" : "least-loaded");
+    report.set("platform", args.get("platform", "vm"));
+    report.set("isolation", args.get("isolation", "none"));
+    report.set("obfuscation", cfg.victimObfuscation);
+    report.set("threads",
+               static_cast<uint64_t>(util::ThreadPool::globalThreads()));
+
+    WallTimer wall;
     auto result = core::ControlledExperiment(cfg).run();
+    report.setWallSeconds(wall.seconds());
+
+    auto& metrics = obs::MetricsRegistry::global();
+    if (metrics.enabled()) {
+        report.setSimSeconds(
+            metrics.snapshot()
+                .histogram(obs::MetricId::kExperimentHostSimSec)
+                .sum);
+    }
+    report.set("result_digest", hex64(result.digest()));
+    obs::writeConfiguredOutputs(report);
+
     util::AsciiTable table({"Metric", "Value"});
     table.addRow({"Victims scheduled",
                   std::to_string(result.outcomes.size())});
@@ -133,6 +255,7 @@ runExperiment(const Args& args)
         table.addRow({"Accuracy @ " + std::to_string(n) +
                           " co-resident(s)",
                       util::AsciiTable::percent(acc, 1)});
+    table.addRow({"Result digest", hex64(result.digest())});
     table.print(std::cout);
     return 0;
 }
@@ -147,6 +270,11 @@ runDetect(const Args& args)
         std::cerr << "unknown family: " << family << "\n";
         return 2;
     }
+
+    obs::RunReport report("detect");
+    report.set("family", family);
+    report.set("seed", static_cast<uint64_t>(args.getInt("seed", 2017)));
+    WallTimer wall;
 
     util::Rng tr = rng.substream("train");
     auto specs = workloads::trainingSet(tr);
@@ -175,6 +303,14 @@ runDetect(const Args& args)
         return pm;
     };
     auto round = detector.detectOnce(env, 0.0, rng);
+
+    report.setWallSeconds(wall.seconds());
+    report.setSimSeconds(round.profilingSec);
+    report.set("victim_class", spec.classLabel());
+    report.set("top_match", round.topClass());
+    report.set("correct", round.topClass() == spec.classLabel());
+    obs::writeConfiguredOutputs(report);
+
     std::cout << "hidden victim: " << spec.classLabel() << "\n";
     if (round.guesses.empty()) {
         std::cout << "no confident match\n";
@@ -197,9 +333,20 @@ runDos(const Args& args)
 {
     attacks::DosTimelineConfig cfg;
     cfg.seed = static_cast<uint64_t>(args.getInt("seed", 99));
+
+    obs::RunReport report("dos");
+    report.set("seed", cfg.seed);
+    WallTimer wall;
+
     attacks::DosTimelineExperiment experiment(cfg);
     auto bolt_run = experiment.run(true);
     auto naive_run = experiment.run(false);
+
+    report.setWallSeconds(wall.seconds());
+    report.setSimSeconds(static_cast<double>(bolt_run.size() +
+                                             naive_run.size()));
+    obs::writeConfiguredOutputs(report);
+
     double nominal = bolt_run[5].p99Ms;
     util::AsciiTable table(
         {"t", "Bolt p99 x", "Bolt util", "Naive p99 x", "Naive util"});
@@ -222,7 +369,20 @@ runCoResidency(const Args& args)
     cfg.seed = static_cast<uint64_t>(args.getInt("seed", 7));
     cfg.probeVms = static_cast<size_t>(args.getInt("probes", 10));
     cfg.maxWaves = static_cast<size_t>(args.getInt("waves", 8));
+
+    obs::RunReport report("coresidency");
+    report.set("seed", cfg.seed);
+    report.set("probes", static_cast<uint64_t>(cfg.probeVms));
+    report.set("waves", static_cast<uint64_t>(cfg.maxWaves));
+    WallTimer wall;
+
     auto result = attacks::CoResidencyAttack(cfg).run();
+
+    report.setWallSeconds(wall.seconds());
+    report.setSimSeconds(result.detectionTimeSec);
+    report.set("victim_pinpointed", result.victimPinpointed);
+    obs::writeConfiguredOutputs(report);
+
     util::AsciiTable table({"Metric", "Value"});
     table.addRow({"P(probe lands)",
                   util::AsciiTable::num(result.placementProbability, 3)});
@@ -259,8 +419,34 @@ usage()
            "              --obfuscation A\n"
            "  detect      --family NAME --seed S\n"
            "  dos         --seed S\n"
-           "  coresidency --probes N --waves N --seed S\n";
+           "  coresidency --probes N --waves N --seed S\n"
+           "observability (any subcommand):\n"
+           "  --metrics-out FILE  RunReport JSON: config + metrics "
+           "snapshot\n"
+           "  --trace-out FILE    sim-time trace (Chrome JSON; .jsonl "
+           "= JSONL)\n"
+           "  --log-level L       error|warn|info|debug (default "
+           "warn)\n"
+           "unknown flags are rejected\n";
 }
+
+const std::vector<FlagSpec> kExperimentFlags = {
+    {"servers", true},     {"victims", true},  {"seed", true},
+    {"quasar", false},     {"platform", true}, {"isolation", true},
+    {"obfuscation", true},
+};
+const std::vector<FlagSpec> kDetectFlags = {
+    {"family", true},
+    {"seed", true},
+};
+const std::vector<FlagSpec> kDosFlags = {
+    {"seed", true},
+};
+const std::vector<FlagSpec> kCoResidencyFlags = {
+    {"probes", true},
+    {"waves", true},
+    {"seed", true},
+};
 
 } // namespace
 
@@ -271,17 +457,35 @@ main(int argc, char** argv)
         usage();
         return 2;
     }
+    // Consumes --metrics-out/--trace-out/--log-level and enables the
+    // subsystems; must run before the strict parser below sees argv.
+    if (!obs::applyObsFlags(argc, argv))
+        return 2;
     util::applyThreadsFlag(argc, argv);
-    Args args(argc, argv, 2);
+
     std::string command = argv[1];
-    if (command == "experiment")
-        return runExperiment(args);
-    if (command == "detect")
-        return runDetect(args);
-    if (command == "dos")
-        return runDos(args);
-    if (command == "coresidency")
-        return runCoResidency(args);
-    usage();
-    return 2;
+    const std::vector<FlagSpec>* spec = nullptr;
+    int (*run)(const Args&) = nullptr;
+    if (command == "experiment") {
+        spec = &kExperimentFlags;
+        run = runExperiment;
+    } else if (command == "detect") {
+        spec = &kDetectFlags;
+        run = runDetect;
+    } else if (command == "dos") {
+        spec = &kDosFlags;
+        run = runDos;
+    } else if (command == "coresidency") {
+        spec = &kCoResidencyFlags;
+        run = runCoResidency;
+    } else {
+        std::cerr << "bolt_cli: unknown command '" << command << "'\n";
+        usage();
+        return 2;
+    }
+
+    Args args;
+    if (!args.parse(argc, argv, 2, *spec))
+        return 2;
+    return run(args);
 }

@@ -6,7 +6,12 @@
 # digest diverges from the committed golden (bench/BENCH_recommender.golden)
 # and writes throughput/latency numbers to BENCH_recommender.json.
 #
-# Usage: scripts/check.sh [--plain-only|--tsan-only|--bench-only]
+# The --obs stage asserts the observability contract: running the same
+# experiment with metrics+tracing enabled vs disabled, at 1 and 8
+# threads, must produce byte-identical stdout (including the result
+# digest), while the emitted metrics/trace files must be valid JSON.
+#
+# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--bench-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +36,62 @@ fi
 if [[ "${mode}" == "--tsan-only" || "${mode}" == "all" ]]; then
     # TSan slows execution ~5-15x; the suite still finishes in minutes.
     run_config build-tsan -DBOLT_SANITIZE=thread
+fi
+
+if [[ "${mode}" == "--obs" || "${mode}" == "all" ]]; then
+    echo "== Observability inertness gate =="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target bolt_cli
+    obs_dir="$(mktemp -d)"
+    trap 'rm -rf "${obs_dir}"' EXIT
+    cli=./build/examples/bolt_cli
+    exp_flags=(experiment --servers 8 --victims 20 --seed 7)
+
+    for threads in 1 8; do
+        echo "-- threads=${threads}: obs off vs on --"
+        "${cli}" "${exp_flags[@]}" --threads "${threads}" \
+            > "${obs_dir}/off_${threads}.txt"
+        "${cli}" "${exp_flags[@]}" --threads "${threads}" \
+            --metrics-out "${obs_dir}/m_${threads}.json" \
+            --trace-out "${obs_dir}/t_${threads}.json" \
+            --log-level error \
+            > "${obs_dir}/on_${threads}.txt"
+        if ! diff -u "${obs_dir}/off_${threads}.txt" \
+                     "${obs_dir}/on_${threads}.txt"; then
+            echo "FAIL: enabling observability changed experiment output" \
+                 "at threads=${threads}" >&2
+            exit 1
+        fi
+        # The emitted files must be valid JSON with the expected roots.
+        python3 - "${obs_dir}/m_${threads}.json" \
+                  "${obs_dir}/t_${threads}.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["bolt_run_report"] == 1, "missing RunReport marker"
+assert report["command"] == "experiment", report["command"]
+assert report["metrics"]["counters"]["detector.rounds"] > 0
+trace = json.load(open(sys.argv[2]))
+assert isinstance(trace["traceEvents"], list) and trace["traceEvents"]
+assert any(e["name"] == "detector.round" for e in trace["traceEvents"])
+EOF
+    done
+
+    # The run itself is thread-count invariant (digest printed in stdout).
+    if ! diff -u "${obs_dir}/off_1.txt" "${obs_dir}/off_8.txt"; then
+        echo "FAIL: experiment output differs between 1 and 8 threads" >&2
+        exit 1
+    fi
+    # The trace export must also be byte-identical across thread counts.
+    if ! diff -u "${obs_dir}/t_1.json" "${obs_dir}/t_8.json"; then
+        echo "FAIL: trace export differs between 1 and 8 threads" >&2
+        exit 1
+    fi
+    # Strict flag parsing: unknown flags must be rejected.
+    if "${cli}" experiment --no-such-flag >/dev/null 2>&1; then
+        echo "FAIL: bolt_cli accepted an unknown flag" >&2
+        exit 1
+    fi
+    echo "Observability gate passed."
 fi
 
 if [[ "${mode}" == "--bench-only" || "${mode}" == "all" ]]; then

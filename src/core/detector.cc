@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bolt {
 namespace core {
 
@@ -34,6 +37,8 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
 {
     DetectionRound round;
     double now = t;
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.add(obs::MetricId::kDetectorRounds);
 
     ProfileRound prof = profiler_.profile(env, now, rng, round_index);
     now += prof.durationSec;
@@ -59,12 +64,14 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
         (prof.coreShared && core_seen < 3)) {
         // Inconclusive or thin signal: widen the in-round snapshot with
         // extra probes (temporally coherent — a round fits in seconds).
+        metrics.add(obs::MetricId::kDetectorExtraProbeRounds);
         auto probe_one = [&](sim::Resource r) {
             double ci = profiler_.measureResource(env, r, prof.focusCore,
                                                   now, rng);
             prof.observation.set(r, ci);
             now += Microbenchmark::rampDurationSec(ci);
             ++round.benchmarksRun;
+            metrics.add(obs::MetricId::kDetectorExtraProbes);
         };
         int extra = config_.extraProbesWhenUnconfident;
         if (prof.coreShared) {
@@ -98,6 +105,7 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
             now += shutter.durationSec;
             round.benchmarksRun += shutter.benchmarksRun;
             round.usedShutter = true;
+            metrics.add(obs::MetricId::kDetectorShutterRounds);
             SimilarityResult via_shutter =
                 recommender_.analyze(shutter.observation);
             if (via_shutter.topScore() > whole.topScore()) {
@@ -146,6 +154,8 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
             }
             round.guesses.push_back(std::move(guess));
         }
+        metrics.add(obs::MetricId::kDetectorDecomposedGuesses,
+                    decomp.parts.size());
     } else if (whole.topScore() >= floor && !whole.ranking.empty()) {
         // Decomposition inconclusive: fall back to the best whole-signal
         // match (the paper emits its top similarity whenever any
@@ -164,9 +174,20 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
         }
         guess.distribution = whole.distribution;
         round.guesses.push_back(std::move(guess));
+        metrics.add(obs::MetricId::kDetectorFallbackGuesses);
     }
+    if (round.guesses.empty())
+        metrics.add(obs::MetricId::kDetectorInconclusiveRounds);
 
     round.profilingSec = now - t;
+    metrics.observe(obs::MetricId::kDetectorRoundSimSec,
+                    round.profilingSec);
+    BOLT_TRACE_SPAN("detector.round", "detector",
+                    static_cast<int64_t>(env.server->id()), t, now,
+                    round_index,
+                    {{"guesses", std::to_string(round.guesses.size())},
+                     {"benchmarks", std::to_string(round.benchmarksRun)},
+                     {"shutter", round.usedShutter ? "1" : "0"}});
     return round;
 }
 

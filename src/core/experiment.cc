@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace bolt {
@@ -125,6 +128,32 @@ ExperimentResult::iterationsPdf(int co_residents) const
     return out;
 }
 
+uint64_t
+ExperimentResult::digest() const
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(outcomes.size());
+    for (const auto& o : outcomes) {
+        for (char c : o.spec.classLabel()) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+        mix(o.server);
+        mix(static_cast<uint64_t>(o.coResidents));
+        mix(static_cast<uint64_t>(o.dominant));
+        mix(o.classCorrect ? 1 : 0);
+        mix(o.charCorrect ? 1 : 0);
+        mix(static_cast<uint64_t>(o.iterations));
+    }
+    return h;
+}
+
 std::map<int, std::pair<double, int>>
 ExperimentResult::accuracyByPressure(sim::Resource r, int bin) const
 {
@@ -244,6 +273,7 @@ ControlledExperiment::run()
     std::map<size_t, int> victims_on;
     std::map<sim::TenantId, workloads::AppInstance> instances;
 
+    auto& metrics = obs::MetricsRegistry::global();
     for (const auto& spec : victims_) {
         auto choice = scheduler->pick(cluster, spec, spec.vcpus);
         // Respect the per-host victim cap; fall back over hosts in
@@ -254,6 +284,7 @@ ControlledExperiment::run()
                        cluster.isolation()) >= spec.vcpus;
         };
         if (!choice || !fits(*choice)) {
+            metrics.add(obs::MetricId::kSchedPickFallbacks);
             choice.reset();
             for (size_t s = 0; s < cluster.size(); ++s) {
                 if (fits(s) && (!choice ||
@@ -263,8 +294,12 @@ ControlledExperiment::run()
                 }
             }
         }
-        if (!choice)
+        if (!choice) {
+            metrics.add(obs::MetricId::kSchedPlacementFailures);
+            BOLT_LOG_WARN("cluster full: victim " << spec.classLabel()
+                                                  << " not scheduled");
             continue; // cluster full; victim not scheduled
+        }
         sim::Tenant t;
         t.id = cluster.nextTenantId();
         t.vcpus = spec.vcpus;
@@ -279,6 +314,10 @@ ControlledExperiment::run()
                 spec, util::Rng::stream(config_.seed,
                                         {kPhaseInstance, *choice, t.id})));
     }
+    metrics.add(obs::MetricId::kExperimentVictimsScheduled, placed.size());
+    BOLT_LOG_INFO("placed " << placed.size() << "/" << victims_.size()
+                            << " victims on " << cluster.size()
+                            << " servers");
 
     // Detection: each host's adversary runs iterative detection,
     // stopping per victim on correct identification. Hosts are
@@ -318,6 +357,8 @@ ControlledExperiment::run()
         util::Rng host_rng =
             util::Rng::stream(config_.seed, {kPhaseDetect, s});
         double t0 = host_rng.uniform(0.0, 10.0);
+        double host_end = t0;
+        metrics.add(obs::MetricId::kExperimentHostsProbed);
 
         SparseObservation carry;
         for (int iter = 1; iter <= config_.detector.maxIterations;
@@ -333,6 +374,7 @@ ControlledExperiment::run()
                 config_.detector.carryObservations ? &carry : nullptr,
                 static_cast<int>(s) + iter - 1);
             carry = round.aggregate;
+            host_end = t + round.profilingSec;
             bool all_done = true;
             for (const auto* pv : here) {
                 if (!found_class.count(pv->id) &&
@@ -349,6 +391,7 @@ ControlledExperiment::run()
                 break;
         }
 
+        size_t detected = 0;
         for (const auto* pv : here) {
             VictimOutcome o;
             o.spec = pv->spec;
@@ -359,8 +402,24 @@ ControlledExperiment::run()
             o.classCorrect = it != found_class.end();
             o.iterations = o.classCorrect ? it->second : 0;
             o.charCorrect = found_char[pv->id];
+            if (o.classCorrect) {
+                ++detected;
+                metrics.add(obs::MetricId::kExperimentVictimsDetected);
+                metrics.observe(
+                    obs::MetricId::kDetectorIterationsToConvergence,
+                    static_cast<double>(o.iterations));
+            }
+            if (o.charCorrect)
+                metrics.add(
+                    obs::MetricId::kExperimentVictimsCharacterized);
             per_server[s].push_back(std::move(o));
         }
+        metrics.observe(obs::MetricId::kExperimentHostSimSec,
+                        host_end - t0);
+        BOLT_TRACE_SPAN("experiment.host", "experiment",
+                        static_cast<int64_t>(s), t0, host_end, -1,
+                        {{"victims", std::to_string(here.size())},
+                         {"detected", std::to_string(detected)}});
     });
 
     ExperimentResult result;

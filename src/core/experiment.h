@@ -85,6 +85,14 @@ struct ExperimentResult
      */
     std::map<int, std::pair<double, int>>
     accuracyByPressure(sim::Resource r, int bin = 20) const;
+    /**
+     * FNV-1a fingerprint of every outcome (victim class label, server,
+     * co-residents, dominant resource, correctness flags, iteration
+     * count) in order. Bit-identical across thread counts and across
+     * observability on/off — scripts/check.sh --obs compares exactly
+     * this value.
+     */
+    uint64_t digest() const;
 };
 
 /**

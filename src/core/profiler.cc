@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bolt {
 namespace core {
 
@@ -105,6 +108,14 @@ Profiler::profile(const HostEnvironment& env, double t, util::Rng& rng,
     }
 
     round.durationSec = now - t;
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.add(obs::MetricId::kProfilerRounds);
+    metrics.add(obs::MetricId::kProfilerBenchmarksRun,
+                static_cast<uint64_t>(round.benchmarksRun));
+    BOLT_TRACE_SPAN("profiler.profile", "profiler",
+                    static_cast<int64_t>(env.server->id()), t, now, -1,
+                    {{"benchmarks", std::to_string(round.benchmarksRun)},
+                     {"focus_core", std::to_string(round.focusCore)}});
     return round;
 }
 
@@ -145,6 +156,12 @@ Profiler::shutterProfile(const HostEnvironment& env, double t,
 
     round.observation = best;
     round.durationSec = now - t;
+    obs::MetricsRegistry::global().add(
+        obs::MetricId::kProfilerShutterWindows,
+        static_cast<uint64_t>(config_.shutterWindows));
+    BOLT_TRACE_SPAN("profiler.shutter", "profiler",
+                    static_cast<int64_t>(env.server->id()), t, now, -1,
+                    {{"windows", std::to_string(config_.shutterWindows)}});
     return round;
 }
 

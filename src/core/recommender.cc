@@ -1,9 +1,11 @@
 #include "recommender.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace bolt {
@@ -260,8 +262,12 @@ HybridRecommender::acquireScratch() const
         auto& slot = workerScratch_[worker.index];
         if (!slot)
             slot = std::make_unique<QueryScratch>();
+        obs::MetricsRegistry::global().add(
+            obs::MetricId::kRecommenderScratchWorkerHits);
         return {slot.get(), false};
     }
+    obs::MetricsRegistry::global().add(
+        obs::MetricId::kRecommenderScratchSpareAcquisitions);
     std::lock_guard<std::mutex> lock(spareMutex_);
     if (!spare_.empty()) {
         QueryScratch* s = spare_.back().release();
@@ -280,9 +286,49 @@ HybridRecommender::releaseScratch(ScratchHandle h) const
     spare_.emplace_back(h.scratch);
 }
 
+namespace {
+
+/**
+ * Counts one call and, when metrics are on, records its wall-clock
+ * latency on destruction. The clock is only read when metrics are
+ * enabled, so the disabled query path stays free of syscalls.
+ */
+class QueryTimer
+{
+  public:
+    QueryTimer(obs::MetricId calls, obs::MetricId latency)
+        : latency_(latency),
+          metrics_(obs::MetricsRegistry::global()),
+          timed_(metrics_.enabled())
+    {
+        metrics_.add(calls);
+        if (timed_)
+            start_ = std::chrono::steady_clock::now();
+    }
+    ~QueryTimer()
+    {
+        if (timed_) {
+            double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+            metrics_.observe(latency_, us);
+        }
+    }
+
+  private:
+    obs::MetricId latency_;
+    obs::MetricsRegistry& metrics_;
+    bool timed_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace
+
 SimilarityResult
 HybridRecommender::analyze(const SparseObservation& observation) const
 {
+    QueryTimer timer(obs::MetricId::kRecommenderAnalyzeCalls,
+                     obs::MetricId::kRecommenderAnalyzeWallUs);
     SimilarityResult result;
     result.conceptsKept = rank_;
 
@@ -499,6 +545,12 @@ HybridRecommender::decompose(const SparseObservation& observation,
                              bool core_shared, size_t max_parts,
                              size_t prune) const
 {
+    QueryTimer timer(obs::MetricId::kRecommenderDecomposeCalls,
+                     obs::MetricId::kRecommenderDecomposeWallUs);
+    // Accumulated locally in the hot loop, published once at the end.
+    uint64_t prune_skipped = 0;
+    uint64_t prune_evaluated = 0;
+
     size_t m = training_.size();
 
     ScratchLease lease(*this);
@@ -706,9 +758,12 @@ HybridRecommender::decompose(const SparseObservation& observation,
                         lb_dist += s.obsWeight[i] * gap;
                     }
                     if (lb_dist / s.wsumAll >
-                        improved_distance + kPruneSlack)
+                        improved_distance + kPruneSlack) {
+                        ++prune_skipped;
                         continue;
+                    }
                 }
+                ++prune_evaluated;
                 s.parts = s.baseParts;
                 s.parts.push_back({j, 0.8});
                 for (size_t p = 0; p < s.parts.size(); ++p)
@@ -734,6 +789,11 @@ HybridRecommender::decompose(const SparseObservation& observation,
         best_distance = improved_distance;
         s.bestParts = s.improvedParts;
     }
+
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.add(obs::MetricId::kRecommenderPruneSkipped, prune_skipped);
+    metrics.add(obs::MetricId::kRecommenderPruneEvaluated,
+                prune_evaluated);
 
     Decomposition best;
     best.parts = s.bestParts;

@@ -1,0 +1,306 @@
+#ifndef BOLT_OBS_METRICS_H
+#define BOLT_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bolt {
+namespace obs {
+
+/**
+ * Determinism class of a metric's merged value:
+ *
+ *  - Sim: a pure function of (config, seed). Identical at any thread
+ *    count and on every rerun — these are the values the figures and
+ *    the determinism tests may assert on.
+ *  - Wall: depends on wall-clock time or scheduling (latencies, steal
+ *    counts, queue depths). Reported for performance insight only.
+ *
+ * Histogram *bucket counts* of Sim histograms are bit-deterministic;
+ * their floating-point `sum` is summed across shards in shard-creation
+ * order, so its last bits may differ between runs even for Sim metrics.
+ */
+enum class MetricClass { Sim, Wall };
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/*
+ * The metric catalog. One X-macro per kind keeps the id, wire name,
+ * determinism class and help string in a single place; the enum, the
+ * descriptor table and docs/OBSERVABILITY.md follow this list.
+ *
+ * Counters: X(Id, "name", Class, perShard, "help")
+ * Gauges:   X(Id, "name", Class, "help")           (max-tracking)
+ * Histograms: X(Id, "name", Class, lo, hi, bins, "help")
+ */
+#define BOLT_COUNTER_METRICS(X)                                              \
+    X(ExperimentVictimsScheduled, "experiment.victims_scheduled",            \
+      Sim, false, "Victims successfully placed on the cluster")              \
+    X(ExperimentVictimsDetected, "experiment.victims_detected",              \
+      Sim, false, "Victims whose class was correctly identified")            \
+    X(ExperimentVictimsCharacterized, "experiment.victims_characterized",    \
+      Sim, false, "Victims whose dominant resource was identified")          \
+    X(ExperimentHostsProbed, "experiment.hosts_probed",                      \
+      Sim, false, "Hosts on which the adversary ran detection rounds")       \
+    X(SchedPicks, "sched.picks",                                             \
+      Sim, false, "Placement decisions requested from a scheduler policy")   \
+    X(SchedPickNoFit, "sched.pick_no_fit",                                   \
+      Sim, false, "Picks where no server had capacity")                      \
+    X(SchedPickFallbacks, "sched.pick_fallbacks",                            \
+      Sim, false,                                                            \
+      "Policy picks overridden by the per-host victim cap fallback")         \
+    X(SchedPlacementFailures, "sched.placement_failures",                    \
+      Sim, false, "Victims dropped because the cluster was full")            \
+    X(DetectorRounds, "detector.rounds",                                     \
+      Sim, false, "Detection rounds executed")                               \
+    X(DetectorExtraProbeRounds, "detector.extra_probe_rounds",               \
+      Sim, false, "Rounds that widened an inconclusive first analysis")      \
+    X(DetectorExtraProbes, "detector.extra_probes",                          \
+      Sim, false, "In-round widening probes executed")                       \
+    X(DetectorShutterRounds, "detector.shutter_rounds",                      \
+      Sim, false, "Rounds that fell back to shutter profiling")              \
+    X(DetectorDecomposedGuesses, "detector.decomposed_guesses",              \
+      Sim, false, "Co-resident guesses produced by decomposition")           \
+    X(DetectorFallbackGuesses, "detector.fallback_guesses",                  \
+      Sim, false, "Rounds resolved by the whole-signal fallback match")      \
+    X(DetectorInconclusiveRounds, "detector.inconclusive_rounds",            \
+      Sim, false, "Rounds that produced no guess at all")                    \
+    X(ProfilerRounds, "profiler.rounds",                                     \
+      Sim, false, "Standard profiling rounds executed")                      \
+    X(ProfilerBenchmarksRun, "profiler.benchmarks_run",                      \
+      Sim, false, "Microbenchmark probes run in standard rounds")            \
+    X(ProfilerShutterWindows, "profiler.shutter_windows",                    \
+      Sim, false, "Shutter sampling windows executed")                       \
+    X(RecommenderAnalyzeCalls, "recommender.analyze_calls",                  \
+      Sim, false, "HybridRecommender::analyze invocations")                  \
+    X(RecommenderDecomposeCalls, "recommender.decompose_calls",              \
+      Sim, false, "HybridRecommender::decompose invocations")                \
+    X(RecommenderScratchWorkerHits, "recommender.scratch_worker_hits",       \
+      Wall, false, "Query scratch served from a worker's fixed slot")        \
+    X(RecommenderScratchSpareAcquisitions,                                   \
+      "recommender.scratch_spare_acquisitions",                              \
+      Wall, false, "Query scratch leased from the mutex-guarded spares")     \
+    X(RecommenderPruneSkipped, "recommender.prune_skipped",                  \
+      Sim, false,                                                            \
+      "decompose() candidates skipped by the lower-bound prune")             \
+    X(RecommenderPruneEvaluated, "recommender.prune_evaluated",              \
+      Sim, false, "decompose() candidates fully evaluated")                  \
+    X(PoolSubmits, "pool.submits",                                           \
+      Wall, false, "Tasks submitted to the thread pool")                     \
+    X(PoolTasksExecuted, "pool.tasks_executed",                              \
+      Wall, true, "Tasks executed by pool workers (per-shard = per-worker)") \
+    X(PoolSteals, "pool.steals",                                             \
+      Wall, true, "Tasks a worker stole from a sibling's deque")             \
+    X(PoolHelperTasks, "pool.helper_tasks",                                  \
+      Wall, false, "Tasks executed by non-worker threads helping a wait")
+
+#define BOLT_GAUGE_METRICS(X)                                                \
+    X(PoolQueueDepthPeak, "pool.queue_depth_peak",                           \
+      Wall, "High-water mark of enqueued-but-unstarted tasks")
+
+#define BOLT_HISTOGRAM_METRICS(X)                                            \
+    X(DetectorIterationsToConvergence,                                       \
+      "detector.iterations_to_convergence", Sim, 0.5, 32.5, 32,              \
+      "Rounds until a victim was correctly identified (Fig. 7 live)")        \
+    X(DetectorRoundSimSec, "detector.round_sim_sec",                         \
+      Sim, 0.0, 60.0, 60, "Simulated seconds one detection round consumed")  \
+    X(ExperimentHostSimSec, "experiment.host_sim_sec",                       \
+      Sim, 0.0, 600.0, 60,                                                   \
+      "Simulated seconds of profiling per host, first to last round")        \
+    X(RecommenderAnalyzeWallUs, "recommender.analyze_wall_us",               \
+      Wall, 0.0, 20000.0, 80, "Wall-clock latency of analyze(), usec")       \
+    X(RecommenderDecomposeWallUs, "recommender.decompose_wall_us",           \
+      Wall, 0.0, 20000.0, 80, "Wall-clock latency of decompose(), usec")
+
+/**
+ * Stable metric identifiers. Counters first, then gauges, then
+ * histograms — the registry's flat storage indexes rely on this order.
+ */
+enum class MetricId : uint32_t {
+#define BOLT_OBS_ENUM(id_, ...) k##id_,
+    BOLT_COUNTER_METRICS(BOLT_OBS_ENUM)
+    BOLT_GAUGE_METRICS(BOLT_OBS_ENUM)
+    BOLT_HISTOGRAM_METRICS(BOLT_OBS_ENUM)
+#undef BOLT_OBS_ENUM
+    kCount
+};
+
+#define BOLT_OBS_COUNT_ONE(...) +1
+constexpr size_t kNumCounters = 0 BOLT_COUNTER_METRICS(BOLT_OBS_COUNT_ONE);
+constexpr size_t kNumGauges = 0 BOLT_GAUGE_METRICS(BOLT_OBS_COUNT_ONE);
+constexpr size_t kNumHistograms =
+    0 BOLT_HISTOGRAM_METRICS(BOLT_OBS_COUNT_ONE);
+#undef BOLT_OBS_COUNT_ONE
+constexpr size_t kNumMetrics = kNumCounters + kNumGauges + kNumHistograms;
+static_assert(kNumMetrics == static_cast<size_t>(MetricId::kCount));
+
+/** Static description of one catalog entry. */
+struct MetricInfo
+{
+    MetricId id;
+    MetricKind kind;
+    const char* name; ///< Dotted wire name ("detector.rounds").
+    MetricClass cls;
+    bool perShard;    ///< Snapshot keeps the per-shard breakdown.
+    double lo = 0.0;  ///< Histogram range (clamped at the edges).
+    double hi = 0.0;
+    uint32_t bins = 0;
+    const char* help;
+};
+
+/** Descriptor of a metric id (O(1) table lookup). */
+const MetricInfo& metricInfo(MetricId id);
+
+/** Snapshot of one counter. */
+struct CounterSnapshot
+{
+    MetricId id;
+    uint64_t value = 0;
+    /** Per-shard values, shard-creation order; only for perShard ids. */
+    std::vector<uint64_t> perShard;
+};
+
+/** Snapshot of one gauge (max-tracking). */
+struct GaugeSnapshot
+{
+    MetricId id;
+    double value = 0.0;
+    bool everSet = false;
+};
+
+/** Snapshot of one fixed-bucket histogram. */
+struct HistogramSnapshot
+{
+    MetricId id;
+    uint64_t count = 0; ///< Total samples (== sum of buckets).
+    double sum = 0.0;   ///< Sum of sample values (see MetricClass note).
+    std::vector<uint64_t> buckets;
+
+    double mean() const
+    {
+        return count ? sum / static_cast<double>(count) : 0.0;
+    }
+    /** Center value of bucket `b` under the metric's (lo, hi) range. */
+    double binCenter(size_t b) const;
+};
+
+/** A merged, point-in-time view of every metric. */
+struct Snapshot
+{
+    std::vector<CounterSnapshot> counters;     ///< Catalog order.
+    std::vector<GaugeSnapshot> gauges;         ///< Catalog order.
+    std::vector<HistogramSnapshot> histograms; ///< Catalog order.
+    size_t shards = 0;
+
+    const CounterSnapshot& counter(MetricId id) const;
+    const GaugeSnapshot& gauge(MetricId id) const;
+    const HistogramSnapshot& histogram(MetricId id) const;
+};
+
+/**
+ * Lock-free metrics registry: counters, max-gauges and fixed-bucket
+ * histograms accumulated into per-thread shards, merged on snapshot().
+ *
+ * Recording discipline mirrors the recommender's QueryScratch worker
+ * slots: each thread owns a shard that only it writes (shard cells are
+ * relaxed atomics so snapshot() may read them concurrently), so the
+ * record path after a thread's first touch is
+ *
+ *     relaxed enabled? load -> thread-local shard -> relaxed load+store
+ *
+ * with no locks and no contention. A thread's first record takes the
+ * registry mutex once to create (or re-find) its shard. Gauges are
+ * registry-global CAS maxima — they are rare writes.
+ *
+ * Disabled (the default), every record call is one relaxed load and a
+ * branch; nothing else runs. Enabling/disabling never changes any
+ * computation in the library — observability observes, it does not
+ * perturb — which scripts/check.sh --obs and the determinism tests
+ * enforce end to end.
+ *
+ * Thread-safety: all record calls, snapshot() and enabled() may be
+ * used concurrently. reset() and setEnabled() must not race with
+ * record calls that are in flight (call them between parallel phases).
+ * snapshot() taken while recorders are mid-phase is a consistent read
+ * of each cell but not an atomic cut across metrics.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /** The process-wide registry every instrumentation site records to. */
+    static MetricsRegistry& global();
+
+    /** Turn recording on/off. Off (default) drops every record call. */
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Increment a counter by n. */
+    void add(MetricId id, uint64_t n = 1)
+    {
+        if (enabled())
+            addSlow(id, n);
+    }
+
+    /** Record one histogram sample (clamped to the edge buckets). */
+    void observe(MetricId id, double value)
+    {
+        if (enabled())
+            observeSlow(id, value);
+    }
+
+    /** Raise a max-gauge to `value` if it is the new high-water mark. */
+    void gaugeMax(MetricId id, double value)
+    {
+        if (enabled())
+            gaugeMaxSlow(id, value);
+    }
+
+    /** Merge every shard into one Snapshot (counters in catalog order). */
+    Snapshot snapshot() const;
+
+    /** Zero all shards and gauges. Not safe against in-flight records. */
+    void reset();
+
+    /** Number of shards created so far (== threads that recorded). */
+    size_t shardCount() const;
+
+  private:
+    struct Shard;
+
+    void addSlow(MetricId id, uint64_t n);
+    void observeSlow(MetricId id, double value);
+    void gaugeMaxSlow(MetricId id, double value);
+    Shard& localShard();
+
+    const uint64_t id_; ///< Process-unique, validates thread-local caches.
+    std::atomic<bool> enabled_{false};
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::map<std::thread::id, Shard*> shardOf_;
+
+    std::atomic<double> gauges_[kNumGauges == 0 ? 1 : kNumGauges];
+    std::atomic<bool> gaugeSet_[kNumGauges == 0 ? 1 : kNumGauges];
+};
+
+} // namespace obs
+} // namespace bolt
+
+#endif // BOLT_OBS_METRICS_H

@@ -1,0 +1,355 @@
+#include "report.h"
+
+#include "log.h"
+#include "trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace bolt {
+namespace obs {
+
+namespace {
+
+/** Format a double the way JSON expects (no trailing garbage, inf-safe). */
+std::string
+jsonNumber(double v)
+{
+    if (!(v == v))
+        return "null"; // NaN has no JSON spelling.
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+std::string
+indentStr(int indent)
+{
+    return std::string(static_cast<size_t>(indent), ' ');
+}
+
+} // namespace
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeSnapshotJson(std::ostream& os, const Snapshot& snap, int indent)
+{
+    const std::string pad = indentStr(indent);
+    const std::string pad1 = indentStr(indent + 2);
+    const std::string pad2 = indentStr(indent + 4);
+
+    os << "{\n" << pad1 << "\"counters\": {";
+    for (size_t i = 0; i < snap.counters.size(); ++i) {
+        const CounterSnapshot& c = snap.counters[i];
+        os << (i ? "," : "") << "\n"
+           << pad2 << "\"" << metricInfo(c.id).name << "\": " << c.value;
+    }
+    os << "\n" << pad1 << "},\n";
+
+    os << pad1 << "\"gauges\": {";
+    bool first = true;
+    for (const GaugeSnapshot& g : snap.gauges) {
+        if (!g.everSet)
+            continue;
+        os << (first ? "" : ",") << "\n"
+           << pad2 << "\"" << metricInfo(g.id).name
+           << "\": " << jsonNumber(g.value);
+        first = false;
+    }
+    os << "\n" << pad1 << "},\n";
+
+    os << pad1 << "\"histograms\": {";
+    first = true;
+    for (const HistogramSnapshot& h : snap.histograms) {
+        if (h.count == 0)
+            continue;
+        const MetricInfo& info = metricInfo(h.id);
+        os << (first ? "" : ",") << "\n"
+           << pad2 << "\"" << info.name << "\": {\"count\": " << h.count
+           << ", \"sum\": " << jsonNumber(h.sum)
+           << ", \"mean\": " << jsonNumber(h.mean())
+           << ", \"lo\": " << jsonNumber(info.lo)
+           << ", \"hi\": " << jsonNumber(info.hi) << ", \"buckets\": [";
+        for (size_t b = 0; b < h.buckets.size(); ++b)
+            os << (b ? "," : "") << h.buckets[b];
+        os << "]}";
+        first = false;
+    }
+    os << "\n" << pad1 << "},\n";
+
+    os << pad1 << "\"shards\": " << snap.shards << ",\n";
+
+    os << pad1 << "\"per_shard\": {";
+    first = true;
+    for (const CounterSnapshot& c : snap.counters) {
+        if (c.perShard.empty())
+            continue;
+        os << (first ? "" : ",") << "\n"
+           << pad2 << "\"" << metricInfo(c.id).name << "\": [";
+        for (size_t s = 0; s < c.perShard.size(); ++s)
+            os << (s ? "," : "") << c.perShard[s];
+        os << "]";
+        first = false;
+    }
+    os << "\n" << pad1 << "}\n" << pad << "}";
+}
+
+RunReport::RunReport(std::string command) : command_(std::move(command))
+{
+}
+
+void
+RunReport::set(std::string key, std::string value)
+{
+    config_.emplace_back(std::move(key), std::move(value));
+    types_.push_back(ValueType::String);
+}
+
+void
+RunReport::set(std::string key, const char* value)
+{
+    set(std::move(key), std::string(value));
+}
+
+void
+RunReport::set(std::string key, int64_t value)
+{
+    config_.emplace_back(std::move(key), std::to_string(value));
+    types_.push_back(ValueType::Number);
+}
+
+void
+RunReport::set(std::string key, uint64_t value)
+{
+    config_.emplace_back(std::move(key), std::to_string(value));
+    types_.push_back(ValueType::Number);
+}
+
+void
+RunReport::set(std::string key, int value)
+{
+    set(std::move(key), static_cast<int64_t>(value));
+}
+
+void
+RunReport::set(std::string key, double value)
+{
+    config_.emplace_back(std::move(key), jsonNumber(value));
+    types_.push_back(ValueType::Number);
+}
+
+void
+RunReport::set(std::string key, bool value)
+{
+    config_.emplace_back(std::move(key), value ? "true" : "false");
+    types_.push_back(ValueType::Bool);
+}
+
+void
+RunReport::writeJson(std::ostream& os, const Snapshot& snap) const
+{
+    os << "{\n  \"bolt_run_report\": 1,\n  \"command\": \""
+       << jsonEscape(command_) << "\",\n  \"config\": {";
+    for (size_t i = 0; i < config_.size(); ++i) {
+        os << (i ? "," : "") << "\n    \""
+           << jsonEscape(config_[i].first) << "\": ";
+        if (types_[i] == ValueType::String)
+            os << "\"" << jsonEscape(config_[i].second) << "\"";
+        else
+            os << config_[i].second;
+    }
+    os << "\n  },\n";
+    if (wallSeconds_ >= 0.0)
+        os << "  \"wall_seconds\": " << jsonNumber(wallSeconds_) << ",\n";
+    if (simSeconds_ >= 0.0)
+        os << "  \"sim_seconds\": " << jsonNumber(simSeconds_) << ",\n";
+    os << "  \"metrics\": ";
+    writeSnapshotJson(os, snap, 2);
+    os << "\n}\n";
+}
+
+namespace {
+
+std::string g_metrics_out;
+std::string g_trace_out;
+bool g_outputs_written = false;
+std::chrono::steady_clock::time_point g_start_time;
+std::string g_program_name = "bolt";
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/**
+ * Fallback writer for drivers that never call writeConfiguredOutputs
+ * themselves: report the program name and process wall time.
+ */
+void
+atexitWriter()
+{
+    if (g_outputs_written)
+        return;
+    RunReport report(g_program_name);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - g_start_time)
+                      .count();
+    report.setWallSeconds(wall);
+    writeConfiguredOutputs(report);
+}
+
+} // namespace
+
+void
+setMetricsOutPath(std::string path)
+{
+    g_metrics_out = std::move(path);
+}
+
+void
+setTraceOutPath(std::string path)
+{
+    g_trace_out = std::move(path);
+}
+
+const std::string&
+metricsOutPath()
+{
+    return g_metrics_out;
+}
+
+const std::string&
+traceOutPath()
+{
+    return g_trace_out;
+}
+
+void
+writeConfiguredOutputs(const RunReport& report)
+{
+    g_outputs_written = true;
+    if (!g_metrics_out.empty()) {
+        std::ofstream os(g_metrics_out);
+        if (os) {
+            report.writeJson(os, MetricsRegistry::global().snapshot());
+        } else {
+            BOLT_LOG_ERROR("cannot open metrics output file '"
+                           << g_metrics_out << "'");
+        }
+    }
+    if (!g_trace_out.empty()) {
+        std::ofstream os(g_trace_out);
+        if (os) {
+            if (endsWith(g_trace_out, ".jsonl"))
+                Tracer::global().writeJsonl(os);
+            else
+                Tracer::global().writeChromeTrace(os);
+        } else {
+            BOLT_LOG_ERROR("cannot open trace output file '" << g_trace_out
+                                                             << "'");
+        }
+    }
+}
+
+bool
+applyObsFlags(int& argc, char** argv)
+{
+    g_start_time = std::chrono::steady_clock::now();
+    if (argc > 0 && argv[0]) {
+        const char* slash = std::strrchr(argv[0], '/');
+        g_program_name = slash ? slash + 1 : argv[0];
+    }
+
+    bool any = false;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        if (arg == "--metrics-out" || arg == "--trace-out" ||
+            arg == "--log-level") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s requires a value\n",
+                             g_program_name.c_str(), argv[i]);
+                return false;
+            }
+            const char* value = argv[++i];
+            if (arg == "--metrics-out") {
+                setMetricsOutPath(value);
+                MetricsRegistry::global().setEnabled(true);
+                any = true;
+            } else if (arg == "--trace-out") {
+                setTraceOutPath(value);
+                Tracer::global().setEnabled(true);
+                any = true;
+            } else {
+                LogLevel level;
+                if (!parseLogLevel(value, &level)) {
+                    std::fprintf(
+                        stderr,
+                        "%s: unknown log level '%s' "
+                        "(expected error, warn, info, or debug)\n",
+                        g_program_name.c_str(), value);
+                    return false;
+                }
+                setLogLevel(level);
+            }
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+
+    if (any) {
+        static bool registered = false;
+        if (!registered) {
+            std::atexit(atexitWriter);
+            registered = true;
+        }
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace bolt

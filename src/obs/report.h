@@ -1,0 +1,119 @@
+#ifndef BOLT_OBS_REPORT_H
+#define BOLT_OBS_REPORT_H
+
+#include "metrics.h"
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bolt {
+namespace obs {
+
+/** Escape a string for embedding inside a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Write a metrics Snapshot as a JSON object:
+ *   {"counters":{name:value,...},
+ *    "gauges":{name:value,...},
+ *    "histograms":{name:{"count","sum","mean","lo","hi","buckets"}},
+ *    "shards":N,
+ *    "per_shard":{name:[v0,v1,...],...}}
+ * Zero-count histograms and never-set gauges are skipped so small runs
+ * stay readable; counters are always written (zeros included) so
+ * consumers can rely on the full catalog being present.
+ */
+void writeSnapshotJson(std::ostream& os, const Snapshot& snap,
+                       int indent = 0);
+
+/**
+ * End-of-run summary for one CLI/bench invocation: the command, its
+ * configuration, wall/sim timing, and a metrics snapshot, serialized
+ * as one JSON document (--metrics-out). Insertion order of config
+ * entries is preserved so reports diff cleanly.
+ */
+class RunReport
+{
+  public:
+    explicit RunReport(std::string command);
+
+    /** Add one config entry (string / integer / double / bool). */
+    void set(std::string key, std::string value);
+    void set(std::string key, const char* value);
+    void set(std::string key, int64_t value);
+    void set(std::string key, uint64_t value);
+    void set(std::string key, int value);
+    void set(std::string key, double value);
+    void set(std::string key, bool value);
+
+    void setWallSeconds(double s)
+    {
+        wallSeconds_ = s;
+    }
+    void setSimSeconds(double s)
+    {
+        simSeconds_ = s;
+    }
+
+    /**
+     * Serialize: {"bolt_run_report":1,"command",...,"config":{...},
+     * "wall_seconds","sim_seconds","metrics":{...}}. The metrics
+     * object is the registry snapshot passed in.
+     */
+    void writeJson(std::ostream& os, const Snapshot& snap) const;
+
+  private:
+    enum class ValueType { String, Number, Bool };
+    std::string command_;
+    std::vector<std::pair<std::string, std::string>> config_;
+    std::vector<ValueType> types_;
+    double wallSeconds_ = -1.0;
+    double simSeconds_ = -1.0;
+};
+
+/**
+ * Output paths configured by --metrics-out / --trace-out (empty =
+ * don't write). The trace format is chosen by extension: ".jsonl"
+ * writes flat JSONL, anything else Chrome trace_event JSON.
+ */
+void setMetricsOutPath(std::string path);
+void setTraceOutPath(std::string path);
+const std::string& metricsOutPath();
+const std::string& traceOutPath();
+
+/**
+ * Write the configured outputs for one finished run: the RunReport
+ * (with the global registry's snapshot embedded) to the metrics path
+ * and the global tracer's events to the trace path. Missing paths are
+ * skipped; write failures log a BOLT_LOG_ERROR and are otherwise
+ * ignored (observability never fails a run).
+ */
+void writeConfiguredOutputs(const RunReport& report);
+
+/**
+ * Consume the shared observability flags from argv, enabling the
+ * subsystems they configure:
+ *
+ *   --metrics-out FILE   enable metrics; write a RunReport JSON there
+ *   --trace-out FILE     enable tracing; write the trace there
+ *   --log-level LEVEL    error|warn|info|debug (default warn)
+ *
+ * Consumed flags are removed from argv (argc is updated) so drivers
+ * with their own strict parsers — google-benchmark — never see them.
+ * Returns false (after printing to stderr) on a malformed flag, e.g. a
+ * missing value or unknown log level; callers should exit(2).
+ *
+ * For drivers without a natural end-of-run hook, an atexit handler is
+ * registered that writes a RunReport named after the program (argv[0]
+ * basename) with the process wall time. bolt_cli instead writes its
+ * own richer report and the atexit write detects that and stands down.
+ */
+bool applyObsFlags(int& argc, char** argv);
+
+} // namespace obs
+} // namespace bolt
+
+#endif // BOLT_OBS_REPORT_H

@@ -4,9 +4,24 @@
 #include <limits>
 
 #include "linalg/matrix.h"
+#include "obs/metrics.h"
 
 namespace bolt {
 namespace sched {
+
+namespace {
+
+/** Count one placement decision (and whether any server fit). */
+void
+notePick(const std::optional<size_t>& choice)
+{
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.add(obs::MetricId::kSchedPicks);
+    if (!choice)
+        metrics.add(obs::MetricId::kSchedPickNoFit);
+}
+
+} // namespace
 
 void
 Scheduler::record(sim::TenantId id, size_t server,
@@ -56,6 +71,7 @@ LeastLoadedScheduler::pick(const sim::Cluster& cluster,
             best = i;
         }
     }
+    notePick(best);
     return best;
 }
 
@@ -101,6 +117,7 @@ QuasarScheduler::pick(const sim::Cluster& cluster,
             best = i;
         }
     }
+    notePick(best);
     return best;
 }
 
@@ -110,9 +127,13 @@ RandomScheduler::pick(const sim::Cluster& cluster,
 {
     (void)spec;
     auto candidates = cluster.serversWithCapacity(vcpus);
-    if (candidates.empty())
+    if (candidates.empty()) {
+        notePick(std::nullopt);
         return std::nullopt;
-    return candidates[rng_.index(candidates.size())];
+    }
+    std::optional<size_t> choice = candidates[rng_.index(candidates.size())];
+    notePick(choice);
+    return choice;
 }
 
 bool

@@ -1,5 +1,7 @@
 #include "thread_pool.h"
 
+#include "obs/metrics.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -41,7 +43,11 @@ ThreadPool::submit(std::function<void()> task)
         std::lock_guard<std::mutex> lock(workers_[idx]->mutex);
         workers_[idx]->tasks.push_back(std::move(task));
     }
-    pending_.fetch_add(1, std::memory_order_release);
+    size_t depth = pending_.fetch_add(1, std::memory_order_release) + 1;
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.add(obs::MetricId::kPoolSubmits);
+    metrics.gaugeMax(obs::MetricId::kPoolQueueDepthPeak,
+                     static_cast<double>(depth));
     wakeCv_.notify_one();
 }
 
@@ -69,6 +75,11 @@ ThreadPool::acquire(size_t home, std::function<void()>& out)
             out = std::move(w.tasks.front());
             w.tasks.pop_front();
             pending_.fetch_sub(1, std::memory_order_acq_rel);
+            // A worker taking from a sibling's deque is a steal; a
+            // non-worker helper (home == n) has no deque to prefer.
+            if (home < n)
+                obs::MetricsRegistry::global().add(
+                    obs::MetricId::kPoolSteals);
             return true;
         }
     }
@@ -94,6 +105,8 @@ ThreadPool::workerLoop(size_t idx)
         if (acquire(idx, task)) {
             task();
             task = nullptr;
+            obs::MetricsRegistry::global().add(
+                obs::MetricId::kPoolTasksExecuted);
             continue;
         }
         std::unique_lock<std::mutex> lock(wakeMutex_);
@@ -166,6 +179,8 @@ ThreadPool::parallelFor(size_t begin, size_t end,
         if (acquire(workers_.size(), task)) {
             task();
             task = nullptr;
+            obs::MetricsRegistry::global().add(
+                obs::MetricId::kPoolHelperTasks);
             continue;
         }
         std::unique_lock<std::mutex> lock(state->mutex);

@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <iterator>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "core/experiment.h"
 #include "core/recommender.h"
 #include "linalg/sgd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "workloads/generators.h"
 
@@ -155,6 +158,113 @@ TEST(Determinism, ParallelForCoversEveryIndexOnce)
                       [&](size_t i) { hits[i] += 1; });
     for (size_t i = 0; i < hits.size(); ++i)
         ASSERT_EQ(1, hits[i]) << i;
+}
+
+TEST(Determinism, ObservabilityIsInert)
+{
+    // Turning metrics + tracing on must not change any result bit:
+    // observability observes, it does not perturb. (scripts/check.sh
+    // --obs enforces the same property end to end through bolt_cli.)
+    auto& metrics = obs::MetricsRegistry::global();
+    auto& tracer = obs::Tracer::global();
+    metrics.setEnabled(false);
+    tracer.setEnabled(false);
+
+    auto plain = runAtThreads(2, 41);
+
+    metrics.reset();
+    metrics.setEnabled(true);
+    tracer.clear();
+    tracer.setEnabled(true);
+    auto observed = runAtThreads(2, 41);
+    obs::Snapshot snap = metrics.snapshot();
+    size_t events = tracer.eventCount();
+    metrics.setEnabled(false);
+    tracer.setEnabled(false);
+    tracer.clear();
+
+    expectIdentical(plain, observed);
+    EXPECT_EQ(plain.digest(), observed.digest());
+    // ...and the instrumentation actually recorded the run.
+    EXPECT_EQ(snap.counter(obs::MetricId::kExperimentVictimsScheduled)
+                  .value,
+              observed.outcomes.size());
+    EXPECT_GT(snap.counter(obs::MetricId::kDetectorRounds).value, 0u);
+    EXPECT_GT(events, 0u);
+}
+
+TEST(Determinism, SimMetricsIdenticalAt1_2_8Threads)
+{
+    // Sim-class metrics are a pure function of (config, seed): the
+    // merged counter values and histogram bucket vectors must be
+    // bit-identical however many pool threads recorded the shards.
+    auto& metrics = obs::MetricsRegistry::global();
+    auto runCounted = [&](unsigned threads) {
+        metrics.reset();
+        metrics.setEnabled(true);
+        runAtThreads(threads, 77);
+        obs::Snapshot snap = metrics.snapshot();
+        metrics.setEnabled(false);
+        return snap;
+    };
+    obs::Snapshot s1 = runCounted(1);
+    obs::Snapshot s2 = runCounted(2);
+    obs::Snapshot s8 = runCounted(8);
+
+    for (size_t i = 0; i < obs::kNumMetrics; ++i) {
+        const obs::MetricInfo& info =
+            obs::metricInfo(static_cast<obs::MetricId>(i));
+        if (info.cls != obs::MetricClass::Sim)
+            continue; // pool.* metrics are scheduling-dependent
+        if (info.kind == obs::MetricKind::Counter) {
+            EXPECT_EQ(s1.counter(info.id).value,
+                      s2.counter(info.id).value)
+                << info.name;
+            EXPECT_EQ(s1.counter(info.id).value,
+                      s8.counter(info.id).value)
+                << info.name;
+        } else if (info.kind == obs::MetricKind::Histogram) {
+            const auto& h1 = s1.histogram(info.id);
+            const auto& h2 = s2.histogram(info.id);
+            const auto& h8 = s8.histogram(info.id);
+            EXPECT_EQ(h1.count, h2.count) << info.name;
+            EXPECT_EQ(h1.buckets, h2.buckets) << info.name;
+            EXPECT_EQ(h1.count, h8.count) << info.name;
+            EXPECT_EQ(h1.buckets, h8.buckets) << info.name;
+            // The float sum is merged in shard order, so only
+            // near-equality holds across thread counts.
+            EXPECT_NEAR(h1.sum, h8.sum,
+                        1e-9 * (1.0 + std::abs(h1.sum)))
+                << info.name;
+        }
+    }
+    // Non-vacuous: detection rounds were actually counted.
+    EXPECT_GT(s1.counter(obs::MetricId::kDetectorRounds).value, 0u);
+    EXPECT_GT(
+        s1.histogram(obs::MetricId::kDetectorIterationsToConvergence)
+            .count,
+        0u);
+}
+
+TEST(Determinism, TraceExportIdenticalAcrossThreadCounts)
+{
+    // The sim-time trace is sorted by content on export, so the bytes
+    // must be identical at any thread count.
+    auto& tracer = obs::Tracer::global();
+    auto runTraced = [&](unsigned threads) {
+        tracer.clear();
+        tracer.setEnabled(true);
+        runAtThreads(threads, 77);
+        std::ostringstream os;
+        tracer.writeChromeTrace(os);
+        tracer.setEnabled(false);
+        tracer.clear();
+        return os.str();
+    };
+    std::string t1 = runTraced(1);
+    std::string t8 = runTraced(8);
+    EXPECT_EQ(t1, t8);
+    EXPECT_NE(t1.find("detector.round"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

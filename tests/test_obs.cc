@@ -1,0 +1,514 @@
+/** Tests for the observability layer: metrics registry, sim-time
+ *  tracer, leveled logger and RunReport/flag plumbing (src/obs/). */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+using namespace bolt;
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON validator — enough to prove the
+ * exporters emit syntactically valid JSON without a JSON dependency.
+ */
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string& text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        char c = s_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\')
+                ++pos_;
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        size_t len = std::string(word).size();
+        if (s_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    const std::string& s_;
+    size_t pos_ = 0;
+};
+
+TEST(ObsMetrics, DisabledByDefaultRecordsNothing)
+{
+    obs::MetricsRegistry reg;
+    EXPECT_FALSE(reg.enabled());
+    reg.add(obs::MetricId::kDetectorRounds, 5);
+    reg.observe(obs::MetricId::kDetectorRoundSimSec, 3.0);
+    reg.gaugeMax(obs::MetricId::kPoolQueueDepthPeak, 7.0);
+    obs::Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter(obs::MetricId::kDetectorRounds).value, 0u);
+    EXPECT_EQ(snap.histogram(obs::MetricId::kDetectorRoundSimSec).count,
+              0u);
+    EXPECT_FALSE(snap.gauge(obs::MetricId::kPoolQueueDepthPeak).everSet);
+    EXPECT_EQ(snap.shards, 0u);
+}
+
+TEST(ObsMetrics, CountersAccumulateAndReset)
+{
+    obs::MetricsRegistry reg;
+    reg.setEnabled(true);
+    reg.add(obs::MetricId::kDetectorRounds);
+    reg.add(obs::MetricId::kDetectorRounds, 41);
+    obs::Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter(obs::MetricId::kDetectorRounds).value, 42u);
+    EXPECT_EQ(snap.counter(obs::MetricId::kSchedPicks).value, 0u);
+
+    reg.reset();
+    snap = reg.snapshot();
+    EXPECT_EQ(snap.counter(obs::MetricId::kDetectorRounds).value, 0u);
+}
+
+TEST(ObsMetrics, HistogramClampsToEdgeBuckets)
+{
+    obs::MetricsRegistry reg;
+    reg.setEnabled(true);
+    const auto id = obs::MetricId::kDetectorRoundSimSec; // [0, 60), 60 bins
+    reg.observe(id, -5.0);  // below lo -> first bucket
+    reg.observe(id, 0.5);   // first bucket
+    reg.observe(id, 30.5);  // bucket 30
+    reg.observe(id, 999.0); // above hi -> last bucket
+    obs::Snapshot snap = reg.snapshot();
+    const obs::HistogramSnapshot& h = snap.histogram(id);
+    EXPECT_EQ(h.count, 4u);
+    EXPECT_NEAR(h.sum, -5.0 + 0.5 + 30.5 + 999.0, 1e-12);
+    EXPECT_EQ(h.buckets.front(), 2u);
+    EXPECT_EQ(h.buckets[30], 1u);
+    EXPECT_EQ(h.buckets.back(), 1u);
+    EXPECT_NEAR(h.binCenter(30), 30.5, 1e-12);
+    EXPECT_NEAR(h.mean(), h.sum / 4.0, 1e-12);
+}
+
+TEST(ObsMetrics, GaugeTracksMaximum)
+{
+    obs::MetricsRegistry reg;
+    reg.setEnabled(true);
+    const auto id = obs::MetricId::kPoolQueueDepthPeak;
+    reg.gaugeMax(id, 3.0);
+    reg.gaugeMax(id, 9.0);
+    reg.gaugeMax(id, 5.0); // lower: must not regress the max
+    obs::Snapshot snap = reg.snapshot();
+    EXPECT_TRUE(snap.gauge(id).everSet);
+    EXPECT_DOUBLE_EQ(snap.gauge(id).value, 9.0);
+}
+
+TEST(ObsMetrics, ShardsMergeAcrossThreads)
+{
+    obs::MetricsRegistry reg;
+    reg.setEnabled(true);
+    constexpr int kThreads = 4;
+    constexpr uint64_t kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg] {
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                reg.add(obs::MetricId::kPoolTasksExecuted);
+                reg.observe(obs::MetricId::kDetectorRoundSimSec,
+                            static_cast<double>(i % 60));
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+
+    obs::Snapshot snap = reg.snapshot();
+    const obs::CounterSnapshot& c =
+        snap.counter(obs::MetricId::kPoolTasksExecuted);
+    EXPECT_EQ(c.value, kPerThread * kThreads);
+    // pool.tasks_executed keeps the per-shard breakdown; each worker
+    // thread contributed exactly kPerThread.
+    ASSERT_EQ(c.perShard.size(), static_cast<size_t>(kThreads));
+    for (uint64_t v : c.perShard)
+        EXPECT_EQ(v, kPerThread);
+    EXPECT_EQ(snap.shards, static_cast<size_t>(kThreads));
+
+    const obs::HistogramSnapshot& h =
+        snap.histogram(obs::MetricId::kDetectorRoundSimSec);
+    EXPECT_EQ(h.count, kPerThread * kThreads);
+    uint64_t bucket_total = 0;
+    for (uint64_t b : h.buckets)
+        bucket_total += b;
+    EXPECT_EQ(bucket_total, h.count);
+}
+
+TEST(ObsMetrics, CatalogNamesAreUniqueAndDotted)
+{
+    std::vector<std::string> names;
+    for (size_t i = 0; i < obs::kNumMetrics; ++i) {
+        const obs::MetricInfo& info =
+            obs::metricInfo(static_cast<obs::MetricId>(i));
+        EXPECT_EQ(info.id, static_cast<obs::MetricId>(i));
+        EXPECT_NE(std::string(info.name).find('.'), std::string::npos)
+            << info.name;
+        names.push_back(info.name);
+        if (info.kind == obs::MetricKind::Histogram) {
+            EXPECT_GT(info.bins, 0u) << info.name;
+            EXPECT_LT(info.lo, info.hi) << info.name;
+        }
+    }
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(ObsTracer, DisabledRecordsNothingAndSkipsArgEvaluation)
+{
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.setEnabled(false);
+    tracer.clear();
+    int evaluations = 0;
+    auto costly = [&evaluations] {
+        ++evaluations;
+        return std::string("x");
+    };
+    BOLT_TRACE_SPAN("test.span", "test", 0, 0.0, 1.0, -1,
+                    {{"k", costly()}});
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    EXPECT_EQ(evaluations, 0); // macro must not evaluate args when off
+}
+
+TEST(ObsTracer, SortedEventsAreContentOrdered)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.span("late", "t", 2, 5.0, 6.0);
+    tracer.span("early", "t", 1, 1.0, 2.0, 3);
+    tracer.instant("mid", "t", 7, 3.0);
+    auto events = tracer.sortedEvents();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].name, "early");
+    EXPECT_EQ(events[0].round, 3);
+    EXPECT_EQ(events[0].tsUs, 1000000);
+    EXPECT_EQ(events[0].durUs, 1000000);
+    EXPECT_EQ(events[1].name, "mid");
+    EXPECT_EQ(events[1].phase, 'i');
+    EXPECT_EQ(events[2].name, "late");
+}
+
+TEST(ObsTracer, ExportIsThreadCountInvariant)
+{
+    // The same logical events recorded from 1 thread and from 4 threads
+    // must export byte-identically: content sort, not arrival order.
+    auto record = [](obs::Tracer& tracer, int threads) {
+        tracer.setEnabled(true);
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&tracer, t, threads] {
+                for (int i = t; i < 40; i += threads) {
+                    tracer.span("span" + std::to_string(i), "t", i % 5,
+                                i * 0.25, i * 0.25 + 0.1, i);
+                }
+            });
+        }
+        for (auto& t : pool)
+            t.join();
+    };
+    obs::Tracer seq, par;
+    record(seq, 1);
+    record(par, 4);
+    std::ostringstream a, b;
+    seq.writeChromeTrace(a);
+    par.writeChromeTrace(b);
+    EXPECT_EQ(a.str(), b.str());
+    std::ostringstream aj, bj;
+    seq.writeJsonl(aj);
+    par.writeJsonl(bj);
+    EXPECT_EQ(aj.str(), bj.str());
+}
+
+TEST(ObsTracer, ChromeTraceIsValidJson)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.span("detector.round", "detector", 3, 1.5, 2.5, 4,
+                {{"guesses", "2"}, {"weird\"key", "line\nbreak"}});
+    tracer.instant("marker", "test", 0, 0.25);
+    std::ostringstream os;
+    tracer.writeChromeTrace(os);
+    std::string text = os.str();
+    EXPECT_TRUE(JsonValidator(text).valid()) << text;
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(text.find("\"round\":4"), std::string::npos);
+}
+
+TEST(ObsTracer, JsonlOneValidObjectPerLine)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.span("a", "t", 0, 0.0, 1.0);
+    tracer.span("b", "t", 1, 2.0, 3.0);
+    std::ostringstream os;
+    tracer.writeJsonl(os);
+    std::istringstream lines(os.str());
+    std::string line;
+    size_t count = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_TRUE(JsonValidator(line).valid()) << line;
+        ++count;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(ObsLog, LevelGatingAndPluggableSink)
+{
+    std::vector<std::pair<obs::LogLevel, std::string>> seen;
+    obs::setLogSink([&seen](obs::LogLevel level, std::string_view msg) {
+        seen.emplace_back(level, std::string(msg));
+    });
+    obs::setLogLevel(obs::LogLevel::Info);
+
+    BOLT_LOG_ERROR("e " << 1);
+    BOLT_LOG_INFO("i " << 2);
+    BOLT_LOG_DEBUG("d " << 3); // above threshold: dropped
+
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].first, obs::LogLevel::Error);
+    EXPECT_EQ(seen[0].second, "e 1");
+    EXPECT_EQ(seen[1].second, "i 2");
+
+    // Restore defaults for other tests/processes.
+    obs::setLogSink(nullptr);
+    obs::setLogLevel(obs::LogLevel::Warn);
+}
+
+TEST(ObsLog, ParseLevelNames)
+{
+    obs::LogLevel level = obs::LogLevel::Warn;
+    EXPECT_TRUE(obs::parseLogLevel("debug", &level));
+    EXPECT_EQ(level, obs::LogLevel::Debug);
+    EXPECT_TRUE(obs::parseLogLevel("error", &level));
+    EXPECT_EQ(level, obs::LogLevel::Error);
+    EXPECT_FALSE(obs::parseLogLevel("verbose", &level));
+    EXPECT_EQ(level, obs::LogLevel::Error); // untouched on failure
+}
+
+TEST(ObsReport, RunReportJsonIsValidAndOrdered)
+{
+    obs::MetricsRegistry reg;
+    reg.setEnabled(true);
+    reg.add(obs::MetricId::kDetectorRounds, 7);
+    reg.observe(obs::MetricId::kDetectorIterationsToConvergence, 2.0);
+
+    obs::RunReport report("experiment");
+    report.set("servers", static_cast<uint64_t>(8));
+    report.set("policy", "least-loaded");
+    report.set("obfuscation", 0.25);
+    report.set("quasar", false);
+    report.setWallSeconds(1.5);
+    report.setSimSeconds(600.0);
+
+    std::ostringstream os;
+    report.writeJson(os, reg.snapshot());
+    std::string text = os.str();
+    EXPECT_TRUE(JsonValidator(text).valid()) << text;
+    EXPECT_NE(text.find("\"bolt_run_report\": 1"), std::string::npos);
+    EXPECT_NE(text.find("\"command\": \"experiment\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"detector.rounds\": 7"), std::string::npos);
+    EXPECT_NE(text.find("\"wall_seconds\": 1.5"), std::string::npos);
+    EXPECT_NE(text.find("\"sim_seconds\": 600"), std::string::npos);
+    // Insertion order of config entries is preserved.
+    EXPECT_LT(text.find("\"servers\""), text.find("\"policy\""));
+    EXPECT_LT(text.find("\"policy\""), text.find("\"obfuscation\""));
+}
+
+TEST(ObsReport, SnapshotJsonSkipsEmptyHistograms)
+{
+    obs::MetricsRegistry reg;
+    reg.setEnabled(true);
+    reg.add(obs::MetricId::kSchedPicks, 3);
+    std::ostringstream os;
+    obs::writeSnapshotJson(os, reg.snapshot());
+    std::string text = os.str();
+    EXPECT_TRUE(JsonValidator(text).valid()) << text;
+    EXPECT_NE(text.find("\"sched.picks\": 3"), std::string::npos);
+    // No samples were observed: histogram object must not appear.
+    EXPECT_EQ(text.find("detector.iterations_to_convergence"),
+              std::string::npos);
+}
+
+TEST(ObsReport, ApplyObsFlagsConsumesFlagsAndRejectsBadLevel)
+{
+    // Unknown log level -> parse failure.
+    {
+        const char* raw[] = {"prog", "--log-level", "shout", nullptr};
+        std::vector<char*> argv;
+        for (const char** p = raw; *p; ++p)
+            argv.push_back(const_cast<char*>(*p));
+        argv.push_back(nullptr);
+        int argc = 3;
+        EXPECT_FALSE(obs::applyObsFlags(argc, argv.data()));
+    }
+    // Valid flags are consumed; unrelated ones pass through untouched.
+    {
+        const char* raw[] = {"prog",     "--servers", "8",
+                             "--log-level", "debug",  "--victims",
+                             "20",       nullptr};
+        std::vector<char*> argv;
+        for (const char** p = raw; *p; ++p)
+            argv.push_back(const_cast<char*>(*p));
+        argv.push_back(nullptr);
+        int argc = 7;
+        EXPECT_TRUE(obs::applyObsFlags(argc, argv.data()));
+        EXPECT_EQ(argc, 5);
+        EXPECT_STREQ(argv[1], "--servers");
+        EXPECT_STREQ(argv[2], "8");
+        EXPECT_STREQ(argv[3], "--victims");
+        EXPECT_STREQ(argv[4], "20");
+        EXPECT_EQ(obs::logLevel(), obs::LogLevel::Debug);
+        obs::setLogLevel(obs::LogLevel::Warn);
+    }
+}
+
+} // namespace

@@ -175,6 +175,84 @@ TEST(Summary, EmptyBehaviour)
     EXPECT_THROW(s.percentile(-1), std::invalid_argument);
 }
 
+TEST(Summary, SingleSampleStatistics)
+{
+    Summary s;
+    s.add(7.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+    EXPECT_DOUBLE_EQ(s.min(), 7.5);
+    EXPECT_DOUBLE_EQ(s.max(), 7.5);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0); // n < 2: undefined -> 0
+    // Every percentile of a single sample is that sample.
+    for (double p : {0.0, 1.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(s.percentile(p), 7.5);
+}
+
+TEST(Summary, AllEqualSamples)
+{
+    Summary s;
+    s.addAll({4.0, 4.0, 4.0, 4.0, 4.0});
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), s.max());
+    // Interpolation between equal neighbors must not drift.
+    for (double p : {0.0, 10.0, 33.3, 50.0, 90.0, 100.0})
+        EXPECT_DOUBLE_EQ(s.percentile(p), 4.0);
+}
+
+TEST(Summary, PercentileBoundsChecked)
+{
+    Summary s;
+    s.addAll({1.0, 2.0});
+    EXPECT_THROW(s.percentile(-0.001), std::invalid_argument);
+    EXPECT_THROW(s.percentile(100.001), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 2.0);
+}
+
+TEST(Summary, ClearResetsToEmpty)
+{
+    Summary s;
+    s.addAll({1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(std::isnan(s.percentile(50)));
+    EXPECT_TRUE(std::isnan(s.max()));
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, EmptyHistogramFractions)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.total(), 0u);
+    for (size_t b = 0; b < h.bins(); ++b) {
+        EXPECT_EQ(h.count(b), 0u);
+        EXPECT_DOUBLE_EQ(h.fraction(b), 0.0); // no mass, no NaN
+    }
+}
+
+TEST(Histogram, SingleSampleMass)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(5.0);
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 1.0);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, AllEqualSamplesLandInOneBin)
+{
+    Histogram h(0.0, 10.0, 5);
+    for (int i = 0; i < 100; ++i)
+        h.add(3.0);
+    EXPECT_EQ(h.total(), 100u);
+    EXPECT_EQ(h.count(1), 100u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 1.0);
+}
+
 TEST(Histogram, BinsAndClamping)
 {
     Histogram h(0.0, 10.0, 5);
