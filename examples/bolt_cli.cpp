@@ -38,6 +38,7 @@
 #include "attacks/coresidency.h"
 #include "attacks/dos.h"
 #include "core/experiment.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "util/table.h"
@@ -218,6 +219,31 @@ runExperiment(const Args& args)
         args.get("isolation", "none"),
         parsePlatform(args.get("platform", "vm")));
 
+    // Fault-injection plan: each --fault-<key> flag maps onto the plan
+    // via src/fault's parser; a set of pure modifiers (seed, spike-mag)
+    // with no rate enabled is rejected — it would silently do nothing.
+    static const char* kFaultKeys[] = {
+        "arrivals", "departures", "phase-flips",   "dropouts", "spikes",
+        "spike-mag", "jitter",    "jitter-window", "seed"};
+    bool any_fault_flag = false;
+    std::string fault_err;
+    for (const char* key : kFaultKeys) {
+        std::string flag = std::string("fault-") + key;
+        if (!args.has(flag))
+            continue;
+        any_fault_flag = true;
+        if (!fault::applyFaultFlag(cfg.faults, key, args.get(flag, ""),
+                                   &fault_err)) {
+            std::cerr << "bolt_cli: " << fault_err << "\n";
+            return 2;
+        }
+    }
+    if (!fault::validateFaultFlags(cfg.faults, any_fault_flag,
+                                   &fault_err)) {
+        std::cerr << "bolt_cli: " << fault_err << "\n";
+        return 2;
+    }
+
     obs::RunReport report("experiment");
     report.set("servers", static_cast<uint64_t>(cfg.servers));
     report.set("victims", static_cast<uint64_t>(cfg.victims));
@@ -226,6 +252,7 @@ runExperiment(const Args& args)
     report.set("platform", args.get("platform", "vm"));
     report.set("isolation", args.get("isolation", "none"));
     report.set("obfuscation", cfg.victimObfuscation);
+    report.set("faults_enabled", cfg.faults.enabled());
     report.set("threads",
                static_cast<uint64_t>(util::ThreadPool::globalThreads()));
 
@@ -255,6 +282,9 @@ runExperiment(const Args& args)
         table.addRow({"Accuracy @ " + std::to_string(n) +
                           " co-resident(s)",
                       util::AsciiTable::percent(acc, 1)});
+    if (cfg.faults.enabled())
+        table.addRow({"Victims departed (churn)",
+                      std::to_string(result.departedCount())});
     table.addRow({"Result digest", hex64(result.digest())});
     table.print(std::cout);
     return 0;
@@ -417,6 +447,13 @@ usage()
            "              --isolation none|pinning|net|mem|cache|"
            "core-full|core-only\n"
            "              --obfuscation A\n"
+           "              --fault-arrivals P --fault-departures P\n"
+           "              --fault-phase-flips P --fault-dropouts P\n"
+           "              --fault-spikes P --fault-spike-mag M\n"
+           "              --fault-jitter A --fault-jitter-window SEC\n"
+           "              --fault-seed S (deterministic fault "
+           "injection;\n"
+           "              at least one rate must be nonzero)\n"
            "  detect      --family NAME --seed S\n"
            "  dos         --seed S\n"
            "  coresidency --probes N --waves N --seed S\n"
@@ -431,9 +468,14 @@ usage()
 }
 
 const std::vector<FlagSpec> kExperimentFlags = {
-    {"servers", true},     {"victims", true},  {"seed", true},
-    {"quasar", false},     {"platform", true}, {"isolation", true},
-    {"obfuscation", true},
+    {"servers", true},          {"victims", true},
+    {"seed", true},             {"quasar", false},
+    {"platform", true},         {"isolation", true},
+    {"obfuscation", true},      {"fault-arrivals", true},
+    {"fault-departures", true}, {"fault-phase-flips", true},
+    {"fault-dropouts", true},   {"fault-spikes", true},
+    {"fault-spike-mag", true},  {"fault-jitter", true},
+    {"fault-jitter-window", true}, {"fault-seed", true},
 };
 const std::vector<FlagSpec> kDetectFlags = {
     {"family", true},

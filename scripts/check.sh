@@ -11,7 +11,12 @@
 # threads, must produce byte-identical stdout (including the result
 # digest), while the emitted metrics/trace files must be valid JSON.
 #
-# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--bench-only]
+# The --fault stage asserts the fault-injection determinism contract:
+# a faulted experiment (tenant churn + measurement faults) must produce
+# byte-identical stdout at 1 and 8 threads, and the churn-robustness
+# figure must reproduce bench/BENCH_fig15_churn.golden bit-for-bit.
+#
+# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--fault|--bench-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -92,6 +97,52 @@ EOF
         exit 1
     fi
     echo "Observability gate passed."
+fi
+
+if [[ "${mode}" == "--fault" || "${mode}" == "all" ]]; then
+    echo "== Fault-injection determinism gate =="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target bolt_cli fig15_churn_robustness
+    fault_dir="$(mktemp -d)"
+    trap 'rm -rf "${obs_dir:-}" "${fault_dir:-}"' EXIT
+    cli=./build/examples/bolt_cli
+    fault_flags=(experiment --servers 12 --victims 30 --seed 42
+                 --fault-arrivals 0.1 --fault-departures 0.08
+                 --fault-phase-flips 0.1 --fault-dropouts 0.15
+                 --fault-spikes 0.05 --fault-jitter 0.05
+                 --log-level error)
+
+    # A nontrivial fault plan must be thread-count invariant: churn,
+    # dropouts and retries all draw from counter-based streams keyed by
+    # (server, round), never from execution order.
+    "${cli}" "${fault_flags[@]}" --threads 1 > "${fault_dir}/f_1.txt"
+    "${cli}" "${fault_flags[@]}" --threads 8 > "${fault_dir}/f_8.txt"
+    if ! diff -u "${fault_dir}/f_1.txt" "${fault_dir}/f_8.txt"; then
+        echo "FAIL: faulted experiment output differs between 1 and 8" \
+             "threads" >&2
+        exit 1
+    fi
+
+    # Strict flag validation: modifiers without a fault rate are an
+    # error (exit 2), not a silent unfaulted run.
+    if "${cli}" experiment --fault-seed 7 >/dev/null 2>&1; then
+        echo "FAIL: bolt_cli accepted --fault-seed with no fault enabled" >&2
+        exit 1
+    fi
+
+    # The churn-robustness figure must reproduce the committed golden
+    # bit-for-bit, at both thread counts.
+    for threads in 1 8; do
+        ./build/bench/fig15_churn_robustness --threads "${threads}" \
+            > "${fault_dir}/fig15_${threads}.txt"
+        if ! diff -u bench/BENCH_fig15_churn.golden \
+                     "${fault_dir}/fig15_${threads}.txt"; then
+            echo "FAIL: fig15 output diverged from golden at" \
+                 "threads=${threads}" >&2
+            exit 1
+        fi
+    done
+    echo "Fault-injection gate passed."
 fi
 
 if [[ "${mode}" == "--bench-only" || "${mode}" == "all" ]]; then

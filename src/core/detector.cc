@@ -44,6 +44,7 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
     now += prof.durationSec;
     round.benchmarksRun += prof.benchmarksRun;
     round.coreShared = prof.coreShared;
+    round.droppedSamples = prof.droppedSamples;
     if (prior)
         prof.observation.mergeFrom(*prior);
     round.aggregate = prof.observation;
@@ -66,12 +67,17 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
         // extra probes (temporally coherent — a round fits in seconds).
         metrics.add(obs::MetricId::kDetectorExtraProbeRounds);
         auto probe_one = [&](sim::Resource r) {
-            double ci = profiler_.measureResource(env, r, prof.focusCore,
-                                                  now, rng);
-            prof.observation.set(r, ci);
-            now += Microbenchmark::rampDurationSec(ci);
+            double raw = profiler_.measureResource(env, r, prof.focusCore,
+                                                   now, rng);
+            now += Microbenchmark::rampDurationSec(raw);
             ++round.benchmarksRun;
             metrics.add(obs::MetricId::kDetectorExtraProbes);
+            // Dropped probes are masked, not recorded as zero pressure.
+            auto kept = Profiler::applySampleFaults(env, raw);
+            if (kept)
+                prof.observation.set(r, *kept);
+            else
+                ++round.droppedSamples;
         };
         int extra = config_.extraProbesWhenUnconfident;
         if (prof.coreShared) {
@@ -114,6 +120,67 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
             }
         }
     }
+
+    // Graceful degradation under measurement faults: dropouts can leave
+    // the round thinner than minObservedForMatch even after the extra
+    // probes, and matching on a sliver silently mislabels. Re-probe the
+    // missing resources in bounded re-measurement rounds, backing off
+    // exponentially in sim-time (transient faults decorrelate with
+    // temporal distance); if coverage never recovers, abstain — an
+    // explicit "don't know" beats a guess the caller cannot audit.
+    if (env.faults && prof.observation.observedCount() <
+                          static_cast<size_t>(config_.minObservedForMatch)) {
+        double backoff = config_.retryBackoffSec;
+        while (round.retryRounds < config_.maxRetryRounds &&
+               prof.observation.observedCount() <
+                   static_cast<size_t>(config_.minObservedForMatch)) {
+            ++round.retryRounds;
+            metrics.add(obs::MetricId::kDetectorRetryRounds);
+            now += backoff;
+            backoff *= config_.retryBackoffMult;
+            for (sim::Resource r : sim::kAllResources) {
+                if (prof.observation.observedCount() >=
+                    static_cast<size_t>(config_.minObservedForMatch))
+                    break;
+                if (prof.observation.has(r))
+                    continue;
+                if (sim::isCoreResource(r) && !prof.coreShared)
+                    continue; // No core sharing: core probes read zero.
+                double raw = profiler_.measureResource(
+                    env, r, prof.focusCore, now, rng);
+                now += Microbenchmark::rampDurationSec(raw);
+                ++round.benchmarksRun;
+                metrics.add(obs::MetricId::kDetectorRetryProbes);
+                auto kept = Profiler::applySampleFaults(env, raw);
+                if (kept)
+                    prof.observation.set(r, *kept);
+                else
+                    ++round.droppedSamples;
+            }
+        }
+        round.aggregate = prof.observation;
+        whole = recommender_.analyze(prof.observation.allExact());
+        if (prof.observation.observedCount() <
+            static_cast<size_t>(config_.minObservedForMatch)) {
+            // Coverage never recovered: emit a guess-free round.
+            round.abstained = true;
+            round.confidence = whole.confidence;
+            metrics.add(obs::MetricId::kDetectorGatedAbstentions);
+            metrics.add(obs::MetricId::kDetectorInconclusiveRounds);
+            round.profilingSec = now - t;
+            metrics.observe(obs::MetricId::kDetectorRoundSimSec,
+                            round.profilingSec);
+            BOLT_TRACE_SPAN(
+                "detector.round", "detector",
+                static_cast<int64_t>(env.server->id()), t, now,
+                round_index,
+                {{"guesses", "0"},
+                 {"benchmarks", std::to_string(round.benchmarksRun)},
+                 {"abstained", "1"}});
+            return round;
+        }
+    }
+    round.confidence = whole.confidence;
 
     // Disentangle the signal into co-residents: an additive
     // decomposition explains the aggregate uncore readings as a sum of

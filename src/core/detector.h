@@ -41,6 +41,21 @@ struct DetectorConfig
      */
     bool carryObservations = false;
     /**
+     * Fault-aware graceful degradation (active only when the host
+     * environment carries a fault oracle): when dropouts leave a round
+     * with fewer than minObservedForMatch samples, re-probe the missing
+     * resources for up to this many re-measurement rounds before giving
+     * up. 0 disables retries (thin rounds go straight to abstention).
+     */
+    int maxRetryRounds = 2;
+    /**
+     * Sim-time wait before the first re-measurement round; each further
+     * round multiplies it by retryBackoffMult (exponential backoff —
+     * transient measurement faults decorrelate with distance in time).
+     */
+    double retryBackoffSec = 2.0;
+    double retryBackoffMult = 2.0;
+    /**
      * The measurement channel Bolt assumes when reporting profiles: the
      * platform's baseline visibility is inverted so reported profiles
      * are in true pressure space. When the cloud applies *stronger*
@@ -71,6 +86,22 @@ struct DetectionRound
     bool coreShared = false;
     /** Raw aggregate observation before disentangling. */
     SparseObservation aggregate;
+    /** Probe samples lost to fault-injected dropouts (masked, not 0). */
+    int droppedSamples = 0;
+    /** Backed-off re-measurement rounds spent recovering coverage. */
+    int retryRounds = 0;
+    /**
+     * The round abstained: coverage stayed below minObservedForMatch
+     * after every retry, so no guess is emitted — an explicit "don't
+     * know" instead of a silent mislabel. Only possible under faults.
+     */
+    bool abstained = false;
+    /**
+     * Whole-signal confidence of the analysis behind this round: the
+     * top similarity discounted by observation coverage (see
+     * SimilarityResult::confidence). 0 when nothing was analyzed.
+     */
+    double confidence = 0.0;
 
     /** Whether any co-resident matched `class_label`. */
     bool detected(const std::string& class_label) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -26,7 +27,15 @@ namespace {
 enum RngPhase : uint64_t {
     kPhaseInstance = 3,
     kPhaseDetect = 4,
+    kPhaseNeighborInstance = 5,
 };
+
+/**
+ * Tenant-id base for fault-injected background arrivals: far above any
+ * id Cluster::nextTenantId ever allocates, so neighbor ids collide with
+ * nothing and are themselves a pure function of (server, arrival order).
+ */
+constexpr sim::TenantId kNeighborIdBase = sim::TenantId{1} << 32;
 
 } // namespace
 
@@ -150,8 +159,19 @@ ExperimentResult::digest() const
         mix(o.classCorrect ? 1 : 0);
         mix(o.charCorrect ? 1 : 0);
         mix(static_cast<uint64_t>(o.iterations));
+        mix(o.departed ? 1 : 0);
+        mix(static_cast<uint64_t>(o.departedRound));
     }
     return h;
+}
+
+size_t
+ExperimentResult::departedCount() const
+{
+    size_t n = 0;
+    for (const auto& o : outcomes)
+        n += o.departed ? 1 : 0;
+    return n;
 }
 
 std::map<int, std::pair<double, int>>
@@ -339,16 +359,40 @@ ControlledExperiment::run()
         if (here.empty())
             return;
 
+        // Fault-injected tenant churn mutates host state mid-detection.
+        // Every mutation is task-local so the parallel fan-out stays
+        // deterministic: a private Server copy absorbs arrivals and
+        // departures (the shared cluster is never touched), `alive`
+        // tracks which scored victims remain, `neighbors` holds the
+        // unscored background arrivals. Without an enabled plan none of
+        // this state changes and the run is bit-identical to the
+        // pre-fault engine.
+        const bool faults_on = config_.faults.enabled();
+        sim::Server local = server;
+        std::optional<fault::HostFaults> host_faults;
+        if (faults_on)
+            host_faults.emplace(config_.faults, config_.seed, s);
+        std::vector<char> alive(here.size(), 1);
+        std::vector<int> departed_round(here.size(), 0);
+        std::vector<std::pair<sim::TenantId, workloads::AppInstance>>
+            neighbors;
+
         HostEnvironment env;
-        env.server = &server;
+        env.server = &local;
         env.adversary = adversaries[s];
         env.contention = &contention;
+        if (host_faults)
+            env.faults = &*host_faults;
         env.pressureAt = [&](double t) {
             sim::PressureMap pm;
-            for (const auto* pv : here) {
-                auto it = instances.find(pv->id);
-                pm[pv->id] = it->second.pressureAt(t);
+            for (size_t v = 0; v < here.size(); ++v) {
+                if (!alive[v])
+                    continue;
+                auto it = instances.find(here[v]->id);
+                pm[here[v]->id] = it->second.pressureAt(t);
             }
+            for (auto& [nid, inst] : neighbors)
+                pm[nid] = inst.pressureAt(t);
             return pm;
         };
 
@@ -365,6 +409,55 @@ ControlledExperiment::run()
              ++iter) {
             double t = t0 + (iter - 1) *
                                 config_.detector.profilingIntervalSec;
+            if (host_faults) {
+                // Churn lands between rounds, before the adversary
+                // probes: departures first (departedRound is the first
+                // round the victim is absent from), then phase flips,
+                // then at most one background arrival.
+                for (size_t v = 0; v < here.size(); ++v) {
+                    if (!alive[v])
+                        continue;
+                    if (host_faults->departureAt(iter, v)) {
+                        alive[v] = 0;
+                        departed_round[v] = iter;
+                        local.remove(here[v]->id);
+                        metrics.add(
+                            obs::MetricId::kFaultTenantDepartures);
+                        continue;
+                    }
+                    double new_phase = 0.0;
+                    if (host_faults->phaseFlipAt(
+                            iter, v, here[v]->spec.pattern.periodSec,
+                            &new_phase)) {
+                        instances.find(here[v]->id)
+                            ->second.setPatternPhase(new_phase);
+                        metrics.add(obs::MetricId::kFaultPhaseFlips);
+                    }
+                }
+                fault::ArrivalEvent arr = host_faults->arrivalAt(iter);
+                if (arr.fires) {
+                    sim::Tenant neighbor;
+                    neighbor.id =
+                        kNeighborIdBase + s * 1024 + neighbors.size();
+                    neighbor.vcpus = arr.spec.vcpus;
+                    // Arrivals that no longer fit are dropped silently
+                    // (the cloud placed them elsewhere).
+                    if (local.place(neighbor, cluster.isolation())) {
+                        neighbors.emplace_back(
+                            neighbor.id,
+                            workloads::AppInstance(
+                                arr.spec,
+                                util::Rng::stream(
+                                    host_faults->faultSeed(),
+                                    {kPhaseNeighborInstance, s,
+                                     static_cast<uint64_t>(iter)})));
+                        metrics.add(obs::MetricId::kFaultTenantArrivals);
+                    }
+                }
+                if (std::none_of(alive.begin(), alive.end(),
+                                 [](char a) { return a != 0; }))
+                    break; // every scored victim left; stop probing
+            }
             // Stagger the focus-core rotation start across hosts (the
             // sequential engine's global round counter had the same
             // effect); the offset depends only on the server index, so
@@ -376,23 +469,25 @@ ControlledExperiment::run()
             carry = round.aggregate;
             host_end = t + round.profilingSec;
             bool all_done = true;
-            for (const auto* pv : here) {
-                if (!found_class.count(pv->id) &&
+            for (size_t v = 0; v < here.size(); ++v) {
+                const auto* pv = here[v];
+                if (alive[v] && !found_class.count(pv->id) &&
                     roundMatchesClass(round, pv->spec)) {
                     found_class[pv->id] = iter;
                 }
-                if (!found_char[pv->id] &&
+                if (alive[v] && !found_char[pv->id] &&
                     roundMatchesCharacteristics(round, pv->spec)) {
                     found_char[pv->id] = true;
                 }
-                all_done &= found_class.count(pv->id) > 0;
+                all_done &= found_class.count(pv->id) > 0 || !alive[v];
             }
             if (all_done)
                 break;
         }
 
         size_t detected = 0;
-        for (const auto* pv : here) {
+        for (size_t v = 0; v < here.size(); ++v) {
+            const auto* pv = here[v];
             VictimOutcome o;
             o.spec = pv->spec;
             o.server = s;
@@ -402,6 +497,8 @@ ControlledExperiment::run()
             o.classCorrect = it != found_class.end();
             o.iterations = o.classCorrect ? it->second : 0;
             o.charCorrect = found_char[pv->id];
+            o.departed = !alive[v];
+            o.departedRound = departed_round[v];
             if (o.classCorrect) {
                 ++detected;
                 metrics.add(obs::MetricId::kExperimentVictimsDetected);

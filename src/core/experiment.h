@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/detector.h"
+#include "fault/fault.h"
 #include "sched/scheduler.h"
 #include "sim/cluster.h"
 #include "workloads/generators.h"
@@ -43,6 +44,12 @@ struct ExperimentConfig
      * extension; 0 = the paper's friendly-VM assumption).
      */
     double victimObfuscation = 0.0;
+    /**
+     * Fault-injection plan (src/fault). When no rate is enabled the
+     * experiment does not attach a fault oracle at all and the run is
+     * bit-identical to one predating the fault layer.
+     */
+    fault::FaultPlan faults;
     uint64_t seed = 1;
 };
 
@@ -57,6 +64,14 @@ struct VictimOutcome
     bool classCorrect = false; ///< Framework+algorithm identified.
     bool charCorrect = false;  ///< Dominant resource identified.
     int iterations = 0;        ///< Rounds until identification (0 = never).
+    /**
+     * The victim departed mid-detection (fault-injected tenant churn).
+     * Departed victims still count toward accuracy denominators — churn
+     * is supposed to *cost* accuracy — but a pre-departure correct
+     * identification stands.
+     */
+    bool departed = false;
+    int departedRound = 0; ///< Round before which it left (0 = stayed).
 };
 
 /** Aggregated result with the query helpers the figures need. */
@@ -85,12 +100,14 @@ struct ExperimentResult
      */
     std::map<int, std::pair<double, int>>
     accuracyByPressure(sim::Resource r, int bin = 20) const;
+    /** Victims that departed mid-detection (0 without fault churn). */
+    size_t departedCount() const;
     /**
      * FNV-1a fingerprint of every outcome (victim class label, server,
      * co-residents, dominant resource, correctness flags, iteration
-     * count) in order. Bit-identical across thread counts and across
-     * observability on/off — scripts/check.sh --obs compares exactly
-     * this value.
+     * count, churn fate) in order. Bit-identical across thread counts
+     * and across observability on/off — scripts/check.sh --obs and
+     * --fault compare exactly this value.
      */
     uint64_t digest() const;
 };

@@ -45,6 +45,9 @@ Profiler::measureResource(const HostEnvironment& env, sim::Resource r,
             *env.server, env.adversary, pm);
         visible = ext[r];
     }
+    if (env.faults)
+        visible = std::clamp(visible * env.faults->capacityFactor(t),
+                             0.0, 100.0);
     Microbenchmark bench(r);
     double noise = env.contention->isolation().measurementNoise();
     if (sim::isCoreResource(r)) {
@@ -57,6 +60,24 @@ Profiler::measureResource(const HostEnvironment& env, sim::Resource r,
         return 0.5 * (a + b);
     }
     return bench.measure(visible, noise, rng, config_.intensityScale);
+}
+
+std::optional<double>
+Profiler::applySampleFaults(const HostEnvironment& env, double reading)
+{
+    if (!env.faults)
+        return reading;
+    fault::SampleFault f = env.faults->nextSampleFault();
+    auto& metrics = obs::MetricsRegistry::global();
+    if (f.dropped) {
+        metrics.add(obs::MetricId::kFaultSampleDropouts);
+        return std::nullopt;
+    }
+    if (f.delta != 0.0) {
+        metrics.add(obs::MetricId::kFaultSampleSpikes);
+        return std::clamp(reading + f.delta, 0.0, 100.0);
+    }
+    return reading;
 }
 
 ProfileRound
@@ -78,11 +99,15 @@ Profiler::profile(const HostEnvironment& env, double t, util::Rng& rng,
     auto uncore_order = rng.permutation(sim::kUncoreResources.size());
     size_t core_next = 0, uncore_next = 0;
 
-    auto run_probe = [&](sim::Resource r) {
-        double ci = measureResource(env, r, round.focusCore, now, rng);
-        round.observation.set(r, ci);
-        now += Microbenchmark::rampDurationSec(ci);
+    auto run_probe = [&](sim::Resource r) -> std::optional<double> {
+        double raw = measureResource(env, r, round.focusCore, now, rng);
+        now += Microbenchmark::rampDurationSec(raw);
         ++round.benchmarksRun;
+        auto ci = applySampleFaults(env, raw);
+        if (ci)
+            round.observation.set(r, *ci);
+        else
+            ++round.droppedSamples;
         return ci;
     };
 
@@ -90,9 +115,9 @@ Profiler::profile(const HostEnvironment& env, double t, util::Rng& rng,
     for (int b = 0; b < budget; ++b) {
         bool pick_core = (b % 2 == 0);
         if (pick_core && core_next < core_order.size()) {
-            double ci =
+            auto ci =
                 run_probe(sim::kCoreResources[core_order[core_next++]]);
-            if (ci > 0.0)
+            if (ci && *ci > 0.0)
                 round.coreShared = true;
         } else if (uncore_next < uncore_order.size()) {
             run_probe(sim::kUncoreResources[uncore_order[uncore_next++]]);
@@ -134,6 +159,15 @@ Profiler::shutterProfile(const HostEnvironment& env, double t,
     for (int w = 0; w < config_.shutterWindows; ++w) {
         SparseObservation obs;
         sim::ResourceVector ext = env.visibleExternal(now);
+        // Capacity jitter skews whole windows; per-sample dropout and
+        // spike faults are not applied here — the min-window selection
+        // below is itself an outlier filter, and a dropped window is
+        // indistinguishable from a high-pressure one it would discard.
+        if (env.faults) {
+            double jitter = env.faults->capacityFactor(now);
+            for (sim::Resource r : sim::kUncoreResources)
+                ext[r] = std::clamp(ext[r] * jitter, 0.0, 100.0);
+        }
         double noise = env.contention->isolation().measurementNoise();
         double total = 0.0;
         for (sim::Resource r : sim::kUncoreResources) {

@@ -2,10 +2,12 @@
 #define BOLT_CORE_PROFILER_H
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/microbench.h"
 #include "core/observation.h"
+#include "fault/fault.h"
 #include "sim/contention.h"
 #include "sim/server.h"
 
@@ -24,6 +26,14 @@ struct HostEnvironment
     const sim::ContentionModel* contention = nullptr;
     /** Instantaneous pressure of every tenant on the host at time t. */
     std::function<sim::PressureMap(double)> pressureAt;
+    /**
+     * Optional fault oracle for this host (src/fault): capacity jitter
+     * perturbs what probes see, and each sample may be spiked or
+     * dropped. Null (the default) runs the exact unfaulted code path.
+     * The oracle is owned by the detection task that owns this
+     * environment; the profiler advances its sample stream.
+     */
+    fault::HostFaults* faults = nullptr;
 
     /** External pressure visible to the adversary at time t. */
     sim::ResourceVector visibleExternal(double t) const;
@@ -68,6 +78,14 @@ struct ProfileRound
     double durationSec = 0.0;   ///< Virtual time the probes consumed.
     int benchmarksRun = 0;
     bool coreShared = false;    ///< Core probe saw non-zero pressure.
+    /**
+     * Probe samples lost to fault-injected dropouts this round. A
+     * dropped sample is *masked* — its resource is simply not set in
+     * `observation` — never recorded as zero pressure, so thin coverage
+     * is visible to the detector's confidence gate instead of reading
+     * as a genuinely idle resource. Always 0 without a fault oracle.
+     */
+    int droppedSamples = 0;
 };
 
 /**
@@ -98,10 +116,25 @@ class Profiler
 
     /**
      * Probe one resource at time t. Core resources read the focus core's
-     * sibling; uncore resources read the host aggregate.
+     * sibling; uncore resources read the host aggregate. When the
+     * environment carries a fault oracle, capacity jitter scales the
+     * visible pressure first; the returned reading is the *raw* probe
+     * result — pass it through applySampleFaults for spike/dropout
+     * classification.
      */
     double measureResource(const HostEnvironment& env, sim::Resource r,
                            int focus_core, double t, util::Rng& rng) const;
+
+    /**
+     * Classify one raw probe reading against the host's fault oracle:
+     * the kept (possibly spiked) reading, or nullopt when the sample
+     * was dropped and must be masked. Consumes exactly one slot of the
+     * host's sample-fault stream per call; without an oracle it is the
+     * identity. Callers still advance virtual time by the probe's ramp
+     * duration — the benchmark ran, only its reading was lost.
+     */
+    static std::optional<double>
+    applySampleFaults(const HostEnvironment& env, double reading);
 
     /**
      * Shutter profiling (Section 3.3): brief, frequent windows on the

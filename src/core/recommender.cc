@@ -537,6 +537,15 @@ HybridRecommender::analyze(const SparseObservation& observation) const
     result.distribution.reserve(s.classScores.size());
     for (const auto& [cls, sc] : s.classScores)
         result.distribution.emplace_back(training_.className(cls), sc);
+
+    // Partial-observation confidence: discount the top similarity by
+    // the observed share of the importance-weighted resource space
+    // (resourceWeights_ sums to 1, so wsumAll is that share). The sqrt
+    // keeps the discount gentle when only low-value resources are
+    // missing but steep for sliver observations — a perfect correlation
+    // over two probed resources is not a confident identification.
+    result.confidence = result.topScore() *
+                        std::sqrt(std::clamp(s.wsumAll, 0.0, 1.0));
     return result;
 }
 

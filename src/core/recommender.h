@@ -69,6 +69,15 @@ struct SimilarityResult
      * current load. Used to peel the match off an aggregate signal.
      */
     double topFittedLevel = 1.0;
+    /**
+     * Partial-observation confidence: topScore() discounted by how much
+     * of the importance-weighted resource space the query actually
+     * measured (sqrt of the observed weight mass, so missing low-value
+     * resources costs little). A full 10-resource observation keeps the
+     * raw score; a 2-probe sliver is trusted far less even when the
+     * sliver correlates perfectly. In [0, 1].
+     */
+    double confidence = 0.0;
 
     /** Best similarity score; 0 when the ranking is empty. */
     double topScore() const;

@@ -1,0 +1,215 @@
+#include "fault.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+#include "workloads/catalog.h"
+
+namespace bolt {
+namespace fault {
+
+namespace {
+
+/**
+ * Stream-derivation phases under the fault seed. Offset well away from
+ * the experiment engine's phases so a plan with seed == experiment seed
+ * still draws from decorrelated streams.
+ */
+enum FaultRngPhase : uint64_t {
+    kPhaseSample = 0x0Bf0,
+    kPhaseJitter = 0x0Bf1,
+    kPhaseArrival = 0x0Bf2,
+    kPhaseDeparture = 0x0Bf3,
+    kPhaseFlip = 0x0Bf4,
+};
+
+bool
+parseNonNegative(std::string_view value, double* out)
+{
+    double v = 0.0;
+    auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), v);
+    if (ec != std::errc{} || ptr != value.data() + value.size() ||
+        !std::isfinite(v) || v < 0.0)
+        return false;
+    *out = v;
+    return true;
+}
+
+// Parsers only write *out on success so a rejected flag value leaves
+// the plan untouched (the CLI exits anyway, but tests rely on it).
+bool
+parseProbability(std::string_view value, double* out)
+{
+    double v = 0.0;
+    if (!parseNonNegative(value, &v) || v > 1.0)
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+applyFaultFlag(FaultPlan& plan, std::string_view key,
+               std::string_view value, std::string* err)
+{
+    auto bad_value = [&](const char* range) {
+        if (err)
+            *err = "invalid value '" + std::string(value) +
+                   "' for --fault-" + std::string(key) + " (expected " +
+                   range + ")";
+        return false;
+    };
+    if (key == "arrivals")
+        return parseProbability(value, &plan.arrivalProb) ||
+               bad_value("a probability in [0, 1]");
+    if (key == "departures")
+        return parseProbability(value, &plan.departureProb) ||
+               bad_value("a probability in [0, 1]");
+    if (key == "phase-flips")
+        return parseProbability(value, &plan.phaseFlipProb) ||
+               bad_value("a probability in [0, 1]");
+    if (key == "dropouts")
+        return parseProbability(value, &plan.dropoutProb) ||
+               bad_value("a probability in [0, 1]");
+    if (key == "spikes")
+        return parseProbability(value, &plan.spikeProb) ||
+               bad_value("a probability in [0, 1]");
+    if (key == "spike-mag")
+        return parseNonNegative(value, &plan.spikeMagnitude) ||
+               bad_value("pressure points >= 0");
+    if (key == "jitter") {
+        double amp = 0.0;
+        if (!parseProbability(value, &amp) || amp >= 1.0)
+            return bad_value("an amplitude in [0, 1)");
+        plan.capacityJitterAmp = amp;
+        return true;
+    }
+    if (key == "jitter-window") {
+        double window = 0.0;
+        if (!parseNonNegative(value, &window) || window <= 0.0)
+            return bad_value("seconds > 0");
+        plan.capacityJitterWindowSec = window;
+        return true;
+    }
+    if (key == "seed") {
+        uint64_t s = 0;
+        auto [ptr, ec] = std::from_chars(
+            value.data(), value.data() + value.size(), s);
+        if (ec != std::errc{} || ptr != value.data() + value.size())
+            return bad_value("an unsigned integer");
+        plan.seed = s;
+        return true;
+    }
+    if (err)
+        *err = "unknown fault flag '--fault-" + std::string(key) +
+               "'\nvalid fault flags: " + faultFlagList();
+    return false;
+}
+
+bool
+validateFaultFlags(const FaultPlan& plan, bool any_flag_seen,
+                   std::string* err)
+{
+    if (any_flag_seen && !plan.enabled()) {
+        if (err)
+            *err = "--fault-* flags given but no fault is enabled; set "
+                   "at least one of --fault-arrivals --fault-departures "
+                   "--fault-phase-flips --fault-dropouts --fault-spikes "
+                   "--fault-jitter to a nonzero rate";
+        return false;
+    }
+    return true;
+}
+
+std::string
+faultFlagList()
+{
+    return "--fault-arrivals --fault-departures --fault-phase-flips "
+           "--fault-dropouts --fault-spikes --fault-spike-mag "
+           "--fault-jitter --fault-jitter-window --fault-seed";
+}
+
+HostFaults::HostFaults(const FaultPlan& plan, uint64_t root_seed,
+                       size_t server)
+    : plan_(plan), seed_(plan.seed ? plan.seed : root_seed),
+      server_(server),
+      sampleRng_(util::Rng::stream(seed_, {kPhaseSample, server}))
+{
+}
+
+SampleFault
+HostFaults::nextSampleFault()
+{
+    // One uniform pair per probe, whatever fires: the stream position
+    // after N probes is independent of which faults fired, so a host's
+    // fault sequence depends only on how many probes ran before it.
+    double u = sampleRng_.uniform();
+    double mag = sampleRng_.uniform();
+    SampleFault f;
+    if (u < plan_.dropoutProb) {
+        f.dropped = true;
+    } else if (u < plan_.dropoutProb + plan_.spikeProb) {
+        f.delta = plan_.spikeMagnitude * (0.25 + 0.75 * mag);
+    }
+    return f;
+}
+
+double
+HostFaults::capacityFactor(double t) const
+{
+    if (plan_.capacityJitterAmp <= 0.0)
+        return 1.0;
+    auto window = static_cast<uint64_t>(
+        std::max(0.0, t) / plan_.capacityJitterWindowSec);
+    util::Rng r = util::Rng::stream(seed_, {kPhaseJitter, server_, window});
+    return 1.0 + plan_.capacityJitterAmp * r.uniform(-1.0, 1.0);
+}
+
+ArrivalEvent
+HostFaults::arrivalAt(int round) const
+{
+    ArrivalEvent ev;
+    if (plan_.arrivalProb <= 0.0)
+        return ev;
+    util::Rng r = util::Rng::stream(
+        seed_, {kPhaseArrival, server_, static_cast<uint64_t>(round)});
+    if (!r.bernoulli(plan_.arrivalProb))
+        return ev;
+    ev.fires = true;
+    // Unscored neighbor from the full catalog — the EC2 pool's "someone
+    // else's VM landed next to us" case, interactive services included.
+    const auto& families = workloads::catalog();
+    ev.spec = workloads::randomSpec(families[r.index(families.size())], r);
+    return ev;
+}
+
+bool
+HostFaults::departureAt(int round, size_t victim) const
+{
+    if (plan_.departureProb <= 0.0)
+        return false;
+    util::Rng r = util::Rng::stream(
+        seed_,
+        {kPhaseDeparture, server_, static_cast<uint64_t>(round), victim});
+    return r.bernoulli(plan_.departureProb);
+}
+
+bool
+HostFaults::phaseFlipAt(int round, size_t victim, double period_sec,
+                        double* new_phase) const
+{
+    if (plan_.phaseFlipProb <= 0.0)
+        return false;
+    util::Rng r = util::Rng::stream(
+        seed_, {kPhaseFlip, server_, static_cast<uint64_t>(round), victim});
+    if (!r.bernoulli(plan_.phaseFlipProb))
+        return false;
+    *new_phase = r.uniform(0.0, std::max(1.0, period_sec));
+    return true;
+}
+
+} // namespace fault
+} // namespace bolt

@@ -70,6 +70,24 @@ enum class MetricKind { Counter, Gauge, Histogram };
       Sim, false, "Rounds resolved by the whole-signal fallback match")      \
     X(DetectorInconclusiveRounds, "detector.inconclusive_rounds",            \
       Sim, false, "Rounds that produced no guess at all")                    \
+    X(DetectorRetryRounds, "detector.retry_rounds",                          \
+      Sim, false,                                                            \
+      "Backed-off re-measurement rounds after fault-dropped samples")        \
+    X(DetectorRetryProbes, "detector.retry_probes",                          \
+      Sim, false, "Probes re-run during re-measurement rounds")              \
+    X(DetectorGatedAbstentions, "detector.gated_abstentions",                \
+      Sim, false,                                                            \
+      "Rounds abstaining (no guess) on coverage lost to faults")             \
+    X(FaultTenantArrivals, "fault.tenant_arrivals",                          \
+      Sim, false, "Background VMs churned onto a host mid-detection")        \
+    X(FaultTenantDepartures, "fault.tenant_departures",                      \
+      Sim, false, "Victims that departed mid-detection (tenant churn)")      \
+    X(FaultPhaseFlips, "fault.phase_flips",                                  \
+      Sim, false, "Victim load-pattern phase flips injected")                \
+    X(FaultSampleDropouts, "fault.sample_dropouts",                          \
+      Sim, false, "Probe samples dropped (masked, not zeroed)")              \
+    X(FaultSampleSpikes, "fault.sample_spikes",                              \
+      Sim, false, "Probe samples perturbed by an outlier spike")             \
     X(ProfilerRounds, "profiler.rounds",                                     \
       Sim, false, "Standard profiling rounds executed")                      \
     X(ProfilerBenchmarksRun, "profiler.benchmarks_run",                      \

@@ -115,6 +115,14 @@ class AppInstance
     double loadAt(double t) const { return spec_.pattern.factor(t); }
 
     /**
+     * Fault-injection hook (src/fault): shift the load pattern to a new
+     * phase offset mid-run, modeling a workload that abruptly jumps to a
+     * different point of its cycle (restart, input change, failover).
+     * The jitter stream is untouched.
+     */
+    void setPatternPhase(double phase) { spec_.pattern.phase = phase; }
+
+    /**
      * Tail latency (p99, msec) of an interactive instance under the
      * given slowdown factor. Queueing amplifies slowdown into the tail:
      * p99 = nominal * slowdown^gamma.

@@ -64,7 +64,24 @@ expectIdentical(const ExperimentResult& a, const ExperimentResult& b)
         EXPECT_EQ(x.classCorrect, y.classCorrect) << i;
         EXPECT_EQ(x.charCorrect, y.charCorrect) << i;
         EXPECT_EQ(x.iterations, y.iterations) << i;
+        EXPECT_EQ(x.departed, y.departed) << i;
+        EXPECT_EQ(x.departedRound, y.departedRound) << i;
     }
+}
+
+/** smallConfig plus a nontrivial fault plan: every fault kind enabled. */
+ExperimentConfig
+faultedConfig(uint64_t seed, uint64_t fault_seed = 0)
+{
+    ExperimentConfig cfg = smallConfig(seed);
+    cfg.faults.arrivalProb = 0.15;
+    cfg.faults.departureProb = 0.10;
+    cfg.faults.phaseFlipProb = 0.10;
+    cfg.faults.dropoutProb = 0.20;
+    cfg.faults.spikeProb = 0.10;
+    cfg.faults.capacityJitterAmp = 0.08;
+    cfg.faults.seed = fault_seed;
+    return cfg;
 }
 
 } // namespace
@@ -80,6 +97,44 @@ TEST(Determinism, ExperimentIdenticalAt1_2_8Threads)
     // comparison is not vacuous.
     EXPECT_GT(r1.outcomes.size(), 10u);
     EXPECT_GT(r1.aggregateAccuracy(), 0.3);
+}
+
+TEST(Determinism, FaultedExperimentIdenticalAt1_2_8Threads)
+{
+    // The fault layer must preserve the thread-count invariance: every
+    // fault draw comes from its own counter-based stream and all churn
+    // mutations are task-local, so a faulted run is as deterministic as
+    // an unfaulted one.
+    auto run = [](unsigned threads) {
+        util::ThreadPool::setGlobalThreads(threads);
+        return ControlledExperiment(faultedConfig(77)).run();
+    };
+    auto r1 = run(1);
+    auto r2 = run(2);
+    auto r8 = run(8);
+    expectIdentical(r1, r2);
+    expectIdentical(r1, r8);
+    EXPECT_EQ(r1.digest(), r2.digest());
+    EXPECT_EQ(r1.digest(), r8.digest());
+    // Non-vacuous: churn actually removed victims mid-detection, and
+    // detection still identified a useful fraction of the rest.
+    EXPECT_GT(r1.departedCount(), 0u);
+    EXPECT_GT(r1.aggregateAccuracy(), 0.2);
+}
+
+TEST(Determinism, FaultDigestTracksFaultSeed)
+{
+    // The schedule of faults is a pure function of (config, fault
+    // seed): same seed -> same digest, different fault seed -> a
+    // different fault schedule and hence (with these rates) a
+    // different digest, all else equal.
+    util::ThreadPool::setGlobalThreads(4);
+    auto base = ControlledExperiment(faultedConfig(77)).run();
+    auto same = ControlledExperiment(faultedConfig(77)).run();
+    EXPECT_EQ(base.digest(), same.digest());
+
+    auto reseeded = ControlledExperiment(faultedConfig(77, 12345)).run();
+    EXPECT_NE(base.digest(), reseeded.digest());
 }
 
 TEST(Determinism, BatchedSgdIdenticalAcrossThreadCounts)

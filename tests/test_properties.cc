@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Property-based tests: algebraic invariants of the numerical kernels
+ * and the fault layer, each checked across a sweep of derived seeds
+ * rather than at hand-picked points. A property that holds at 32+
+ * random instances pins behavior far more tightly than a golden value:
+ * it survives refactors that change rounding while still catching
+ * algorithmic regressions.
+ *
+ * Seed discipline: every repetition derives its own counter-based
+ * stream (util::Rng::stream(kSweepSeed, {case, rep})) so repetitions
+ * are independent, reproducible, and cheap to bisect — a failure
+ * message's rep index identifies the exact instance.
+ */
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.h"
+#include "fault/fault.h"
+#include "linalg/matrix.h"
+#include "linalg/sgd.h"
+#include "linalg/svd.h"
+#include "util/rng.h"
+
+using namespace bolt;
+
+namespace {
+
+constexpr uint64_t kSweepSeed = 0x9e3779b97f4a7c15ull;
+constexpr int kReps = 32;
+
+/** Random m x n matrix with entries in [lo, hi). */
+linalg::Matrix
+randomMatrix(util::Rng& rng, size_t m, size_t n, double lo = 0.0,
+             double hi = 100.0)
+{
+    linalg::Matrix a(m, n);
+    for (size_t i = 0; i < m; ++i)
+        for (size_t j = 0; j < n; ++j)
+            a(i, j) = rng.uniform(lo, hi);
+    return a;
+}
+
+double
+frobeniusOfDiff(const linalg::Matrix& a, const linalg::Matrix& b)
+{
+    double sq = 0.0;
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j) {
+            double d = a(i, j) - b(i, j);
+            sq += d * d;
+        }
+    return std::sqrt(sq);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// SVD: the rank-k truncation is the best rank-k approximation, so its
+// reconstruction error must be non-increasing in k and (numerically)
+// zero at full rank.
+TEST(Properties, SvdRankKErrorMonotoneInRank)
+{
+    for (uint64_t rep = 0; rep < kReps; ++rep) {
+        util::Rng rng = util::Rng::stream(kSweepSeed, {1, rep});
+        size_t m = 4 + rng.index(6); // 4..9 rows
+        size_t n = 2 + rng.index(4); // 2..5 cols
+        if (m < n)
+            std::swap(m, n);
+        linalg::Matrix a = randomMatrix(rng, m, n);
+        linalg::SvdResult dec = linalg::svd(a);
+
+        double prev = std::numeric_limits<double>::infinity();
+        for (size_t k = 1; k <= n; ++k) {
+            double err = frobeniusOfDiff(a, dec.reconstructRank(k));
+            EXPECT_LE(err, prev + 1e-9)
+                << "rep " << rep << ": error rose from rank " << k - 1
+                << " to rank " << k;
+            prev = err;
+        }
+        EXPECT_NEAR(prev, 0.0, 1e-6 * a.frobeniusNorm())
+            << "rep " << rep << ": full-rank reconstruction not exact";
+        // Eckart-Young cross-check: the rank-k error equals the energy
+        // in the discarded singular values.
+        size_t mid = n / 2 ? n / 2 : 1;
+        double tail = 0.0;
+        for (size_t i = mid; i < dec.s.size(); ++i)
+            tail += dec.s[i] * dec.s[i];
+        EXPECT_NEAR(frobeniusOfDiff(a, dec.reconstructRank(mid)),
+                    std::sqrt(tail), 1e-6 * (1.0 + a.frobeniusNorm()))
+            << "rep " << rep;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Weighted Pearson (Eq. 1): symmetric in its arguments, and invariant
+// under positive affine rescaling of either argument — correlation
+// measures shape, not magnitude. (This is exactly why the recommender
+// can match a load-scaled profile to its full-load training entry.)
+TEST(Properties, WeightedPearsonSymmetricAndScaleInvariant)
+{
+    for (uint64_t rep = 0; rep < kReps; ++rep) {
+        util::Rng rng = util::Rng::stream(kSweepSeed, {2, rep});
+        size_t n = 3 + rng.index(8); // 3..10 coordinates
+        std::vector<double> a(n), b(n), w(n);
+        for (size_t i = 0; i < n; ++i) {
+            a[i] = rng.uniform(0.0, 100.0);
+            b[i] = rng.uniform(0.0, 100.0);
+            w[i] = rng.uniform(0.05, 1.0); // strictly positive weights
+        }
+
+        double ab = linalg::weightedPearson(a, b, w);
+        double ba = linalg::weightedPearson(b, a, w);
+        EXPECT_NEAR(ab, ba, 1e-12) << "rep " << rep << ": asymmetric";
+        EXPECT_GE(ab, -1.0 - 1e-12) << "rep " << rep;
+        EXPECT_LE(ab, 1.0 + 1e-12) << "rep " << rep;
+
+        // Positive affine map of one side: r is unchanged.
+        double alpha = rng.uniform(0.1, 5.0);
+        double beta = rng.uniform(-20.0, 20.0);
+        std::vector<double> a2(n);
+        for (size_t i = 0; i < n; ++i)
+            a2[i] = alpha * a[i] + beta;
+        EXPECT_NEAR(linalg::weightedPearson(a2, b, w), ab, 1e-9)
+            << "rep " << rep << ": not scale-invariant (alpha=" << alpha
+            << ", beta=" << beta << ")";
+
+        // Self-correlation is exactly 1 for non-constant vectors.
+        EXPECT_NEAR(linalg::weightedPearson(a, a, w), 1.0, 1e-12)
+            << "rep " << rep;
+    }
+}
+
+// ---------------------------------------------------------------------
+// SGD completion: the scratch-based warm path documents bit-identical
+// results to the cold API given the same warm starts and row-major
+// entry order. This is the contract that lets the recommender reuse
+// per-thread scratch without changing any output.
+TEST(Properties, SgdWarmPathBitIdenticalToColdPath)
+{
+    for (uint64_t rep = 0; rep < kReps; ++rep) {
+        util::Rng rng = util::Rng::stream(kSweepSeed, {3, rep});
+        size_t m = 4 + rng.index(5);
+        size_t n = 3 + rng.index(4);
+        linalg::SgdConfig cfg;
+        cfg.rank = 2 + rng.index(2);
+        cfg.epochs = 15;
+        cfg.seed = 100 + rep;
+
+        // Partially-observed matrix (~70% coverage) plus warm factors.
+        linalg::SparseMatrix data;
+        data.values = randomMatrix(rng, m, n);
+        data.mask.assign(m, std::vector<bool>(n, false));
+        for (size_t i = 0; i < m; ++i)
+            for (size_t j = 0; j < n; ++j)
+                data.mask[i][j] = rng.uniform() < 0.7 || j == 0;
+        linalg::Matrix warm_p = randomMatrix(rng, m, cfg.rank, -1.0, 1.0);
+        linalg::Matrix warm_q = randomMatrix(rng, n, cfg.rank, -1.0, 1.0);
+
+        linalg::SgdResult cold =
+            linalg::sgdFactorize(data, cfg, warm_p, warm_q);
+
+        linalg::SgdScratch scratch;
+        for (size_t i = 0; i < m; ++i) // row-major, like the cold path
+            for (size_t j = 0; j < n; ++j)
+                if (data.mask[i][j])
+                    scratch.entries.push_back({i, j, data.values(i, j)});
+        const linalg::SgdResult& warm =
+            linalg::sgdFactorizeWarm(cfg, warm_p, warm_q, scratch);
+
+        EXPECT_EQ(linalg::Matrix::maxAbsDiff(cold.p, warm.p), 0.0)
+            << "rep " << rep << ": P factors diverge";
+        EXPECT_EQ(linalg::Matrix::maxAbsDiff(cold.q, warm.q), 0.0)
+            << "rep " << rep << ": Q factors diverge";
+        EXPECT_EQ(cold.trainRmse, warm.trainRmse) << "rep " << rep;
+        EXPECT_EQ(cold.epochsRun, warm.epochsRun) << "rep " << rep;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault layer: sample masking is exact. Without an oracle the classifier
+// is the identity for every reading; a zero-rate plan never perturbs a
+// sample (the inertness contract); dropoutProb == 1 drops every sample;
+// spiked readings stay clamped to [0, 100].
+TEST(Properties, SampleFaultMaskingExactAndInert)
+{
+    for (uint64_t rep = 0; rep < kReps; ++rep) {
+        util::Rng rng = util::Rng::stream(kSweepSeed, {4, rep});
+
+        core::HostEnvironment bare; // no oracle: identity
+        fault::FaultPlan zero;      // all rates zero: still identity
+        fault::HostFaults zero_faults(zero, /*root_seed=*/rep + 1,
+                                      /*server=*/rep);
+        core::HostEnvironment inert;
+        inert.faults = &zero_faults;
+
+        fault::FaultPlan drop_all;
+        drop_all.dropoutProb = 1.0;
+        fault::HostFaults dropper(drop_all, rep + 1, rep);
+        core::HostEnvironment dropping;
+        dropping.faults = &dropper;
+
+        fault::FaultPlan spiky;
+        spiky.spikeProb = 1.0;
+        spiky.spikeMagnitude = rng.uniform(0.0, 80.0);
+        fault::HostFaults spiker(spiky, rep + 1, rep);
+        core::HostEnvironment spiking;
+        spiking.faults = &spiker;
+
+        for (int probe = 0; probe < 16; ++probe) {
+            double reading = rng.uniform(0.0, 100.0);
+            auto id1 = core::Profiler::applySampleFaults(bare, reading);
+            ASSERT_TRUE(id1.has_value());
+            EXPECT_EQ(*id1, reading) << "rep " << rep << ": no-oracle "
+                                        "path is not the identity";
+            auto id2 = core::Profiler::applySampleFaults(inert, reading);
+            ASSERT_TRUE(id2.has_value());
+            EXPECT_EQ(*id2, reading) << "rep " << rep << ": zero-rate "
+                                        "plan perturbed a sample";
+            EXPECT_FALSE(
+                core::Profiler::applySampleFaults(dropping, reading)
+                    .has_value())
+                << "rep " << rep << ": dropoutProb=1 kept a sample";
+            auto spiked =
+                core::Profiler::applySampleFaults(spiking, reading);
+            ASSERT_TRUE(spiked.has_value());
+            EXPECT_GE(*spiked, 0.0) << "rep " << rep;
+            EXPECT_LE(*spiked, 100.0) << "rep " << rep;
+            EXPECT_GE(*spiked, reading - 1e-12)
+                << "rep " << rep << ": spikes are additive, reading "
+                                    "cannot decrease";
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault oracle purity: every keyed question (jitter window, arrival,
+// departure, phase flip) is a pure function of (plan, seed, server,
+// coordinates) — two oracles built alike agree everywhere, in any query
+// order, and the jitter factor is piecewise-constant on its windows.
+TEST(Properties, FaultOracleIsPureAndWindowed)
+{
+    for (uint64_t rep = 0; rep < kReps; ++rep) {
+        util::Rng rng = util::Rng::stream(kSweepSeed, {5, rep});
+        fault::FaultPlan plan;
+        plan.arrivalProb = rng.uniform(0.1, 0.9);
+        plan.departureProb = rng.uniform(0.1, 0.9);
+        plan.phaseFlipProb = rng.uniform(0.1, 0.9);
+        plan.capacityJitterAmp = rng.uniform(0.01, 0.5);
+        plan.capacityJitterWindowSec = rng.uniform(5.0, 40.0);
+
+        fault::HostFaults a(plan, rep + 7, rep % 5);
+        fault::HostFaults b(plan, rep + 7, rep % 5);
+
+        // Query b in reverse round order: answers must still agree.
+        for (int round = 8; round >= 1; --round) {
+            EXPECT_EQ(a.arrivalAt(round).fires,
+                      b.arrivalAt(round).fires)
+                << "rep " << rep << " round " << round;
+            for (size_t v = 0; v < 4; ++v) {
+                EXPECT_EQ(a.departureAt(round, v),
+                          b.departureAt(round, v))
+                    << "rep " << rep;
+                double pa = -1.0, pb = -1.0;
+                bool fa = a.phaseFlipAt(round, v, 60.0, &pa);
+                bool fb = b.phaseFlipAt(round, v, 60.0, &pb);
+                EXPECT_EQ(fa, fb) << "rep " << rep;
+                if (fa)
+                    EXPECT_EQ(pa, pb) << "rep " << rep;
+            }
+        }
+
+        // Jitter: constant within a window, bounded by the amplitude.
+        double w = plan.capacityJitterWindowSec;
+        for (int k = 0; k < 6; ++k) {
+            double t = k * w;
+            double f0 = a.capacityFactor(t + 0.01 * w);
+            double f1 = a.capacityFactor(t + 0.99 * w);
+            EXPECT_EQ(f0, f1)
+                << "rep " << rep << ": jitter varies within window " << k;
+            EXPECT_GE(f0, 1.0 - plan.capacityJitterAmp) << "rep " << rep;
+            EXPECT_LE(f0, 1.0 + plan.capacityJitterAmp) << "rep " << rep;
+        }
+    }
+}
