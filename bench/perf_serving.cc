@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Serving-layer throughput-latency curves: sweep offered load over the
+ * deterministic query-serving engine (src/serve) and print, per offered
+ * rate, the achieved/goodput QPS and latency percentiles of
+ *
+ *  - `batch-1`: micro-batching disabled (maxBatch = 1), and
+ *  - `adaptive-8`: adaptive micro-batching up to 8 requests/batch.
+ *
+ * Everything on stdout is Sim-class — a pure function of (config,
+ * seed) — so the full output is byte-identical at any --threads and is
+ * committed as bench/BENCH_serving.golden; scripts/check.sh --serve
+ * diffs a fresh run (at 1 and 8 threads) against it. Wall-clock info
+ * goes to stderr.
+ *
+ * The binary also self-checks the two properties the curves exist to
+ * demonstrate, and exits 1 if either regresses:
+ *
+ *  1. at mid load (offered well under capacity), adaptive batching
+ *     keeps p99 latency inside the SLO, and
+ *  2. at saturation, adaptive batching achieves strictly higher QPS
+ *     than batch-size-1 (amortized batch setup is the point).
+ *
+ * Regenerate the golden after an intentional serving change with:
+ *   ./build-release/bench/perf_serving > bench/BENCH_serving.golden
+ */
+#include <chrono>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "serve/engine.h"
+#include "util/digest.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "workloads/generators.h"
+
+using namespace bolt;
+
+namespace {
+
+constexpr double kSloMs = 50.0;
+constexpr double kMidLoadQps = 800.0;
+constexpr double kSaturationQps = 6400.0;
+const double kOfferedQps[] = {400.0, 800.0, 1600.0, 3200.0, 6400.0};
+
+struct ModeSpec
+{
+    const char* name;
+    size_t maxBatch;
+};
+const ModeSpec kModes[] = {{"batch-1", 1}, {"adaptive-8", 8}};
+
+std::string
+hex64(uint64_t v)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << v;
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    util::applyThreadsFlag(argc, argv);
+
+    // Same corpus construction as bolt_cli serve-bench --seed 1.
+    util::Rng rng(1);
+    util::Rng tr = rng.substream("train");
+    auto specs = workloads::trainingSet(tr);
+    auto training = core::TrainingSet::fromSpecs(specs, tr);
+    core::HybridRecommender recommender(training);
+
+    util::AsciiTable table({"Offered", "Mode", "Achieved", "Goodput",
+                            "Done", "RejQ", "RejSLO", "Shed", "p50 ms",
+                            "p95 ms", "p99 ms", "Batch", "Digest"});
+    util::Fnv1a combined;
+    // (offered, mode) -> stats used by the self-checks below.
+    std::map<std::pair<double, std::string>, serve::ServeStats> sweep;
+
+    auto wall0 = std::chrono::steady_clock::now();
+    for (double qps : kOfferedQps) {
+        for (const ModeSpec& mode : kModes) {
+            serve::ServeConfig cfg;
+            cfg.workers = 4;
+            cfg.queueCapacity = 256;
+            cfg.maxBatch = mode.maxBatch;
+            cfg.load.requests = static_cast<size_t>(qps);
+            cfg.load.offeredQps = qps;
+            cfg.load.sloMs = kSloMs;
+            cfg.load.decomposeFraction = 0.15;
+            cfg.load.seed = 1;
+
+            auto result = serve::ServeEngine(recommender, cfg).run();
+            const serve::ServeStats& st = result.stats;
+            uint64_t digest = result.digest();
+            combined.u64(digest);
+            sweep[{qps, mode.name}] = st;
+
+            table.addRow(
+                {util::AsciiTable::num(qps, 0), mode.name,
+                 util::AsciiTable::num(st.achievedQps, 1),
+                 util::AsciiTable::num(st.goodputQps, 1),
+                 std::to_string(st.completed),
+                 std::to_string(st.rejectedQueueFull),
+                 std::to_string(st.rejectedSloInfeasible),
+                 std::to_string(st.shedDeadline),
+                 util::AsciiTable::num(st.latencyMs.percentile(50), 2),
+                 util::AsciiTable::num(st.latencyMs.percentile(95), 2),
+                 util::AsciiTable::num(st.latencyMs.percentile(99), 2),
+                 util::AsciiTable::num(st.batchSizes.mean(), 2),
+                 hex64(digest)});
+        }
+    }
+    double wall_sec = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall0)
+                          .count();
+
+    std::cout << "Serving throughput-latency sweep (workers=4, "
+                 "queue=256, SLO="
+              << util::AsciiTable::num(kSloMs, 0)
+              << " ms, decompose=0.15, seed=1)\n";
+    table.print(std::cout);
+    std::cout << "combined digest: " << hex64(combined.h) << "\n";
+
+    std::cerr << "wall: " << util::AsciiTable::num(wall_sec, 2)
+              << " s at " << util::ThreadPool::globalThreads()
+              << " thread(s) (Wall-class, not part of the golden)\n";
+
+    // Self-checks: the properties the curves demonstrate.
+    const auto& mid = sweep[{kMidLoadQps, "adaptive-8"}];
+    const auto& sat_batched = sweep[{kSaturationQps, "adaptive-8"}];
+    const auto& sat_single = sweep[{kSaturationQps, "batch-1"}];
+    int rc = 0;
+    if (mid.latencyMs.percentile(99) > kSloMs) {
+        std::cerr << "FAIL: adaptive-8 p99 at " << kMidLoadQps
+                  << " qps exceeds the " << kSloMs << " ms SLO\n";
+        rc = 1;
+    }
+    if (sat_batched.achievedQps <= sat_single.achievedQps) {
+        std::cerr << "FAIL: adaptive-8 does not out-serve batch-1 at "
+                  << kSaturationQps << " qps saturation\n";
+        rc = 1;
+    }
+    return rc;
+}

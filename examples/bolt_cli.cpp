@@ -12,6 +12,9 @@
  *   bolt_cli detect     [--family NAME] [--seed S]
  *   bolt_cli dos        [--seed S]
  *   bolt_cli coresidency [--probes N] [--waves N] [--seed S]
+ *   bolt_cli serve-bench [--requests N] [--qps Q] [--workers N]
+ *                       [--queue-cap N] [--max-batch N] [--slo-ms MS]
+ *                       [--closed-loop --clients N --think-ms MS] ...
  *
  * Every subcommand also takes the shared observability flags:
  *   --metrics-out FILE  write a RunReport JSON (config + metrics)
@@ -23,14 +26,14 @@
  * wall-clock time, never results, and the observability flags never
  * change results either (scripts/check.sh --obs enforces both).
  *
- * Unknown flags are an error: a typo'd --victms must not silently run
- * the default experiment.
+ * Flag parsing is strict (util::CliArgs): unknown flags, stray
+ * positionals, numeric values with trailing garbage ("10x") and
+ * out-of-range values ("--threads 99999") all exit 2 with the valid
+ * flags listed — a typo must fail loudly, not silently run a default.
  */
 #include <chrono>
-#include <cstring>
 #include <iomanip>
 #include <iostream>
-#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -41,115 +44,29 @@
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "serve/engine.h"
+#include "util/cli_flags.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "workloads/generators.h"
 
 using namespace bolt;
+using util::CliArgs;
+using util::CliFlagSpec;
+using util::FlagKind;
 
 namespace {
 
-/** One accepted flag of a subcommand. */
-struct FlagSpec
-{
-    const char* name; ///< Without the leading "--".
-    bool takesValue;
-};
-
-/** Flags every subcommand accepts (consumed before Args sees them,
- * except --threads, which applyThreadsFlag reads in place). */
-const std::vector<FlagSpec> kCommonFlags = {
-    {"threads", true},
-};
+/** Effectively-unbounded upper limit for 64-bit seed flags. */
+constexpr double kSeedMax = 9.3e18;
 
 /**
- * Strict flag parser: --name [value] tokens after the subcommand,
- * validated against the subcommand's spec. Unknown flags, missing
- * values and stray positional tokens are errors — a typo must fail
- * loudly, not silently run a default configuration.
+ * Flags every subcommand accepts. --threads is range-checked here:
+ * 0 means hardware concurrency, anything above 512 is a typo, not a
+ * machine.
  */
-class Args
-{
-  public:
-    /** @return false (with a message on stderr) on any parse error. */
-    bool
-    parse(int argc, char** argv, int first,
-          const std::vector<FlagSpec>& spec)
-    {
-        auto find = [&spec](const std::string& name) -> const FlagSpec* {
-            for (const auto& f : spec)
-                if (name == f.name)
-                    return &f;
-            for (const auto& f : kCommonFlags)
-                if (name == f.name)
-                    return &f;
-            return nullptr;
-        };
-        for (int i = first; i < argc; ++i) {
-            if (std::strncmp(argv[i], "--", 2) != 0) {
-                std::cerr << "bolt_cli: unexpected argument '" << argv[i]
-                          << "'\n"
-                          << validFlagsLine(spec);
-                return false;
-            }
-            std::string name = argv[i] + 2;
-            const FlagSpec* f = find(name);
-            if (!f) {
-                std::cerr << "bolt_cli: unknown flag '--" << name << "'\n"
-                          << validFlagsLine(spec);
-                return false;
-            }
-            if (f->takesValue) {
-                if (i + 1 >= argc) {
-                    std::cerr << "bolt_cli: flag '--" << name
-                              << "' requires a value\n";
-                    return false;
-                }
-                values_[name] = argv[++i];
-            } else {
-                values_[name] = "";
-            }
-        }
-        return true;
-    }
-
-    std::string
-    get(const std::string& name, const std::string& fallback) const
-    {
-        auto it = values_.find(name);
-        return it == values_.end() ? fallback : it->second;
-    }
-
-    long
-    getInt(const std::string& name, long fallback) const
-    {
-        auto it = values_.find(name);
-        return it == values_.end() ? fallback : std::stol(it->second);
-    }
-
-    double
-    getDouble(const std::string& name, double fallback) const
-    {
-        auto it = values_.find(name);
-        return it == values_.end() ? fallback : std::stod(it->second);
-    }
-
-    bool has(const std::string& name) const { return values_.count(name); }
-
-  private:
-    static std::string
-    validFlagsLine(const std::vector<FlagSpec>& spec)
-    {
-        std::string line = "valid flags:";
-        for (const auto& f : spec)
-            line += std::string(" --") + f.name;
-        for (const auto& f : kCommonFlags)
-            line += std::string(" --") + f.name;
-        line += " --metrics-out --trace-out --log-level\n";
-        return line;
-    }
-
-    std::map<std::string, std::string> values_;
+const std::vector<CliFlagSpec> kCommonFlags = {
+    {"threads", FlagKind::Int, 0, 512},
 };
 
 sim::Platform
@@ -206,7 +123,7 @@ hex64(uint64_t v)
 }
 
 int
-runExperiment(const Args& args)
+runExperiment(const CliArgs& args)
 {
     core::ExperimentConfig cfg;
     cfg.servers = static_cast<size_t>(args.getInt("servers", 40));
@@ -291,7 +208,7 @@ runExperiment(const Args& args)
 }
 
 int
-runDetect(const Args& args)
+runDetect(const CliArgs& args)
 {
     util::Rng rng(static_cast<uint64_t>(args.getInt("seed", 2017)));
     std::string family = args.get("family", "memcached");
@@ -359,7 +276,7 @@ runDetect(const Args& args)
 }
 
 int
-runDos(const Args& args)
+runDos(const CliArgs& args)
 {
     attacks::DosTimelineConfig cfg;
     cfg.seed = static_cast<uint64_t>(args.getInt("seed", 99));
@@ -393,7 +310,7 @@ runDos(const Args& args)
 }
 
 int
-runCoResidency(const Args& args)
+runCoResidency(const CliArgs& args)
 {
     attacks::CoResidencyConfig cfg;
     cfg.seed = static_cast<uint64_t>(args.getInt("seed", 7));
@@ -434,12 +351,99 @@ runCoResidency(const Args& args)
     return result.victimPinpointed ? 0 : 1;
 }
 
+int
+runServeBench(const CliArgs& args)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = static_cast<size_t>(args.getInt("workers", 4));
+    cfg.queueCapacity =
+        static_cast<size_t>(args.getInt("queue-cap", 128));
+    cfg.maxBatch = static_cast<size_t>(args.getInt("max-batch", 8));
+    cfg.batchSetupMs = args.getDouble("batch-setup-ms", 2.0);
+    cfg.batchWaitMs = args.getDouble("batch-wait-ms", 0.0);
+    cfg.admitSloCheck = !args.has("no-admit-check");
+    cfg.load.requests =
+        static_cast<size_t>(args.getInt("requests", 2000));
+    cfg.load.offeredQps = args.getDouble("qps", 1000.0);
+    cfg.load.closedLoop = args.has("closed-loop");
+    cfg.load.clients = static_cast<size_t>(args.getInt("clients", 16));
+    cfg.load.thinkMs = args.getDouble("think-ms", 4.0);
+    cfg.load.sloMs = args.getDouble("slo-ms", 50.0);
+    cfg.load.decomposeFraction = args.getDouble("decompose-frac", 0.0);
+    cfg.load.seed = static_cast<uint64_t>(args.getInt("seed", 1));
+
+    obs::RunReport report("serve-bench");
+    report.set("requests", static_cast<uint64_t>(cfg.load.requests));
+    report.set("qps", cfg.load.offeredQps);
+    report.set("closed_loop", cfg.load.closedLoop);
+    report.set("workers", static_cast<uint64_t>(cfg.workers));
+    report.set("queue_cap", static_cast<uint64_t>(cfg.queueCapacity));
+    report.set("max_batch", static_cast<uint64_t>(cfg.maxBatch));
+    report.set("slo_ms", cfg.load.sloMs);
+    report.set("seed", cfg.load.seed);
+    report.set("threads",
+               static_cast<uint64_t>(util::ThreadPool::globalThreads()));
+    WallTimer wall;
+
+    // Training corpus and recommender, derived from the run seed the
+    // same way the detect subcommand builds them.
+    util::Rng rng(cfg.load.seed);
+    util::Rng tr = rng.substream("train");
+    auto specs = workloads::trainingSet(tr);
+    auto training = core::TrainingSet::fromSpecs(specs, tr);
+    core::HybridRecommender recommender(training);
+
+    serve::ServeEngine engine(recommender, cfg);
+    auto result = engine.run();
+    const serve::ServeStats& st = result.stats;
+
+    report.setWallSeconds(wall.seconds());
+    report.setSimSeconds(st.makespanMs / 1000.0);
+    report.set("result_digest", hex64(result.digest()));
+    obs::writeConfiguredOutputs(report);
+
+    // Every value below is Sim-class: byte-identical at any --threads.
+    util::AsciiTable table({"Metric", "Value"});
+    auto count = [](uint64_t v) { return std::to_string(v); };
+    table.addRow({"Requests offered", count(st.offered)});
+    table.addRow({"Admitted", count(st.admitted)});
+    table.addRow({"Rejected (queue full)", count(st.rejectedQueueFull)});
+    table.addRow(
+        {"Rejected (SLO infeasible)", count(st.rejectedSloInfeasible)});
+    table.addRow({"Shed (deadline expired)", count(st.shedDeadline)});
+    table.addRow({"Completed", count(st.completed)});
+    table.addRow({"SLO misses (late)", count(st.sloMisses)});
+    table.addRow({"Batches", count(st.batches)});
+    table.addRow({"Batch deferrals", count(st.batchDeferrals)});
+    table.addRow({"Mean batch size",
+                  util::AsciiTable::num(st.batchSizes.mean(), 2)});
+    table.addRow({"Queue depth peak", count(st.queueDepthPeak)});
+    table.addRow({"Makespan (sim)",
+                  util::AsciiTable::num(st.makespanMs, 1) + " ms"});
+    table.addRow({"Achieved QPS",
+                  util::AsciiTable::num(st.achievedQps, 1)});
+    table.addRow({"Goodput QPS",
+                  util::AsciiTable::num(st.goodputQps, 1)});
+    table.addRow({"Latency p50",
+                  util::AsciiTable::num(st.latencyMs.percentile(50), 2) +
+                      " ms"});
+    table.addRow({"Latency p95",
+                  util::AsciiTable::num(st.latencyMs.percentile(95), 2) +
+                      " ms"});
+    table.addRow({"Latency p99",
+                  util::AsciiTable::num(st.latencyMs.percentile(99), 2) +
+                      " ms"});
+    table.addRow({"Result digest", hex64(result.digest())});
+    table.print(std::cout);
+    return 0;
+}
+
 void
 usage()
 {
     std::cout
-        << "usage: bolt_cli <experiment|detect|dos|coresidency> "
-           "[--flag value ...]\n"
+        << "usage: bolt_cli <experiment|detect|dos|coresidency|"
+           "serve-bench> [--flag value ...]\n"
            "  experiment  --servers N --victims N --seed S [--quasar]\n"
            "              --threads N (0 = hardware; any value gives\n"
            "              bit-identical results)\n"
@@ -457,6 +461,14 @@ usage()
            "  detect      --family NAME --seed S\n"
            "  dos         --seed S\n"
            "  coresidency --probes N --waves N --seed S\n"
+           "  serve-bench --requests N --qps Q --workers N "
+           "--queue-cap N\n"
+           "              --max-batch N --batch-setup-ms MS "
+           "--batch-wait-ms MS\n"
+           "              --slo-ms MS --decompose-frac F --seed S\n"
+           "              --no-admit-check (disable SLO admission "
+           "control)\n"
+           "              --closed-loop --clients N --think-ms MS\n"
            "observability (any subcommand):\n"
            "  --metrics-out FILE  RunReport JSON: config + metrics "
            "snapshot\n"
@@ -467,27 +479,53 @@ usage()
            "unknown flags are rejected\n";
 }
 
-const std::vector<FlagSpec> kExperimentFlags = {
-    {"servers", true},          {"victims", true},
-    {"seed", true},             {"quasar", false},
-    {"platform", true},         {"isolation", true},
-    {"obfuscation", true},      {"fault-arrivals", true},
-    {"fault-departures", true}, {"fault-phase-flips", true},
-    {"fault-dropouts", true},   {"fault-spikes", true},
-    {"fault-spike-mag", true},  {"fault-jitter", true},
-    {"fault-jitter-window", true}, {"fault-seed", true},
+const std::vector<CliFlagSpec> kExperimentFlags = {
+    {"servers", FlagKind::Int, 1, 100000},
+    {"victims", FlagKind::Int, 0, 1000000},
+    {"seed", FlagKind::UInt, 0, kSeedMax},
+    {"quasar", FlagKind::Flag},
+    {"platform", FlagKind::String},
+    {"isolation", FlagKind::String},
+    {"obfuscation", FlagKind::Double, 0.0, 100.0},
+    // Fault values stay strings: src/fault's parser owns their
+    // validation (rates in [0,1], windows > 0, ...).
+    {"fault-arrivals", FlagKind::String},
+    {"fault-departures", FlagKind::String},
+    {"fault-phase-flips", FlagKind::String},
+    {"fault-dropouts", FlagKind::String},
+    {"fault-spikes", FlagKind::String},
+    {"fault-spike-mag", FlagKind::String},
+    {"fault-jitter", FlagKind::String},
+    {"fault-jitter-window", FlagKind::String},
+    {"fault-seed", FlagKind::String},
 };
-const std::vector<FlagSpec> kDetectFlags = {
-    {"family", true},
-    {"seed", true},
+const std::vector<CliFlagSpec> kDetectFlags = {
+    {"family", FlagKind::String},
+    {"seed", FlagKind::UInt, 0, kSeedMax},
 };
-const std::vector<FlagSpec> kDosFlags = {
-    {"seed", true},
+const std::vector<CliFlagSpec> kDosFlags = {
+    {"seed", FlagKind::UInt, 0, kSeedMax},
 };
-const std::vector<FlagSpec> kCoResidencyFlags = {
-    {"probes", true},
-    {"waves", true},
-    {"seed", true},
+const std::vector<CliFlagSpec> kCoResidencyFlags = {
+    {"probes", FlagKind::Int, 1, 10000},
+    {"waves", FlagKind::Int, 1, 1000},
+    {"seed", FlagKind::UInt, 0, kSeedMax},
+};
+const std::vector<CliFlagSpec> kServeBenchFlags = {
+    {"requests", FlagKind::Int, 1, 10000000},
+    {"qps", FlagKind::Double, 1e-6, 1e9},
+    {"workers", FlagKind::Int, 1, 256},
+    {"queue-cap", FlagKind::Int, 1, 1000000},
+    {"max-batch", FlagKind::Int, 1, 64},
+    {"batch-setup-ms", FlagKind::Double, 0.0, 1000.0},
+    {"batch-wait-ms", FlagKind::Double, 0.0, 1000.0},
+    {"slo-ms", FlagKind::Double, 0.001, 1e6},
+    {"decompose-frac", FlagKind::Double, 0.0, 1.0},
+    {"seed", FlagKind::UInt, 0, kSeedMax},
+    {"closed-loop", FlagKind::Flag},
+    {"clients", FlagKind::Int, 1, 100000},
+    {"think-ms", FlagKind::Double, 0.0, 1e6},
+    {"no-admit-check", FlagKind::Flag},
 };
 
 } // namespace
@@ -503,11 +541,10 @@ main(int argc, char** argv)
     // subsystems; must run before the strict parser below sees argv.
     if (!obs::applyObsFlags(argc, argv))
         return 2;
-    util::applyThreadsFlag(argc, argv);
 
     std::string command = argv[1];
-    const std::vector<FlagSpec>* spec = nullptr;
-    int (*run)(const Args&) = nullptr;
+    const std::vector<CliFlagSpec>* spec = nullptr;
+    int (*run)(const CliArgs&) = nullptr;
     if (command == "experiment") {
         spec = &kExperimentFlags;
         run = runExperiment;
@@ -520,14 +557,25 @@ main(int argc, char** argv)
     } else if (command == "coresidency") {
         spec = &kCoResidencyFlags;
         run = runCoResidency;
+    } else if (command == "serve-bench") {
+        spec = &kServeBenchFlags;
+        run = runServeBench;
     } else {
         std::cerr << "bolt_cli: unknown command '" << command << "'\n";
         usage();
         return 2;
     }
 
-    Args args;
-    if (!args.parse(argc, argv, 2, *spec))
+    CliArgs args;
+    std::string err;
+    if (!args.parse(argc, argv, 2, *spec, kCommonFlags, &err)) {
+        std::cerr << "bolt_cli: " << err;
         return 2;
+    }
+    // --threads was validated by the parser ([0, 512]; 0 = hardware).
+    // The lenient applyThreadsFlag stays for the bench drivers; the CLI
+    // goes through the strict path.
+    util::ThreadPool::setGlobalThreads(
+        static_cast<unsigned>(args.getInt("threads", 0)));
     return run(args);
 }

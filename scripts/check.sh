@@ -16,7 +16,14 @@
 # byte-identical stdout at 1 and 8 threads, and the churn-robustness
 # figure must reproduce bench/BENCH_fig15_churn.golden bit-for-bit.
 #
-# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--fault|--bench-only]
+# The --serve stage asserts the serving-layer determinism contract:
+# `bolt_cli serve-bench` stdout must be byte-identical at 1 and 8
+# worker threads (open and closed loop), the perf_serving
+# throughput-latency sweep must reproduce bench/BENCH_serving.golden
+# bit-for-bit at both thread counts, and malformed numeric flags must
+# be rejected with exit 2.
+#
+# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--fault|--serve|--bench-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -143,6 +150,66 @@ if [[ "${mode}" == "--fault" || "${mode}" == "all" ]]; then
         fi
     done
     echo "Fault-injection gate passed."
+fi
+
+if [[ "${mode}" == "--serve" || "${mode}" == "all" ]]; then
+    echo "== Serving determinism gate =="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target bolt_cli
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-release -j "$(nproc)" --target perf_serving
+    serve_dir="$(mktemp -d)"
+    trap 'rm -rf "${obs_dir:-}" "${fault_dir:-}" "${serve_dir:-}"' EXIT
+    cli=./build/examples/bolt_cli
+
+    # The Sim-plane serving stats (admissions, sheds, batches, latency
+    # percentiles, digest) are decided by a sequential event loop; the
+    # worker pool only executes already-formed batches. Output must be
+    # byte-identical at any thread count, open and closed loop.
+    open_flags=(serve-bench --requests 1500 --qps 2500
+                --decompose-frac 0.2 --seed 11 --log-level error)
+    closed_flags=(serve-bench --requests 1000 --closed-loop --clients 32
+                  --think-ms 2 --seed 12 --log-level error)
+    for loop in open closed; do
+        flags_var="${loop}_flags[@]"
+        for threads in 1 8; do
+            "${cli}" "${!flags_var}" --threads "${threads}" \
+                > "${serve_dir}/${loop}_${threads}.txt"
+        done
+        if ! diff -u "${serve_dir}/${loop}_1.txt" \
+                     "${serve_dir}/${loop}_8.txt"; then
+            echo "FAIL: ${loop}-loop serve-bench output differs between" \
+                 "1 and 8 threads" >&2
+            exit 1
+        fi
+    done
+
+    # Strict numeric flag validation: trailing garbage and out-of-range
+    # values must exit 2 (usage error), never fall back to a default.
+    for bad in "--requests 10x" "--threads 99999" "--no-such-flag 1"; do
+        rc=0
+        # shellcheck disable=SC2086  # word splitting is intentional
+        "${cli}" serve-bench ${bad} >/dev/null 2>&1 || rc=$?
+        if [[ "${rc}" != 2 ]]; then
+            echo "FAIL: 'serve-bench ${bad}' exited ${rc}, expected 2" >&2
+            exit 1
+        fi
+    done
+
+    # The throughput-latency sweep must reproduce the committed golden
+    # bit-for-bit at both thread counts (Release build, same as the
+    # golden was generated from).
+    for threads in 1 8; do
+        ./build-release/bench/perf_serving --threads "${threads}" \
+            > "${serve_dir}/sweep_${threads}.txt"
+        if ! diff -u bench/BENCH_serving.golden \
+                     "${serve_dir}/sweep_${threads}.txt"; then
+            echo "FAIL: perf_serving output diverged from golden at" \
+                 "threads=${threads}" >&2
+            exit 1
+        fi
+    done
+    echo "Serving gate passed."
 fi
 
 if [[ "${mode}" == "--bench-only" || "${mode}" == "all" ]]; then

@@ -1,5 +1,6 @@
 #include "metrics.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -141,6 +142,31 @@ HistogramSnapshot::binCenter(size_t b) const
     const MetricInfo& info = metricInfo(id);
     double width = (info.hi - info.lo) / info.bins;
     return info.lo + (static_cast<double>(b) + 0.5) * width;
+}
+
+double
+HistogramSnapshot::percentile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    const MetricInfo& info = metricInfo(id);
+    double width = (info.hi - info.lo) / info.bins;
+    p = std::min(std::max(p, 0.0), 100.0);
+    double rank = p / 100.0 * static_cast<double>(count);
+    uint64_t cum = 0;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0)
+            continue;
+        double below = static_cast<double>(cum);
+        cum += buckets[b];
+        if (static_cast<double>(cum) >= rank) {
+            double within =
+                (rank - below) / static_cast<double>(buckets[b]);
+            within = std::min(std::max(within, 0.0), 1.0);
+            return info.lo + (static_cast<double>(b) + within) * width;
+        }
+    }
+    return info.hi;
 }
 
 const CounterSnapshot&

@@ -115,11 +115,32 @@ enum class MetricKind { Counter, Gauge, Histogram };
     X(PoolSteals, "pool.steals",                                             \
       Wall, true, "Tasks a worker stole from a sibling's deque")             \
     X(PoolHelperTasks, "pool.helper_tasks",                                  \
-      Wall, false, "Tasks executed by non-worker threads helping a wait")
+      Wall, false, "Tasks executed by non-worker threads helping a wait")    \
+    X(ServeRequestsOffered, "serve.requests_offered",                        \
+      Sim, false, "Requests the load generator offered to the engine")       \
+    X(ServeAdmitted, "serve.admitted",                                       \
+      Sim, false, "Requests admitted into the bounded queue")                \
+    X(ServeRejectedQueueFull, "serve.rejected_queue_full",                   \
+      Sim, false, "Requests rejected at admission: queue at capacity")       \
+    X(ServeRejectedSloInfeasible, "serve.rejected_slo_infeasible",           \
+      Sim, false,                                                            \
+      "Requests rejected at admission: predicted wait busts the SLO")       \
+    X(ServeShedDeadline, "serve.shed_deadline",                              \
+      Sim, false, "Admitted requests shed at dequeue: deadline expired")     \
+    X(ServeCompleted, "serve.completed",                                     \
+      Sim, false, "Requests executed to completion")                         \
+    X(ServeSloMisses, "serve.slo_misses",                                    \
+      Sim, false, "Completed requests that finished past their deadline")    \
+    X(ServeBatchesFormed, "serve.batches_formed",                            \
+      Sim, false, "Micro-batches dispatched to service lanes")               \
+    X(ServeBatchDeferrals, "serve.batch_deferrals",                          \
+      Sim, false, "One-shot batch-fill waits taken (batchWaitMs > 0)")
 
 #define BOLT_GAUGE_METRICS(X)                                                \
     X(PoolQueueDepthPeak, "pool.queue_depth_peak",                           \
-      Wall, "High-water mark of enqueued-but-unstarted tasks")
+      Wall, "High-water mark of enqueued-but-unstarted tasks")               \
+    X(ServeQueueDepthPeak, "serve.queue_depth_peak",                         \
+      Sim, "High-water mark of the bounded request queue")
 
 #define BOLT_HISTOGRAM_METRICS(X)                                            \
     X(DetectorIterationsToConvergence,                                       \
@@ -133,7 +154,17 @@ enum class MetricKind { Counter, Gauge, Histogram };
     X(RecommenderAnalyzeWallUs, "recommender.analyze_wall_us",               \
       Wall, 0.0, 20000.0, 80, "Wall-clock latency of analyze(), usec")       \
     X(RecommenderDecomposeWallUs, "recommender.decompose_wall_us",           \
-      Wall, 0.0, 20000.0, 80, "Wall-clock latency of decompose(), usec")
+      Wall, 0.0, 20000.0, 80, "Wall-clock latency of decompose(), usec")     \
+    X(ServeBatchSize, "serve.batch_size",                                    \
+      Sim, 0.5, 64.5, 64, "Executable requests per dispatched micro-batch")  \
+    X(ServeQueueDelaySimMs, "serve.queue_delay_sim_ms",                      \
+      Sim, 0.0, 100.0, 100, "Sim-time queue delay of dequeued requests")     \
+    X(ServeLatencySimMs, "serve.latency_sim_ms",                             \
+      Sim, 0.0, 200.0, 100,                                                  \
+      "End-to-end sim latency of completed requests")                        \
+    X(ServeExecWallUs, "serve.exec_wall_us",                                 \
+      Wall, 0.0, 20000.0, 80,                                                \
+      "Wall-clock execution time per micro-batch, usec")
 
 /**
  * Stable metric identifiers. Counters first, then gauges, then
@@ -205,6 +236,15 @@ struct HistogramSnapshot
     }
     /** Center value of bucket `b` under the metric's (lo, hi) range. */
     double binCenter(size_t b) const;
+    /**
+     * Value at percentile `p` (in [0, 100], clamped), reconstructed
+     * from the bucket counts with linear interpolation inside the
+     * bucket that crosses the rank. Resolution is the bucket width;
+     * samples clamped into the edge buckets resolve to edge-bucket
+     * positions. Returns 0 for an empty histogram. Deterministic for
+     * Sim-class metrics (depends only on the bit-exact bucket counts).
+     */
+    double percentile(double p) const;
 };
 
 /** A merged, point-in-time view of every metric. */

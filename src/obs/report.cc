@@ -108,6 +108,9 @@ writeSnapshotJson(std::ostream& os, const Snapshot& snap, int indent)
            << pad2 << "\"" << info.name << "\": {\"count\": " << h.count
            << ", \"sum\": " << jsonNumber(h.sum)
            << ", \"mean\": " << jsonNumber(h.mean())
+           << ", \"p50\": " << jsonNumber(h.percentile(50.0))
+           << ", \"p95\": " << jsonNumber(h.percentile(95.0))
+           << ", \"p99\": " << jsonNumber(h.percentile(99.0))
            << ", \"lo\": " << jsonNumber(info.lo)
            << ", \"hi\": " << jsonNumber(info.hi) << ", \"buckets\": [";
         for (size_t b = 0; b < h.buckets.size(); ++b)

@@ -1,0 +1,186 @@
+#ifndef BOLT_SERVE_QUEUE_H
+#define BOLT_SERVE_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace bolt {
+namespace serve {
+
+/** Admission verdict of a non-blocking push. */
+enum class Admit : uint8_t {
+    Ok = 0,
+    /** The queue is at capacity — explicit backpressure, never a drop. */
+    QueueFull = 1,
+    /** The queue was closed; no further work is accepted. */
+    Closed = 2,
+};
+
+/**
+ * Bounded multi-producer/multi-consumer FIFO queue — the serving
+ * layer's one hand-off point between request producers and batch
+ * workers.
+ *
+ * Design rules:
+ *  - **Bounded.** Capacity is fixed at construction; a full queue
+ *    pushes back (blocking `push`) or rejects with an explicit reason
+ *    (`tryPush` -> `Admit::QueueFull`). Nothing is ever silently
+ *    dropped.
+ *  - **Closable.** `close()` wakes every waiter; consumers drain the
+ *    remaining items and then see `pop()` return false. Producers see
+ *    `Admit::Closed` / `push() == false` immediately.
+ *  - **Batch pop.** `popBatch` hands a consumer up to `max` items in
+ *    one critical section — the micro-batcher's "take what's pending"
+ *    primitive.
+ *
+ * Thread-safety: every member may be called concurrently from any
+ * number of threads. The implementation is a mutex + two condition
+ * variables; the serving engine's throughput does not hinge on this
+ * queue being lock-free (batches amortize the hand-off), and the
+ * simple discipline is trivially TSan-clean.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    size_t capacity() const { return capacity_; }
+
+    /** Current depth (racy snapshot; exact under external quiescence). */
+    size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    /** Non-blocking admission: full and closed are explicit verdicts. */
+    Admit tryPush(T value)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return Admit::Closed;
+            if (items_.size() >= capacity_)
+                return Admit::QueueFull;
+            items_.push_back(std::move(value));
+        }
+        notEmpty_.notify_one();
+        return Admit::Ok;
+    }
+
+    /**
+     * Blocking push: waits while the queue is full (backpressure on the
+     * producer). @return false iff the queue was closed first.
+     */
+    bool push(T value)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notFull_.wait(lock, [&] {
+                return closed_ || items_.size() < capacity_;
+            });
+            if (closed_)
+                return false;
+            items_.push_back(std::move(value));
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocking pop: waits for an item. @return false when the queue is
+     * closed *and* drained — the consumer's termination signal.
+     */
+    bool pop(T* out)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notEmpty_.wait(lock,
+                           [&] { return closed_ || !items_.empty(); });
+            if (items_.empty())
+                return false; // closed and drained
+            *out = std::move(items_.front());
+            items_.pop_front();
+        }
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Non-blocking pop. @return false when nothing is available now. */
+    bool tryPop(T* out)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (items_.empty())
+                return false;
+            *out = std::move(items_.front());
+            items_.pop_front();
+        }
+        notFull_.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocking batch pop: waits for at least one item, then moves up to
+     * `max` items into `out` (cleared first) in FIFO order. @return the
+     * number taken; 0 when the queue is closed and drained.
+     */
+    size_t popBatch(std::vector<T>* out, size_t max)
+    {
+        out->clear();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notEmpty_.wait(lock,
+                           [&] { return closed_ || !items_.empty(); });
+            while (!items_.empty() && out->size() < max) {
+                out->push_back(std::move(items_.front()));
+                items_.pop_front();
+            }
+        }
+        if (!out->empty())
+            notFull_.notify_all();
+        return out->size();
+    }
+
+    /** Close the queue and wake every blocked producer and consumer. */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace serve
+} // namespace bolt
+
+#endif // BOLT_SERVE_QUEUE_H

@@ -1,0 +1,104 @@
+#ifndef BOLT_SERVE_REQUEST_H
+#define BOLT_SERVE_REQUEST_H
+
+#include <cstdint>
+
+#include "core/observation.h"
+
+namespace bolt {
+namespace serve {
+
+/**
+ * Terminal state of one serving request. Every request offered to the
+ * engine ends in exactly one of these — there is no silent drop: a
+ * request the system cannot serve is *completed* with an explicit
+ * rejection or deadline verdict, mirroring the detector's abstention
+ * philosophy (an honest "no" instead of a late or missing answer).
+ */
+enum class Outcome : uint8_t {
+    /** Executed against the recommender; a result was produced. */
+    Completed = 0,
+    /** Rejected at admission: the bounded queue was at capacity. */
+    RejectedQueueFull = 1,
+    /**
+     * Rejected at admission: the SLO-aware controller predicted the
+     * queue delay alone would already bust the request's deadline, so
+     * accepting it could only produce a DeadlineExceeded later.
+     */
+    RejectedSloInfeasible = 2,
+    /**
+     * Admitted, but its deadline expired while queued; shed at dequeue
+     * without touching the recommender.
+     */
+    DeadlineExceeded = 3,
+};
+
+/** Stable lowercase wire name ("completed", "rejected_queue_full", ...). */
+const char* outcomeName(Outcome o);
+
+/**
+ * One query-serving request: a sparse `Observation` to run through the
+ * hybrid recommender, plus the sim-time envelope the serving layer
+ * manages (arrival, deadline, modeled service cost).
+ *
+ * Every field is a pure function of (load-generator config, request
+ * id) via counter-based `Rng::stream` draws, so a request can be
+ * re-materialized identically on any thread in any order.
+ */
+struct Request
+{
+    uint64_t id = 0;        ///< Dense index; outcome slot address.
+    size_t client = 0;      ///< Closed-loop client lane (0 open-loop).
+    double arrivalMs = 0.0; ///< Sim-time arrival.
+    /** Absolute sim-time deadline: arrivalMs + the configured SLO. */
+    double deadlineMs = 0.0;
+    /**
+     * Modeled sim-time service cost of this request in milliseconds
+     * (lognormal draw keyed by id). The wall-clock recommender
+     * execution is measured separately as a Wall-class metric; the sim
+     * timeline uses this deterministic cost so throughput-latency
+     * curves are bit-identical at any thread count.
+     */
+    double costMs = 0.0;
+    /** Aggregate (decompose) query instead of a single-tenant analyze. */
+    bool isDecompose = false;
+    /** Decompose only: whether core entries belong to the first part. */
+    bool coreShared = false;
+    core::SparseObservation query;
+};
+
+/** Sentinel batch id for requests that never reached a batch. */
+constexpr uint32_t kNoBatch = 0xFFFFFFFFu;
+
+/**
+ * Sim-class record of how one request fared. All fields are
+ * deterministic for a given (config, seed): the digest over them is
+ * what `bench/perf_serving` gates against its golden.
+ */
+struct RequestOutcome
+{
+    Outcome outcome = Outcome::Completed;
+    double arrivalMs = 0.0;
+    /** Dequeue (batch-formation) time; -1 when never dequeued. */
+    double dequeueMs = -1.0;
+    /** Service completion time; -1 for rejected/shed requests. */
+    double completionMs = -1.0;
+    uint32_t batchId = kNoBatch;
+    /**
+     * FNV-1a digest of the recommender's output for this query
+     * (rankings, scores, reconstruction / decomposition parts); 0 for
+     * requests that were never executed. Bit-identical at any thread
+     * count because the recommender query path is.
+     */
+    uint64_t resultDigest = 0;
+
+    /** End-to-end sim latency; only meaningful when completed. */
+    double latencyMs() const { return completionMs - arrivalMs; }
+    /** Time spent queued before dequeue; only when dequeued. */
+    double queueDelayMs() const { return dequeueMs - arrivalMs; }
+};
+
+} // namespace serve
+} // namespace bolt
+
+#endif // BOLT_SERVE_REQUEST_H

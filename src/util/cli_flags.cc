@@ -1,0 +1,177 @@
+#include "cli_flags.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace bolt {
+namespace util {
+
+namespace {
+
+const CliFlagSpec*
+findSpec(const std::string& name, const std::vector<CliFlagSpec>& spec,
+         const std::vector<CliFlagSpec>& common)
+{
+    for (const auto& f : spec)
+        if (name == f.name)
+            return &f;
+    for (const auto& f : common)
+        if (name == f.name)
+            return &f;
+    return nullptr;
+}
+
+std::string
+formatBound(double v, FlagKind kind)
+{
+    std::ostringstream os;
+    if (kind == FlagKind::Double)
+        os << v;
+    else
+        os << static_cast<long long>(v);
+    return os.str();
+}
+
+std::string
+rangeText(const CliFlagSpec& f)
+{
+    return "[" + formatBound(f.min, f.kind) + ", " +
+           formatBound(f.max, f.kind) + "]";
+}
+
+/** Full-token signed-integer parse; false on any leftover character. */
+bool
+parseFullInt(const std::string& s, long long* out)
+{
+    const char* b = s.data();
+    const char* e = b + s.size();
+    auto res = std::from_chars(b, e, *out);
+    return res.ec == std::errc() && res.ptr == e && !s.empty();
+}
+
+/** Full-token finite-double parse; false on any leftover character. */
+bool
+parseFullDouble(const std::string& s, double* out)
+{
+    if (s.empty())
+        return false;
+    char* end = nullptr;
+    errno = 0;
+    *out = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size() && errno == 0 &&
+           std::isfinite(*out);
+}
+
+} // namespace
+
+std::string
+CliArgs::validFlagsLine(const std::vector<CliFlagSpec>& spec,
+                        const std::vector<CliFlagSpec>& common)
+{
+    std::string line = "valid flags:";
+    for (const auto& f : spec)
+        line += std::string(" --") + f.name;
+    for (const auto& f : common)
+        line += std::string(" --") + f.name;
+    line += " --metrics-out --trace-out --log-level\n";
+    return line;
+}
+
+bool
+CliArgs::parse(int argc, char** argv, int first,
+               const std::vector<CliFlagSpec>& spec,
+               const std::vector<CliFlagSpec>& common,
+               std::string* error)
+{
+    auto fail = [&](const std::string& what) {
+        *error = what + "\n" + validFlagsLine(spec, common);
+        return false;
+    };
+
+    for (int i = first; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--", 2) != 0)
+            return fail("unexpected argument '" + std::string(argv[i]) +
+                        "'");
+        std::string name = argv[i] + 2;
+        const CliFlagSpec* f = findSpec(name, spec, common);
+        if (!f)
+            return fail("unknown flag '--" + name + "'");
+
+        if (f->kind == FlagKind::Flag) {
+            raw_[name] = "";
+            continue;
+        }
+        if (i + 1 >= argc)
+            return fail("flag '--" + name + "' requires a value");
+        std::string value = argv[++i];
+
+        switch (f->kind) {
+        case FlagKind::Flag:
+            break;
+        case FlagKind::String:
+            break;
+        case FlagKind::Int:
+        case FlagKind::UInt: {
+            long long v = 0;
+            bool ok = parseFullInt(value, &v);
+            if (f->kind == FlagKind::UInt && v < 0)
+                ok = false;
+            if (!ok)
+                return fail("flag '--" + name + "' expects an integer, "
+                            "got '" + value + "'");
+            if (static_cast<double>(v) < f->min ||
+                static_cast<double>(v) > f->max)
+                return fail("flag '--" + name + "' expects a value in " +
+                            rangeText(*f) + ", got '" + value + "'");
+            ints_[name] = v;
+            break;
+        }
+        case FlagKind::Double: {
+            double v = 0.0;
+            if (!parseFullDouble(value, &v))
+                return fail("flag '--" + name +
+                            "' expects a finite number, got '" + value +
+                            "'");
+            if (v < f->min || v > f->max)
+                return fail("flag '--" + name + "' expects a value in " +
+                            rangeText(*f) + ", got '" + value + "'");
+            doubles_[name] = v;
+            break;
+        }
+        }
+        raw_[name] = value;
+    }
+    return true;
+}
+
+std::string
+CliArgs::get(const std::string& name, const std::string& fallback) const
+{
+    auto it = raw_.find(name);
+    return it == raw_.end() ? fallback : it->second;
+}
+
+long long
+CliArgs::getInt(const std::string& name, long long fallback) const
+{
+    auto it = ints_.find(name);
+    return it == ints_.end() ? fallback : it->second;
+}
+
+double
+CliArgs::getDouble(const std::string& name, double fallback) const
+{
+    auto it = doubles_.find(name);
+    if (it != doubles_.end())
+        return it->second;
+    // An Int-kind flag may be read as a double (e.g. shared knobs).
+    auto ii = ints_.find(name);
+    return ii == ints_.end() ? fallback
+                             : static_cast<double>(ii->second);
+}
+
+} // namespace util
+} // namespace bolt

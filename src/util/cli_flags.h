@@ -1,0 +1,91 @@
+#ifndef BOLT_UTIL_CLI_FLAGS_H
+#define BOLT_UTIL_CLI_FLAGS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bolt {
+namespace util {
+
+/** Value type a CLI flag accepts (and is validated against at parse). */
+enum class FlagKind {
+    Flag,   ///< Boolean presence flag; takes no value.
+    String, ///< Free-form value; validated by the subcommand.
+    Int,    ///< Signed integer, full-token match, range-checked.
+    UInt,   ///< Unsigned integer (seeds), full-token match.
+    Double, ///< Finite floating-point, full-token match, range-checked.
+};
+
+/**
+ * One accepted flag: name (without the leading "--"), value kind, and
+ * an inclusive numeric range for Int/UInt/Double kinds.
+ *
+ * The range bounds are doubles for uniformity; integer flags in Bolt
+ * are all far below 2^53, where a double holds integers exactly.
+ */
+struct CliFlagSpec
+{
+    const char* name;
+    FlagKind kind = FlagKind::String;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/**
+ * Strict typed CLI flag parser shared by bolt_cli's subcommands.
+ *
+ * Strictness contract — every violation is a parse error with a
+ * diagnostic that names the offending token and lists the valid flags,
+ * so a typo'd flag or a mangled value can never silently run a default
+ * configuration:
+ *
+ *  - unknown flags and stray positional tokens are rejected;
+ *  - a value-taking flag without a value is rejected;
+ *  - numeric values must consume the *entire* token ("10x", "1e3garbage"
+ *    and "" are rejected, unlike the permissive std::stol family);
+ *  - numeric values must fall inside the spec's inclusive [min, max];
+ *  - doubles must be finite (no "nan"/"inf" deadlines).
+ *
+ * Validation happens at parse time: after parse() returns true, the
+ * typed getters cannot fail.
+ */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv[first..argc) against `spec` plus `common` (flags every
+     * subcommand shares). On failure returns false and sets *error to a
+     * complete multi-line diagnostic (offending token + valid flags).
+     */
+    bool parse(int argc, char** argv, int first,
+               const std::vector<CliFlagSpec>& spec,
+               const std::vector<CliFlagSpec>& common,
+               std::string* error);
+
+    bool has(const std::string& name) const
+    {
+        return raw_.count(name) != 0;
+    }
+    std::string get(const std::string& name,
+                    const std::string& fallback) const;
+    /** Int or UInt flags; parse() already range-checked the value. */
+    long long getInt(const std::string& name, long long fallback) const;
+    double getDouble(const std::string& name, double fallback) const;
+
+    /** "valid flags: --a --b ..." line used in parse diagnostics. */
+    static std::string validFlagsLine(
+        const std::vector<CliFlagSpec>& spec,
+        const std::vector<CliFlagSpec>& common);
+
+  private:
+    std::map<std::string, std::string> raw_;
+    std::map<std::string, long long> ints_;
+    std::map<std::string, double> doubles_;
+};
+
+} // namespace util
+} // namespace bolt
+
+#endif // BOLT_UTIL_CLI_FLAGS_H

@@ -1,0 +1,130 @@
+/** Regression tests for the strict typed CLI flag parser
+ *  (src/util/cli_flags.*): trailing garbage, range checks, unknown
+ *  flags — every malformed input must fail loudly with the valid
+ *  flags listed, never fall back to a default. */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/cli_flags.h"
+
+using namespace bolt;
+using util::CliArgs;
+using util::CliFlagSpec;
+using util::FlagKind;
+
+namespace {
+
+const std::vector<CliFlagSpec> kSpec = {
+    {"requests", FlagKind::Int, 1, 1000000},
+    {"qps", FlagKind::Double, 0.001, 1e9},
+    {"seed", FlagKind::UInt, 0, 9.3e18},
+    {"mode", FlagKind::String},
+    {"closed-loop", FlagKind::Flag},
+};
+const std::vector<CliFlagSpec> kCommon = {
+    {"threads", FlagKind::Int, 0, 512},
+};
+
+/** Parse a token list; returns (ok, error). */
+std::pair<bool, std::string>
+tryParse(std::vector<std::string> tokens)
+{
+    std::vector<char*> argv = {const_cast<char*>("prog"),
+                               const_cast<char*>("cmd")};
+    for (auto& t : tokens)
+        argv.push_back(t.data());
+    CliArgs args;
+    std::string err;
+    bool ok = args.parse(static_cast<int>(argv.size()), argv.data(), 2,
+                         kSpec, kCommon, &err);
+    return {ok, err};
+}
+
+TEST(CliFlags, AcceptsWellFormedFlagsWithTypedValues)
+{
+    std::vector<std::string> tokens = {
+        "--requests", "500",  "--qps",  "1234.5", "--seed",
+        "42",         "--mode", "fast", "--closed-loop",
+        "--threads",  "8"};
+    std::vector<char*> argv = {const_cast<char*>("prog"),
+                               const_cast<char*>("cmd")};
+    for (auto& t : tokens)
+        argv.push_back(t.data());
+    CliArgs args;
+    std::string err;
+    ASSERT_TRUE(args.parse(static_cast<int>(argv.size()), argv.data(),
+                           2, kSpec, kCommon, &err))
+        << err;
+    EXPECT_EQ(args.getInt("requests", 0), 500);
+    EXPECT_DOUBLE_EQ(args.getDouble("qps", 0.0), 1234.5);
+    EXPECT_EQ(args.getInt("seed", 0), 42);
+    EXPECT_EQ(args.get("mode", ""), "fast");
+    EXPECT_TRUE(args.has("closed-loop"));
+    EXPECT_EQ(args.getInt("threads", 0), 8);
+    // An Int flag may be read as a double (shared knobs).
+    EXPECT_DOUBLE_EQ(args.getDouble("requests", 0.0), 500.0);
+    // Absent flags fall back.
+    EXPECT_EQ(args.getInt("absent", 7), 7);
+    EXPECT_FALSE(args.has("absent"));
+}
+
+TEST(CliFlags, RejectsTrailingGarbageOnIntegers)
+{
+    auto [ok, err] = tryParse({"--requests", "10x"});
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("--requests"), std::string::npos);
+    EXPECT_NE(err.find("'10x'"), std::string::npos);
+    EXPECT_NE(err.find("valid flags:"), std::string::npos);
+
+    EXPECT_FALSE(tryParse({"--requests", ""}).first);
+    EXPECT_FALSE(tryParse({"--requests", "1 2"}).first);
+    EXPECT_FALSE(tryParse({"--requests", "0x10"}).first);
+}
+
+TEST(CliFlags, RejectsOutOfRangeValues)
+{
+    auto [ok, err] = tryParse({"--threads", "99999"});
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("[0, 512]"), std::string::npos);
+    EXPECT_NE(err.find("valid flags:"), std::string::npos);
+
+    EXPECT_FALSE(tryParse({"--requests", "0"}).first);  // min is 1
+    EXPECT_FALSE(tryParse({"--requests", "-5"}).first);
+    EXPECT_FALSE(tryParse({"--qps", "0.00001"}).first); // below min
+    EXPECT_TRUE(tryParse({"--threads", "0"}).first);    // inclusive
+    EXPECT_TRUE(tryParse({"--threads", "512"}).first);
+}
+
+TEST(CliFlags, RejectsNegativeSeeds)
+{
+    EXPECT_FALSE(tryParse({"--seed", "-1"}).first);
+    EXPECT_TRUE(tryParse({"--seed", "0"}).first);
+    // Larger than any long long: the full-token parse itself fails.
+    EXPECT_FALSE(tryParse({"--seed", "99999999999999999999"}).first);
+}
+
+TEST(CliFlags, RejectsNonFiniteAndMalformedDoubles)
+{
+    EXPECT_FALSE(tryParse({"--qps", "nan"}).first);
+    EXPECT_FALSE(tryParse({"--qps", "inf"}).first);
+    EXPECT_FALSE(tryParse({"--qps", "1e3garbage"}).first);
+    EXPECT_FALSE(tryParse({"--qps", ""}).first);
+    EXPECT_TRUE(tryParse({"--qps", "1e3"}).first);
+    EXPECT_TRUE(tryParse({"--qps", "0.5"}).first);
+}
+
+TEST(CliFlags, RejectsUnknownFlagsAndPositionals)
+{
+    auto [ok, err] = tryParse({"--no-such-flag", "1"});
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("unknown flag '--no-such-flag'"),
+              std::string::npos);
+    EXPECT_NE(err.find("--requests"), std::string::npos); // listed
+
+    EXPECT_FALSE(tryParse({"positional"}).first);
+    EXPECT_FALSE(tryParse({"--requests"}).first); // missing value
+}
+
+} // namespace

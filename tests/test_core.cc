@@ -6,10 +6,15 @@
  */
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "core/detector.h"
 #include "core/profile_table.h"
 #include "core/experiment.h"
+#include "obs/metrics.h"
 #include "sim/cluster.h"
+#include "util/digest.h"
+#include "util/thread_pool.h"
 #include "workloads/generators.h"
 
 using namespace bolt;
@@ -534,4 +539,113 @@ TEST_F(TrainedFixture, ScaledProfileTableMatchesScaledPressureExactly)
             }
         }
     }
+}
+
+// ------------------------------------------------------------------
+// QueryScratch slot handoff. The recommender's allocation-free query
+// path hands pool workers fixed scratch slots and everyone else a
+// mutex-guarded spare; both paths must coexist under contention
+// without perturbing results.
+// ------------------------------------------------------------------
+
+namespace {
+
+/** Bit-exact digest of one analyze() result. */
+uint64_t
+analyzeDigest(const core::SimilarityResult& r)
+{
+    util::Fnv1a dig;
+    dig.u64(r.ranking.size());
+    for (const auto& [idx, score] : r.ranking) {
+        dig.u64(idx);
+        dig.f64(score);
+    }
+    for (size_t c = 0; c < sim::kNumResources; ++c)
+        dig.f64(r.reconstructed.at(c));
+    dig.f64(r.margin);
+    dig.f64(r.topFittedLevel);
+    return dig.h;
+}
+
+/** Deterministic query mix keyed by index (order-independent). */
+std::vector<core::SparseObservation>
+scratchQueryMix(const core::TrainingSet& training, size_t count)
+{
+    std::vector<core::SparseObservation> queries(count);
+    for (size_t i = 0; i < count; ++i) {
+        util::Rng q = util::Rng::stream(909, {0x5C1A, i});
+        const auto& entry = training.entry(q.index(training.size()));
+        core::SparseObservation obs;
+        size_t observed = 2 + q.index(4); // 2-5 resources
+        size_t n = 0;
+        for (sim::Resource r : sim::kAllResources) {
+            if (n++ >= observed)
+                break;
+            obs.set(r, q.clampedGaussian(entry.fullLoadBase[r], 1.0,
+                                         0.0, 100.0));
+        }
+        queries[i] = obs;
+    }
+    return queries;
+}
+
+} // namespace
+
+TEST_F(TrainedFixture, QueryScratchSpareHandoffUnderPoolContention)
+{
+    constexpr size_t kQueries = 64;
+    auto queries = scratchQueryMix(*training_, kQueries);
+
+    // Serial baseline digests.
+    std::vector<uint64_t> serial(kQueries);
+    for (size_t i = 0; i < kQueries; ++i)
+        serial[i] = analyzeDigest(recommender_->analyze(queries[i]));
+
+    // Contended run: pool workers (fixed worker slots) and plain
+    // std::threads (spare-list leases) query concurrently. Metrics on,
+    // to prove both scratch paths were actually exercised.
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.reset();
+    metrics.setEnabled(true);
+
+    util::ThreadPool::setGlobalThreads(4);
+    std::vector<uint64_t> pooled(kQueries);
+    std::vector<std::vector<uint64_t>> external(
+        3, std::vector<uint64_t>(kQueries));
+    std::vector<std::thread> outsiders;
+    for (size_t t = 0; t < external.size(); ++t) {
+        outsiders.emplace_back([&, t] {
+            for (size_t i = 0; i < kQueries; ++i)
+                external[t][i] =
+                    analyzeDigest(recommender_->analyze(queries[i]));
+        });
+    }
+    util::parallelFor(0, kQueries, [&](size_t i) {
+        pooled[i] = analyzeDigest(recommender_->analyze(queries[i]));
+    });
+    for (auto& t : outsiders)
+        t.join();
+
+    metrics.setEnabled(false);
+    auto snap = metrics.snapshot();
+    util::ThreadPool::setGlobalThreads(0);
+
+    // Bit-identical results on every path, under full contention.
+    for (size_t i = 0; i < kQueries; ++i) {
+        EXPECT_EQ(pooled[i], serial[i]) << "pool query " << i;
+        for (size_t t = 0; t < external.size(); ++t)
+            EXPECT_EQ(external[t][i], serial[i])
+                << "external thread " << t << " query " << i;
+    }
+
+    // Both scratch paths were taken: pool workers hit their slots,
+    // outsider threads leased spares.
+    EXPECT_GT(snap.counter(obs::MetricId::kRecommenderScratchWorkerHits)
+                  .value,
+              0u);
+    EXPECT_GT(snap.counter(
+                      obs::MetricId::kRecommenderScratchSpareAcquisitions)
+                  .value,
+              0u);
+    metrics.reset();
 }

@@ -229,6 +229,67 @@ TEST(ObsMetrics, HistogramClampsToEdgeBuckets)
     EXPECT_NEAR(h.mean(), h.sum / 4.0, 1e-12);
 }
 
+TEST(ObsMetrics, PercentileOfEmptyHistogramIsZero)
+{
+    obs::MetricsRegistry reg;
+    obs::Snapshot snap = reg.snapshot();
+    const auto& h =
+        snap.histogram(obs::MetricId::kDetectorRoundSimSec);
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+    EXPECT_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(ObsMetrics, PercentileWalksUniformBucketsLinearly)
+{
+    obs::MetricsRegistry reg;
+    reg.setEnabled(true);
+    const auto id = obs::MetricId::kDetectorRoundSimSec; // [0,60), 60 bins
+    // One sample per bucket: the cumulative distribution is uniform
+    // over [0, 60), so percentile(p) ~ 60 * p/100.
+    for (int b = 0; b < 60; ++b)
+        reg.observe(id, b + 0.5);
+    obs::Snapshot snap = reg.snapshot();
+    const auto& h = snap.histogram(id);
+    EXPECT_NEAR(h.percentile(50.0), 30.0, 1e-12);
+    EXPECT_NEAR(h.percentile(95.0), 57.0, 1e-12);
+    EXPECT_NEAR(h.percentile(99.0), 59.4, 1e-12);
+    EXPECT_NEAR(h.percentile(100.0), 60.0, 1e-12);
+    EXPECT_NEAR(h.percentile(0.0), 0.0, 1e-12);
+}
+
+TEST(ObsMetrics, PercentileInterpolatesInsideTheCrossingBucket)
+{
+    obs::MetricsRegistry reg;
+    reg.setEnabled(true);
+    const auto id = obs::MetricId::kDetectorRoundSimSec;
+    // All four samples land in bucket 30 ([30, 31)): percentiles slide
+    // linearly across that one bucket.
+    for (int i = 0; i < 4; ++i)
+        reg.observe(id, 30.5);
+    obs::Snapshot snap = reg.snapshot();
+    const auto& h = snap.histogram(id);
+    EXPECT_NEAR(h.percentile(25.0), 30.25, 1e-12);
+    EXPECT_NEAR(h.percentile(50.0), 30.5, 1e-12);
+    EXPECT_NEAR(h.percentile(100.0), 31.0, 1e-12);
+    // Out-of-range p clamps rather than extrapolating.
+    EXPECT_EQ(h.percentile(-10.0), h.percentile(0.0));
+    EXPECT_EQ(h.percentile(400.0), h.percentile(100.0));
+}
+
+TEST(ObsReport, SnapshotJsonCarriesPercentiles)
+{
+    obs::MetricsRegistry reg;
+    reg.setEnabled(true);
+    reg.observe(obs::MetricId::kDetectorRoundSimSec, 12.5);
+    std::ostringstream os;
+    obs::writeSnapshotJson(os, reg.snapshot(), 0);
+    const std::string json = os.str();
+    EXPECT_TRUE(JsonValidator(json).valid()) << json;
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
 TEST(ObsMetrics, GaugeTracksMaximum)
 {
     obs::MetricsRegistry reg;
