@@ -3,6 +3,7 @@
  * Command-line driver for libbolt: run any of the library's scenarios
  * with configurable parameters without writing code.
  *
+ *   bolt_cli run        --scenario FILE [--dump] [--threads N]
  *   bolt_cli experiment [--servers N] [--victims N] [--seed S]
  *                       [--threads N]
  *                       [--quasar] [--isolation none|pinning|net|mem|
@@ -44,6 +45,8 @@
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
 #include "serve/engine.h"
 #include "util/cli_flags.h"
 #include "util/table.h"
@@ -438,12 +441,58 @@ runServeBench(const CliArgs& args)
     return 0;
 }
 
+int
+runScenarioCmd(const CliArgs& args)
+{
+    std::string path = args.get("scenario", "");
+    if (path.empty()) {
+        std::cerr << "bolt_cli: run requires --scenario <file>\n";
+        return 2;
+    }
+
+    scenario::Scenario s;
+    std::string err;
+    if (!scenario::compileFile(path, &s, &err)) {
+        std::cerr << "bolt_cli: " << err << "\n";
+        return 2;
+    }
+
+    if (args.has("dump")) {
+        // Canonical serialization: every key explicit, recompiles to an
+        // identical graph (the round-trip the tests pin).
+        std::cout << s.dump();
+        return 0;
+    }
+
+    obs::RunReport report("run");
+    report.set("scenario", s.name);
+    report.set("file", path);
+    report.set("seed", s.seed);
+    report.set("stages", static_cast<uint64_t>(s.stages.size()));
+    report.set("graph_digest", hex64(s.graphDigest()));
+    report.set("threads",
+               static_cast<uint64_t>(util::ThreadPool::globalThreads()));
+    WallTimer wall;
+
+    auto result = scenario::runScenario(s, std::cout);
+
+    report.setWallSeconds(wall.seconds());
+    report.setSimSeconds(result.simSeconds);
+    report.set("stages_run", static_cast<uint64_t>(result.stagesRun));
+    report.set("run_digest", hex64(result.digest));
+    obs::writeConfiguredOutputs(report);
+    return 0;
+}
+
 void
 usage()
 {
     std::cout
-        << "usage: bolt_cli <experiment|detect|dos|coresidency|"
+        << "usage: bolt_cli <run|experiment|detect|dos|coresidency|"
            "serve-bench> [--flag value ...]\n"
+           "  run         --scenario FILE (declarative scenario; see\n"
+           "              docs/SCENARIOS.md and scenarios/)\n"
+           "              --dump (print the canonical form, don't run)\n"
            "  experiment  --servers N --victims N --seed S [--quasar]\n"
            "              --threads N (0 = hardware; any value gives\n"
            "              bit-identical results)\n"
@@ -511,6 +560,10 @@ const std::vector<CliFlagSpec> kCoResidencyFlags = {
     {"waves", FlagKind::Int, 1, 1000},
     {"seed", FlagKind::UInt, 0, kSeedMax},
 };
+const std::vector<CliFlagSpec> kRunFlags = {
+    {"scenario", FlagKind::String},
+    {"dump", FlagKind::Flag},
+};
 const std::vector<CliFlagSpec> kServeBenchFlags = {
     {"requests", FlagKind::Int, 1, 10000000},
     {"qps", FlagKind::Double, 1e-6, 1e9},
@@ -545,7 +598,10 @@ main(int argc, char** argv)
     std::string command = argv[1];
     const std::vector<CliFlagSpec>* spec = nullptr;
     int (*run)(const CliArgs&) = nullptr;
-    if (command == "experiment") {
+    if (command == "run") {
+        spec = &kRunFlags;
+        run = runScenarioCmd;
+    } else if (command == "experiment") {
         spec = &kExperimentFlags;
         run = runExperiment;
     } else if (command == "detect") {

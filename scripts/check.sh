@@ -23,7 +23,14 @@
 # bit-for-bit at both thread counts, and malformed numeric flags must
 # be rejected with exit 2.
 #
-# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--fault|--serve|--bench-only]
+# The --scenario stage asserts the scenario-compiler contract: every
+# scenarios/*.scn runs to byte-identical stdout at 1 and 8 threads and
+# matches its committed golden in scenarios/golden/, the canonical dump
+# round-trips through the compiler, and malformed scenario files are
+# rejected with a line-numbered diagnostic and exit 2. Pass --update
+# after --scenario to regenerate the goldens instead of diffing them.
+#
+# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--fault|--serve|--scenario [--update]|--bench-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -210,6 +217,78 @@ if [[ "${mode}" == "--serve" || "${mode}" == "all" ]]; then
         fi
     done
     echo "Serving gate passed."
+fi
+
+if [[ "${mode}" == "--scenario" || "${mode}" == "all" ]]; then
+    echo "== Scenario library gate =="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target bolt_cli
+    scn_dir="$(mktemp -d)"
+    trap 'rm -rf "${obs_dir:-}" "${fault_dir:-}" "${serve_dir:-}" "${scn_dir:-}"' EXIT
+    cli=./build/examples/bolt_cli
+    update_goldens=0
+    [[ "${2:-}" == "--update" ]] && update_goldens=1
+
+    for scn in scenarios/*.scn; do
+        name="$(basename "${scn}" .scn)"
+        golden="scenarios/golden/${name}.golden"
+        echo "-- ${name} --"
+        # Thread-count invariance: the whole stdout, not just the digest.
+        "${cli}" run --scenario "${scn}" --threads 1 \
+            > "${scn_dir}/${name}_1.txt"
+        "${cli}" run --scenario "${scn}" --threads 8 \
+            > "${scn_dir}/${name}_8.txt"
+        if ! diff -u "${scn_dir}/${name}_1.txt" \
+                     "${scn_dir}/${name}_8.txt"; then
+            echo "FAIL: ${name} output differs between 1 and 8 threads" >&2
+            exit 1
+        fi
+        if [[ "${update_goldens}" == 1 ]]; then
+            cp "${scn_dir}/${name}_1.txt" "${golden}"
+            continue
+        fi
+        if ! diff -u "${golden}" "${scn_dir}/${name}_1.txt"; then
+            echo "FAIL: ${name} output diverged from ${golden}" \
+                 "(regenerate intentionally with --scenario --update)" >&2
+            exit 1
+        fi
+        # The canonical dump must recompile to an identical dump. Dump
+        # into the scenarios/ dir namespace so includes resolve.
+        "${cli}" run --scenario "${scn}" --dump \
+            > "scenarios/${name}.roundtrip.scn"
+        "${cli}" run --scenario "scenarios/${name}.roundtrip.scn" --dump \
+            > "${scn_dir}/${name}_dump2.txt"
+        rt_ok=0
+        diff -u "scenarios/${name}.roundtrip.scn" \
+                "${scn_dir}/${name}_dump2.txt" || rt_ok=$?
+        rm -f "scenarios/${name}.roundtrip.scn"
+        if [[ "${rt_ok}" != 0 ]]; then
+            echo "FAIL: ${name} canonical dump did not round-trip" >&2
+            exit 1
+        fi
+    done
+
+    # Malformed scenarios must exit 2 with a line-numbered diagnostic.
+    printf 'scenario: bad\nstages:\n  - stage: experiment\n    serveurs: 9\n' \
+        > "${scn_dir}/bad.scn"
+    for bad in "" \
+               "--scenario ${scn_dir}/does_not_exist.scn" \
+               "--scenario ${scn_dir}/bad.scn"; do
+        rc=0
+        # shellcheck disable=SC2086  # word splitting is intentional
+        "${cli}" run ${bad} >/dev/null 2>"${scn_dir}/bad_err.txt" || rc=$?
+        if [[ "${rc}" != 2 ]]; then
+            echo "FAIL: 'run ${bad}' exited ${rc}, expected 2" >&2
+            exit 1
+        fi
+    done
+    # (the last loop iteration left the diagnostic in bad_err.txt)
+    if ! grep -q "bad.scn:4: unknown key 'serveurs'" \
+            "${scn_dir}/bad_err.txt"; then
+        echo "FAIL: malformed scenario diagnostic lost its file:line" >&2
+        exit 1
+    fi
+    echo "Scenario gate passed."
 fi
 
 if [[ "${mode}" == "--bench-only" || "${mode}" == "all" ]]; then

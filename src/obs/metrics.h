@@ -134,7 +134,13 @@ enum class MetricKind { Counter, Gauge, Histogram };
     X(ServeBatchesFormed, "serve.batches_formed",                            \
       Sim, false, "Micro-batches dispatched to service lanes")               \
     X(ServeBatchDeferrals, "serve.batch_deferrals",                          \
-      Sim, false, "One-shot batch-fill waits taken (batchWaitMs > 0)")
+      Sim, false, "One-shot batch-fill waits taken (batchWaitMs > 0)")       \
+    X(ScenarioStagesRun, "scenario.stages_run",                              \
+      Sim, false, "Scenario stages executed (sub-scenarios included)")       \
+    X(ScenarioIncludesRun, "scenario.includes_run",                          \
+      Sim, false, "Sub-scenario runs performed by include stages")           \
+    X(ScenarioServeSegments, "scenario.serve_segments",                      \
+      Sim, false, "Arrival-ramp segments executed by serve stages")
 
 #define BOLT_GAUGE_METRICS(X)                                                \
     X(PoolQueueDepthPeak, "pool.queue_depth_peak",                           \
@@ -164,7 +170,10 @@ enum class MetricKind { Counter, Gauge, Histogram };
       "End-to-end sim latency of completed requests")                        \
     X(ServeExecWallUs, "serve.exec_wall_us",                                 \
       Wall, 0.0, 20000.0, 80,                                                \
-      "Wall-clock execution time per micro-batch, usec")
+      "Wall-clock execution time per micro-batch, usec")                     \
+    X(ScenarioStageSimSec, "scenario.stage_sim_sec",                         \
+      Sim, 0.0, 600.0, 60,                                                   \
+      "Virtual seconds one scenario stage consumed")
 
 /**
  * Stable metric identifiers. Counters first, then gauges, then

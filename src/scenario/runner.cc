@@ -1,0 +1,415 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "attacks/coresidency.h"
+#include "attacks/dos.h"
+#include "core/experiment.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "util/digest.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workloads/generators.h"
+
+namespace bolt {
+namespace scenario {
+
+namespace {
+
+// Counter-based stream phases of the scenario layer (the path prefix
+// under which stage/segment/repeat seeds are derived from the scenario
+// seed; see util::Rng::stream).
+constexpr uint64_t kPhaseStage = 0x5ce9a210;
+constexpr uint64_t kPhaseSegment = 0x5ce9a211;
+constexpr uint64_t kPhaseRepeat = 0x5ce9a212;
+
+std::string
+hex64(uint64_t v)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << v;
+    return os.str();
+}
+
+uint64_t
+stageSeed(const Scenario& s, uint64_t scenario_seed, size_t index)
+{
+    const Stage& stage = s.stages[index];
+    if (stage.seed != 0)
+        return stage.seed;
+    return util::Rng::stream(scenario_seed, {kPhaseStage, index}).seed();
+}
+
+sim::Platform
+parsePlatform(const std::string& name)
+{
+    if (name == "baremetal")
+        return sim::Platform::Baremetal;
+    if (name == "container")
+        return sim::Platform::Container;
+    return sim::Platform::VirtualMachine;
+}
+
+sim::IsolationConfig
+parseIsolation(const std::string& name, sim::Platform platform)
+{
+    if (name == "pinning")
+        return sim::IsolationConfig::withThreadPinning(platform);
+    if (name == "net")
+        return sim::IsolationConfig::withNetPartitioning(platform);
+    if (name == "mem")
+        return sim::IsolationConfig::withMemBwPartitioning(platform);
+    if (name == "cache")
+        return sim::IsolationConfig::withCachePartitioning(platform);
+    if (name == "core-full")
+        return sim::IsolationConfig::withCoreIsolation(platform);
+    if (name == "core-only")
+        return sim::IsolationConfig::coreIsolationOnly(platform);
+    return sim::IsolationConfig::none(platform);
+}
+
+/** The per-segment QPS multiplier of a serve stage's arrival ramp. */
+double
+rampFactor(const ServeStage& s, int segment)
+{
+    double n = static_cast<double>(s.segments);
+    double center = (static_cast<double>(segment) + 0.5) / n;
+    switch (s.shape) {
+    case ArrivalShape::Steady:
+        return 1.0;
+    case ArrivalShape::FlashCrowd:
+        // Triangle: base at the edges, peak-factor at the middle.
+        return 1.0 + (s.peakFactor - 1.0) *
+                         (1.0 - 2.0 * std::abs(center - 0.5));
+    case ArrivalShape::Diurnal:
+        // Cosine day: trough at the edges, base QPS at the middle.
+        return s.floorFactor +
+               (1.0 - s.floorFactor) *
+                   (0.5 - 0.5 * std::cos(2.0 * 3.14159265358979323846 *
+                                         center));
+    }
+    return 1.0;
+}
+
+struct StageOutcome
+{
+    uint64_t digest = 0;
+    double simSeconds = 0.0;
+};
+
+StageOutcome
+runExperimentStage(const Stage& stage, uint64_t seed, std::ostream& os,
+                   const std::string& indent)
+{
+    const ExperimentStage& e = stage.experiment;
+    core::ExperimentConfig cfg;
+    cfg.servers = static_cast<size_t>(e.servers);
+    cfg.victims = static_cast<size_t>(e.victims);
+    cfg.policy = e.policy == "quasar"
+                     ? core::ExperimentConfig::Policy::Quasar
+                     : core::ExperimentConfig::Policy::LeastLoaded;
+    cfg.isolation =
+        parseIsolation(e.isolation, parsePlatform(e.platform));
+    cfg.victimObfuscation = e.obfuscation;
+    if (e.hasFaults)
+        cfg.faults = e.faults;
+    cfg.seed = seed;
+
+    auto result = core::ControlledExperiment(cfg).run();
+
+    StageOutcome out;
+    out.digest = result.digest();
+    os << indent << "    accuracy="
+       << util::AsciiTable::percent(result.aggregateAccuracy(), 1)
+       << " characteristics="
+       << util::AsciiTable::percent(result.characteristicsAccuracy(), 1)
+       << " scheduled=" << result.outcomes.size()
+       << " departed=" << result.departedCount()
+       << " digest=" << hex64(out.digest) << "\n";
+    return out;
+}
+
+StageOutcome
+runServeStage(const Stage& stage, uint64_t seed, std::ostream& os,
+              const std::string& indent)
+{
+    const ServeStage& s = stage.serve;
+
+    // Training corpus and recommender, derived from the stage seed the
+    // same way bolt_cli serve-bench builds them.
+    util::Rng rng(seed);
+    util::Rng tr = rng.substream("train");
+    auto specs = workloads::trainingSet(tr);
+    auto training = core::TrainingSet::fromSpecs(specs, tr);
+    core::HybridRecommender recommender(training);
+
+    serve::ServeConfig cfg;
+    cfg.workers = static_cast<size_t>(s.workers);
+    cfg.queueCapacity = static_cast<size_t>(s.queueCap);
+    cfg.maxBatch = static_cast<size_t>(s.maxBatch);
+    cfg.batchSetupMs = s.batchSetupMs;
+    cfg.batchWaitMs = s.batchWaitMs;
+    cfg.admitSloCheck = s.admitCheck;
+    cfg.load.closedLoop = s.loop == LoopKind::Closed;
+    cfg.load.clients = static_cast<size_t>(s.clients);
+    cfg.load.thinkMs = s.thinkMs;
+    cfg.load.sloMs = s.sloMs;
+    cfg.load.decomposeFraction = s.decomposeFrac;
+
+    int segments = s.shape == ArrivalShape::Steady ? 1 : s.segments;
+    uint64_t offered = 0, completed = 0, shed = 0, misses = 0,
+             rejected = 0;
+    double worst_p99 = 0.0;
+    StageOutcome out;
+    util::Fnv1a d;
+    d.u64(static_cast<uint64_t>(segments));
+    for (int i = 0; i < segments; ++i) {
+        serve::ServeConfig seg = cfg;
+        int base = s.requests / segments;
+        seg.load.requests = static_cast<size_t>(
+            base + (i < s.requests % segments ? 1 : 0));
+        if (seg.load.requests == 0)
+            continue;
+        seg.load.offeredQps = s.qps * rampFactor(s, i);
+        seg.load.seed =
+            segments == 1
+                ? seed
+                : util::Rng::stream(
+                      seed, {kPhaseSegment, static_cast<uint64_t>(i)})
+                      .seed();
+
+        serve::ServeEngine engine(recommender, seg);
+        auto result = engine.run();
+        const serve::ServeStats& st = result.stats;
+        d.u64(result.digest());
+        offered += st.offered;
+        completed += st.completed;
+        shed += st.shedDeadline;
+        misses += st.sloMisses;
+        rejected += st.rejectedQueueFull + st.rejectedSloInfeasible;
+        worst_p99 =
+            std::max(worst_p99, st.latencyMs.percentile(99));
+        out.simSeconds += st.makespanMs / 1000.0;
+        obs::MetricsRegistry::global().add(
+            obs::MetricId::kScenarioServeSegments);
+    }
+    out.digest = d.h;
+    os << indent << "    offered=" << offered
+       << " completed=" << completed << " rejected=" << rejected
+       << " shed=" << shed << " slo-miss=" << misses
+       << " p99=" << util::AsciiTable::num(worst_p99, 2) << "ms"
+       << " digest=" << hex64(out.digest) << "\n";
+    return out;
+}
+
+StageOutcome
+runAttackStage(const Stage& stage, uint64_t seed, std::ostream& os,
+               const std::string& indent)
+{
+    const AttackStage& a = stage.attack;
+    StageOutcome out;
+    util::Fnv1a d;
+    if (a.kind == AttackKind::Dos) {
+        attacks::DosTimelineConfig cfg;
+        cfg.durationSec = a.durationSec;
+        cfg.topResources = a.topResources;
+        cfg.margin = a.margin;
+        cfg.seed = seed;
+        attacks::DosTimelineExperiment experiment(cfg);
+        auto bolt_run = experiment.run(true);
+        auto naive_run = experiment.run(false);
+
+        double nominal = bolt_run[5].p99Ms;
+        double bolt_peak = 0.0, naive_peak = 0.0;
+        bool bolt_migrated = false, naive_migrated = false;
+        for (const auto& run : {&bolt_run, &naive_run}) {
+            d.u64(run->size());
+            for (const auto& sample : *run) {
+                d.f64(sample.p99Ms);
+                d.f64(sample.cpuUtil);
+                d.u8(sample.migrating ? 1 : 0);
+                d.u8(sample.migrated ? 1 : 0);
+            }
+        }
+        for (const auto& sample : bolt_run) {
+            bolt_peak = std::max(bolt_peak, sample.p99Ms / nominal);
+            bolt_migrated = bolt_migrated || sample.migrated;
+        }
+        for (const auto& sample : naive_run) {
+            naive_peak = std::max(naive_peak, sample.p99Ms / nominal);
+            naive_migrated = naive_migrated || sample.migrated;
+        }
+        out.simSeconds =
+            static_cast<double>(bolt_run.size() + naive_run.size());
+        out.digest = d.h;
+        os << indent << "    bolt-peak="
+           << util::AsciiTable::num(bolt_peak, 1) << "x"
+           << " naive-peak=" << util::AsciiTable::num(naive_peak, 1)
+           << "x migrated-bolt=" << (bolt_migrated ? "yes" : "no")
+           << " migrated-naive=" << (naive_migrated ? "yes" : "no")
+           << " digest=" << hex64(out.digest) << "\n";
+    } else {
+        attacks::CoResidencyConfig cfg;
+        cfg.probeVms = static_cast<size_t>(a.probes);
+        cfg.maxWaves = static_cast<size_t>(a.waves);
+        cfg.victimVms = static_cast<size_t>(a.victimVms);
+        cfg.seed = seed;
+        auto result = attacks::CoResidencyAttack(cfg).run();
+
+        d.f64(result.placementProbability);
+        d.u8(result.probeCoResident ? 1 : 0);
+        d.u64(result.candidateHosts);
+        d.f64(result.baselineLatencyMs);
+        d.f64(result.attackLatencyMs);
+        d.u8(result.victimPinpointed ? 1 : 0);
+        d.f64(result.detectionTimeSec);
+        d.u64(result.adversaryVmsUsed);
+        d.u64(result.wavesUsed);
+        out.simSeconds = result.detectionTimeSec;
+        out.digest = d.h;
+        os << indent << "    pinpointed="
+           << (result.victimPinpointed ? "yes" : "no")
+           << " waves=" << result.wavesUsed
+           << " vms=" << result.adversaryVmsUsed << " time="
+           << util::AsciiTable::num(result.detectionTimeSec, 1) << "s"
+           << " digest=" << hex64(out.digest) << "\n";
+    }
+    return out;
+}
+
+RunResult runWithSeed(const Scenario& s, uint64_t seed,
+                      std::ostream& os, int depth);
+
+StageOutcome
+runIncludeStage(const Stage& stage, uint64_t scenario_seed,
+                std::ostream& os, int depth, RunResult* total)
+{
+    // An include runs its sub-scenario under the sub-scenario's own
+    // seed (explicit `seed:` overrides; repeats derive per-repetition
+    // seeds), so an unchanged `- stage: include` reproduces the
+    // sub-file's standalone digests exactly.
+    uint64_t base = stage.seed != 0 ? stage.seed : stage.sub->seed;
+    (void)scenario_seed;
+    StageOutcome out;
+    util::Fnv1a d;
+    d.u64(static_cast<uint64_t>(stage.repeat));
+    for (int rep = 0; rep < stage.repeat; ++rep) {
+        uint64_t rep_seed =
+            stage.repeat == 1
+                ? base
+                : util::Rng::stream(
+                      base, {kPhaseRepeat, static_cast<uint64_t>(rep)})
+                      .seed();
+        if (stage.repeat > 1) {
+            std::string indent((depth + 1) * 2, ' ');
+            os << indent << "  repeat " << (rep + 1) << "/"
+               << stage.repeat << ":\n";
+        }
+        RunResult sub = runWithSeed(*stage.sub, rep_seed, os, depth + 1);
+        d.u64(sub.digest);
+        out.simSeconds += sub.simSeconds;
+        total->stagesRun += sub.stagesRun;
+        obs::MetricsRegistry::global().add(
+            obs::MetricId::kScenarioIncludesRun);
+    }
+    out.digest = d.h;
+    return out;
+}
+
+RunResult
+runWithSeed(const Scenario& s, uint64_t seed, std::ostream& os,
+            int depth)
+{
+    std::string indent(depth * 2, ' ');
+    os << indent << "scenario: " << s.name << " (seed " << seed << ", "
+       << s.stages.size() << (s.stages.size() == 1 ? " stage" : " stages")
+       << ")\n";
+
+    RunResult total;
+    util::Fnv1a d;
+    d.u64(seed);
+    d.u64(s.stages.size());
+    auto& metrics = obs::MetricsRegistry::global();
+    for (size_t i = 0; i < s.stages.size(); ++i) {
+        const Stage& stage = s.stages[i];
+        uint64_t sseed = stageSeed(s, seed, i);
+
+        os << indent << "  [" << i << "] "
+           << stageKindName(stage.kind) << " " << stage.name;
+        StageOutcome outcome;
+        switch (stage.kind) {
+        case StageKind::Experiment: {
+            const ExperimentStage& e = stage.experiment;
+            os << ": servers=" << e.servers << " victims=" << e.victims
+               << " policy=" << e.policy << " platform=" << e.platform
+               << " isolation=" << e.isolation;
+            if (e.obfuscation > 0.0)
+                os << " obfuscation="
+                   << util::AsciiTable::num(e.obfuscation, 2);
+            if (e.hasFaults)
+                os << " faults=on";
+            os << " seed=" << sseed << "\n";
+            outcome = runExperimentStage(stage, sseed, os, indent);
+            break;
+        }
+        case StageKind::Serve: {
+            const ServeStage& sv = stage.serve;
+            os << ": " << loopKindName(sv.loop) << " "
+               << arrivalShapeName(sv.shape);
+            if (sv.shape != ArrivalShape::Steady)
+                os << " segments=" << sv.segments;
+            os << " requests=" << sv.requests << " qps="
+               << util::AsciiTable::num(sv.qps, 0) << " seed=" << sseed
+               << "\n";
+            outcome = runServeStage(stage, sseed, os, indent);
+            break;
+        }
+        case StageKind::Attack: {
+            const AttackStage& a = stage.attack;
+            os << ": " << attackKindName(a.kind);
+            if (a.kind == AttackKind::Dos)
+                os << " margin=" << util::AsciiTable::num(a.margin, 2)
+                   << " top=" << a.topResources << " duration="
+                   << util::AsciiTable::num(a.durationSec, 0) << "s";
+            else
+                os << " probes=" << a.probes << " waves=" << a.waves
+                   << " victim-vms=" << a.victimVms;
+            os << " seed=" << sseed << "\n";
+            outcome = runAttackStage(stage, sseed, os, indent);
+            break;
+        }
+        case StageKind::Include:
+            os << ": " << stage.includePath
+               << " repeat=" << stage.repeat << "\n";
+            outcome = runIncludeStage(stage, seed, os, depth, &total);
+            break;
+        }
+        d.u64(i);
+        d.u8(static_cast<uint8_t>(stage.kind));
+        d.u64(outcome.digest);
+        total.simSeconds += outcome.simSeconds;
+        ++total.stagesRun;
+        metrics.add(obs::MetricId::kScenarioStagesRun);
+        metrics.observe(obs::MetricId::kScenarioStageSimSec,
+                        outcome.simSeconds);
+    }
+    total.digest = d.h;
+    os << indent << "  run digest: " << hex64(total.digest) << "\n";
+    return total;
+}
+
+} // namespace
+
+RunResult
+runScenario(const Scenario& s, std::ostream& os)
+{
+    return runWithSeed(s, s.seed, os, 0);
+}
+
+} // namespace scenario
+} // namespace bolt

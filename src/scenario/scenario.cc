@@ -1,0 +1,971 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/text.h"
+#include "util/digest.h"
+
+namespace bolt {
+namespace scenario {
+
+namespace {
+
+constexpr int kMaxStages = 64;
+constexpr int kMaxIncludeDepth = 8;
+
+std::string
+errorAt(std::string_view filename, int line, const std::string& message)
+{
+    std::ostringstream os;
+    os << filename << ":" << line << ": " << message;
+    return os.str();
+}
+
+/** Shortest round-trip decimal form of a double ("2", "0.25", ...). */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    (void)ec;
+    return std::string(buf, ptr);
+}
+
+bool
+parseFullInt(std::string_view s, long long* out)
+{
+    long long v = 0;
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || ptr != s.data() + s.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseFullUInt(std::string_view s, uint64_t* out)
+{
+    uint64_t v = 0;
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || ptr != s.data() + s.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseFullDouble(std::string_view s, double* out)
+{
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || ptr != s.data() + s.size() ||
+        !std::isfinite(v))
+        return false;
+    *out = v;
+    return true;
+}
+
+/**
+ * Typed, strict reader over one parsed map: getters validate kind,
+ * full-token numeric syntax and inclusive ranges; finish() rejects any
+ * key no getter asked for, listing the valid set — the same
+ * fail-loudly contract as util::CliArgs, with line numbers.
+ *
+ * The first error wins; later getters become no-ops, so compile code
+ * reads every key unconditionally and checks failed() once.
+ */
+class MapReader
+{
+  public:
+    MapReader(const TextNode& node, std::string_view filename,
+              std::string context)
+        : node_(node), filename_(filename), context_(std::move(context))
+    {
+    }
+
+    bool failed() const { return !error_.empty(); }
+    const std::string& error() const { return error_; }
+
+    void
+    getString(const char* key, std::string* out, bool required = false)
+    {
+        const TextNode* v = claim(key);
+        if (failed())
+            return;
+        if (!v) {
+            if (required)
+                fail(node_.line, std::string("missing required key '") +
+                                     key + "' in " + context_);
+            return;
+        }
+        if (!expectScalar(key, v))
+            return;
+        *out = v->scalar;
+    }
+
+    void
+    getUInt(const char* key, uint64_t* out)
+    {
+        const TextNode* v = claim(key);
+        if (failed() || !v || !expectScalar(key, v))
+            return;
+        uint64_t parsed = 0;
+        if (!parseFullUInt(v->scalar, &parsed)) {
+            fail(v->line, "value '" + v->scalar + "' for '" + key +
+                              "' is not an unsigned integer");
+            return;
+        }
+        *out = parsed;
+    }
+
+    void
+    getInt(const char* key, long long lo, long long hi, int* out)
+    {
+        const TextNode* v = claim(key);
+        if (failed() || !v || !expectScalar(key, v))
+            return;
+        long long parsed = 0;
+        if (!parseFullInt(v->scalar, &parsed)) {
+            fail(v->line, "value '" + v->scalar + "' for '" + key +
+                              "' is not an integer");
+            return;
+        }
+        if (parsed < lo || parsed > hi) {
+            fail(v->line, "value " + v->scalar + " for '" + key +
+                              "' out of range [" + std::to_string(lo) +
+                              ", " + std::to_string(hi) + "]");
+            return;
+        }
+        *out = static_cast<int>(parsed);
+    }
+
+    void
+    getDouble(const char* key, double lo, double hi, double* out)
+    {
+        const TextNode* v = claim(key);
+        if (failed() || !v || !expectScalar(key, v))
+            return;
+        double parsed = 0.0;
+        if (!parseFullDouble(v->scalar, &parsed)) {
+            fail(v->line, "value '" + v->scalar + "' for '" + key +
+                              "' is not a number");
+            return;
+        }
+        if (parsed < lo || parsed > hi) {
+            fail(v->line, "value " + v->scalar + " for '" + key +
+                              "' out of range [" + fmtDouble(lo) + ", " +
+                              fmtDouble(hi) + "]");
+            return;
+        }
+        *out = parsed;
+    }
+
+    void
+    getBool(const char* key, bool* out)
+    {
+        const TextNode* v = claim(key);
+        if (failed() || !v || !expectScalar(key, v))
+            return;
+        if (v->scalar == "true") {
+            *out = true;
+        } else if (v->scalar == "false") {
+            *out = false;
+        } else {
+            fail(v->line, "value '" + v->scalar + "' for '" + key +
+                              "' must be true or false");
+        }
+    }
+
+    void
+    getEnum(const char* key, const std::vector<const char*>& options,
+            std::string* out)
+    {
+        const TextNode* v = claim(key);
+        if (failed() || !v || !expectScalar(key, v))
+            return;
+        for (const char* opt : options) {
+            if (v->scalar == opt) {
+                *out = v->scalar;
+                return;
+            }
+        }
+        std::string list;
+        for (size_t i = 0; i < options.size(); ++i)
+            list += std::string(i ? ", " : "") + options[i];
+        fail(v->line, "value '" + v->scalar + "' for '" + key +
+                          "' must be one of " + list);
+    }
+
+    /** Optional nested block of the given kind; nullptr when absent. */
+    const TextNode*
+    block(const char* key, TextNode::Kind kind)
+    {
+        const TextNode* v = claim(key);
+        if (failed() || !v)
+            return nullptr;
+        if (v->kind != kind) {
+            fail(v->line, std::string("key '") + key + "' expects " +
+                              (kind == TextNode::Kind::Map
+                                   ? "an indented block"
+                                   : "a list") +
+                              ", not a value");
+            return nullptr;
+        }
+        return v;
+    }
+
+    /** Reject unclaimed keys. Call after every getter has run. */
+    bool
+    finish()
+    {
+        if (failed())
+            return false;
+        for (const auto& [key, value] : node_.entries) {
+            if (std::find(claimed_.begin(), claimed_.end(), key) !=
+                claimed_.end())
+                continue;
+            std::string valid;
+            for (size_t i = 0; i < claimed_.size(); ++i)
+                valid += (i ? ", " : "") + claimed_[i];
+            fail(value.line, "unknown key '" + key + "' in " + context_ +
+                                 " (valid: " + valid + ")");
+            return false;
+        }
+        return true;
+    }
+
+    void
+    fail(int line, const std::string& message)
+    {
+        if (error_.empty())
+            error_ = errorAt(filename_, line, message);
+    }
+
+  private:
+    const TextNode*
+    claim(const char* key)
+    {
+        claimed_.push_back(key);
+        return node_.find(key);
+    }
+
+    bool
+    expectScalar(const char* key, const TextNode* v)
+    {
+        if (v->kind == TextNode::Kind::Scalar)
+            return true;
+        fail(v->line, std::string("key '") + key +
+                          "' expects a value, not a block");
+        return false;
+    }
+
+    const TextNode& node_;
+    std::string_view filename_;
+    std::string context_;
+    std::string error_;
+    std::vector<std::string> claimed_;
+};
+
+/** Compile-time include state: the stack of files being compiled. */
+struct CompileCtx
+{
+    std::vector<std::string> stack; ///< Canonical paths, outermost first.
+};
+
+bool compileTree(const TextNode& root, std::string_view filename,
+                 const std::string& dir, CompileCtx* ctx, Scenario* out,
+                 std::string* err);
+
+bool
+compileFaults(const TextNode& node, std::string_view filename,
+              ExperimentStage* stage, std::string* err)
+{
+    MapReader r(node, filename, "faults block");
+    fault::FaultPlan& plan = stage->faults;
+    r.getDouble("arrivals", 0.0, 1.0, &plan.arrivalProb);
+    r.getDouble("departures", 0.0, 1.0, &plan.departureProb);
+    r.getDouble("phase-flips", 0.0, 1.0, &plan.phaseFlipProb);
+    r.getDouble("dropouts", 0.0, 1.0, &plan.dropoutProb);
+    r.getDouble("spikes", 0.0, 1.0, &plan.spikeProb);
+    r.getDouble("spike-mag", 0.0, 100.0, &plan.spikeMagnitude);
+    r.getDouble("jitter", 0.0, 1.0, &plan.capacityJitterAmp);
+    r.getDouble("jitter-window", 0.001, 3600.0,
+                &plan.capacityJitterWindowSec);
+    r.getUInt("seed", &plan.seed);
+    if (!r.failed() && plan.capacityJitterAmp >= 1.0)
+        r.fail(node.find("jitter")->line,
+               "value " + fmtDouble(plan.capacityJitterAmp) +
+                   " for 'jitter' out of range [0, 1)");
+    if (!r.finish()) {
+        *err = r.error();
+        return false;
+    }
+    if (!plan.enabled()) {
+        *err = errorAt(filename, node.line,
+                       "faults block enables no fault rate (set one "
+                       "of: arrivals, departures, phase-flips, "
+                       "dropouts, spikes, jitter)");
+        return false;
+    }
+    stage->hasFaults = true;
+    return true;
+}
+
+bool
+compileExperimentStage(MapReader& r, const TextNode& item,
+                       std::string_view filename, Stage* stage,
+                       std::string* err)
+{
+    ExperimentStage& e = stage->experiment;
+    r.getInt("servers", 1, 100000, &e.servers);
+    r.getInt("victims", 0, 1000000, &e.victims);
+    r.getEnum("policy", {"least-loaded", "quasar"}, &e.policy);
+    r.getEnum("platform", {"baremetal", "container", "vm"}, &e.platform);
+    r.getEnum("isolation",
+              {"none", "pinning", "net", "mem", "cache", "core-full",
+               "core-only"},
+              &e.isolation);
+    r.getDouble("obfuscation", 0.0, 1.0, &e.obfuscation);
+    const TextNode* faults = r.block("faults", TextNode::Kind::Map);
+    if (!r.finish()) {
+        *err = r.error();
+        return false;
+    }
+    if (faults && !compileFaults(*faults, filename, &e, err))
+        return false;
+    (void)item;
+    return true;
+}
+
+bool
+compileServeStage(MapReader& r, const TextNode& item,
+                  std::string_view filename, Stage* stage,
+                  std::string* err)
+{
+    ServeStage& s = stage->serve;
+    std::string loop = "open";
+    r.getEnum("loop", {"open", "closed"}, &loop);
+    r.getInt("requests", 1, 10000000, &s.requests);
+    r.getDouble("qps", 1e-6, 1e9, &s.qps);
+    r.getInt("clients", 1, 100000, &s.clients);
+    r.getDouble("think-ms", 0.0, 1e6, &s.thinkMs);
+    r.getDouble("slo-ms", 0.001, 1e6, &s.sloMs);
+    r.getInt("workers", 1, 256, &s.workers);
+    r.getInt("queue-cap", 1, 1000000, &s.queueCap);
+    r.getInt("max-batch", 1, 64, &s.maxBatch);
+    r.getDouble("batch-setup-ms", 0.0, 1000.0, &s.batchSetupMs);
+    r.getDouble("batch-wait-ms", 0.0, 1000.0, &s.batchWaitMs);
+    r.getBool("admit-check", &s.admitCheck);
+    r.getDouble("decompose-frac", 0.0, 1.0, &s.decomposeFrac);
+    const TextNode* arrival = r.block("arrival", TextNode::Kind::Map);
+    if (!r.finish()) {
+        *err = r.error();
+        return false;
+    }
+    s.loop = loop == "closed" ? LoopKind::Closed : LoopKind::Open;
+
+    if (arrival) {
+        MapReader ar(*arrival, filename, "arrival block");
+        std::string shape = "steady";
+        ar.getEnum("shape", {"steady", "flash-crowd", "diurnal"},
+                   &shape);
+        ar.getInt("segments", 1, 64, &s.segments);
+        ar.getDouble("peak-factor", 1.0, 1000.0, &s.peakFactor);
+        ar.getDouble("floor-factor", 0.0, 1.0, &s.floorFactor);
+        if (!ar.finish()) {
+            *err = ar.error();
+            return false;
+        }
+        s.shape = shape == "flash-crowd" ? ArrivalShape::FlashCrowd
+                  : shape == "diurnal"   ? ArrivalShape::Diurnal
+                                         : ArrivalShape::Steady;
+        if (s.shape != ArrivalShape::Steady &&
+            s.loop == LoopKind::Closed) {
+            *err = errorAt(filename, arrival->find("shape")->line,
+                           "arrival shape '" + shape +
+                               "' requires loop: open (a closed loop "
+                               "paces itself; offered QPS has no "
+                               "effect)");
+            return false;
+        }
+    }
+    (void)item;
+    return true;
+}
+
+bool
+compileAttackStage(MapReader& r, const TextNode& item,
+                   std::string_view filename, Stage* stage,
+                   std::string* err)
+{
+    AttackStage& a = stage->attack;
+    std::string kind;
+    r.getEnum("kind", {"dos", "coresidency"}, &kind);
+    if (r.failed()) {
+        *err = r.error();
+        return false;
+    }
+    if (!item.find("kind")) {
+        *err = errorAt(filename, item.line,
+                       "missing required key 'kind' in attack stage");
+        return false;
+    }
+    if (kind == "dos") {
+        a.kind = AttackKind::Dos;
+        r.getDouble("margin", 1.0, 2.0, &a.margin);
+        r.getInt("top-resources", 1, 10, &a.topResources);
+        r.getDouble("duration-sec", 30.0, 600.0, &a.durationSec);
+    } else {
+        a.kind = AttackKind::CoResidency;
+        r.getInt("probes", 1, 10000, &a.probes);
+        r.getInt("waves", 1, 1000, &a.waves);
+        r.getInt("victim-vms", 1, 100, &a.victimVms);
+    }
+    if (!r.finish()) {
+        *err = r.error();
+        return false;
+    }
+    return true;
+}
+
+bool
+compileIncludeStage(MapReader& r, const TextNode& item,
+                    std::string_view filename, const std::string& dir,
+                    CompileCtx* ctx, Stage* stage, std::string* err)
+{
+    r.getString("path", &stage->includePath, /*required=*/true);
+    r.getInt("repeat", 1, 32, &stage->repeat);
+    if (!r.finish()) {
+        *err = r.error();
+        return false;
+    }
+    const TextNode* path_node = item.find("path");
+    int path_line = path_node ? path_node->line : item.line;
+
+    namespace fs = std::filesystem;
+    fs::path resolved = fs::path(dir) / stage->includePath;
+    std::error_code ec;
+    fs::path canonical = fs::weakly_canonical(resolved, ec);
+    std::string canon = ec ? resolved.lexically_normal().string()
+                           : canonical.string();
+
+    if (std::find(ctx->stack.begin(), ctx->stack.end(), canon) !=
+        ctx->stack.end()) {
+        *err = errorAt(filename, path_line,
+                       "cyclic include of '" + stage->includePath + "'");
+        return false;
+    }
+    if (ctx->stack.size() >= kMaxIncludeDepth) {
+        *err = errorAt(filename, path_line,
+                       "include depth exceeds " +
+                           std::to_string(kMaxIncludeDepth));
+        return false;
+    }
+
+    std::ifstream in(resolved);
+    if (!in) {
+        *err = errorAt(filename, path_line,
+                       "cannot open include '" + stage->includePath +
+                           "'");
+        return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    TextNode sub_root;
+    if (!parseText(buffer.str(), resolved.string(), &sub_root, err))
+        return false;
+
+    auto sub = std::make_shared<Scenario>();
+    sub->sourcePath = resolved.string();
+    ctx->stack.push_back(canon);
+    bool ok = compileTree(sub_root, resolved.string(),
+                          resolved.parent_path().string(), ctx,
+                          sub.get(), err);
+    ctx->stack.pop_back();
+    if (!ok)
+        return false;
+    stage->sub = std::move(sub);
+    return true;
+}
+
+bool
+compileStage(const TextNode& item, size_t index,
+             std::string_view filename, const std::string& dir,
+             CompileCtx* ctx, Stage* stage, std::string* err)
+{
+    if (item.kind != TextNode::Kind::Map || !item.find("stage")) {
+        *err = errorAt(filename, item.line,
+                       "each stages[] item must begin with "
+                       "'- stage: experiment|serve|attack|include'");
+        return false;
+    }
+
+    std::string kind;
+    std::string context = "stage";
+    {
+        MapReader probe(item, filename, context);
+        probe.getEnum("stage",
+                      {"experiment", "serve", "attack", "include"},
+                      &kind);
+        if (probe.failed()) {
+            *err = probe.error();
+            return false;
+        }
+    }
+    stage->kind = kind == "experiment" ? StageKind::Experiment
+                  : kind == "serve"    ? StageKind::Serve
+                  : kind == "attack"   ? StageKind::Attack
+                                       : StageKind::Include;
+    stage->name = kind + "-" + std::to_string(index);
+
+    MapReader r(item, filename, kind + " stage");
+    std::string discard;
+    r.getEnum("stage", {"experiment", "serve", "attack", "include"},
+              &discard);
+    r.getString("name", &stage->name);
+    r.getUInt("seed", &stage->seed);
+
+    switch (stage->kind) {
+    case StageKind::Experiment:
+        return compileExperimentStage(r, item, filename, stage, err);
+    case StageKind::Serve:
+        return compileServeStage(r, item, filename, stage, err);
+    case StageKind::Attack:
+        return compileAttackStage(r, item, filename, stage, err);
+    case StageKind::Include:
+        return compileIncludeStage(r, item, filename, dir, ctx, stage,
+                                   err);
+    }
+    return false; // Unreachable.
+}
+
+bool
+compileTree(const TextNode& root, std::string_view filename,
+            const std::string& dir, CompileCtx* ctx, Scenario* out,
+            std::string* err)
+{
+    MapReader r(root, filename, "top level");
+    r.getString("scenario", &out->name, /*required=*/true);
+    r.getString("description", &out->description);
+    r.getUInt("seed", &out->seed);
+    const TextNode* stages = r.block("stages", TextNode::Kind::List);
+    if (!r.finish()) {
+        *err = r.error();
+        return false;
+    }
+    if (!r.failed() && out->name.empty()) {
+        *err = errorAt(filename, root.find("scenario")->line,
+                       "scenario name must not be empty");
+        return false;
+    }
+    if (!stages) {
+        *err = errorAt(filename, root.line,
+                       "missing required key 'stages' in top level");
+        return false;
+    }
+    if (stages->items.empty() ||
+        stages->items.size() > static_cast<size_t>(kMaxStages)) {
+        *err = errorAt(filename, stages->line,
+                       "stages must contain between 1 and " +
+                           std::to_string(kMaxStages) + " entries");
+        return false;
+    }
+
+    out->stages.resize(stages->items.size());
+    for (size_t i = 0; i < stages->items.size(); ++i) {
+        if (!compileStage(stages->items[i], i, filename, dir, ctx,
+                          &out->stages[i], err))
+            return false;
+    }
+    return true;
+}
+
+void
+dumpStage(const Stage& stage, std::ostream& os)
+{
+    auto kv = [&os](const char* key, const std::string& value) {
+        os << "    " << key << ": " << value << "\n";
+    };
+    os << "  - stage: " << stageKindName(stage.kind) << "\n";
+    kv("name", stage.name);
+    kv("seed", std::to_string(stage.seed));
+    switch (stage.kind) {
+    case StageKind::Experiment: {
+        const ExperimentStage& e = stage.experiment;
+        kv("servers", std::to_string(e.servers));
+        kv("victims", std::to_string(e.victims));
+        kv("policy", e.policy);
+        kv("platform", e.platform);
+        kv("isolation", e.isolation);
+        kv("obfuscation", fmtDouble(e.obfuscation));
+        if (e.hasFaults) {
+            const fault::FaultPlan& p = e.faults;
+            os << "    faults:\n";
+            auto fv = [&os](const char* key, const std::string& value) {
+                os << "      " << key << ": " << value << "\n";
+            };
+            fv("arrivals", fmtDouble(p.arrivalProb));
+            fv("departures", fmtDouble(p.departureProb));
+            fv("phase-flips", fmtDouble(p.phaseFlipProb));
+            fv("dropouts", fmtDouble(p.dropoutProb));
+            fv("spikes", fmtDouble(p.spikeProb));
+            fv("spike-mag", fmtDouble(p.spikeMagnitude));
+            fv("jitter", fmtDouble(p.capacityJitterAmp));
+            fv("jitter-window", fmtDouble(p.capacityJitterWindowSec));
+            fv("seed", std::to_string(p.seed));
+        }
+        break;
+    }
+    case StageKind::Serve: {
+        const ServeStage& s = stage.serve;
+        kv("loop", loopKindName(s.loop));
+        kv("requests", std::to_string(s.requests));
+        kv("qps", fmtDouble(s.qps));
+        kv("clients", std::to_string(s.clients));
+        kv("think-ms", fmtDouble(s.thinkMs));
+        kv("slo-ms", fmtDouble(s.sloMs));
+        kv("workers", std::to_string(s.workers));
+        kv("queue-cap", std::to_string(s.queueCap));
+        kv("max-batch", std::to_string(s.maxBatch));
+        kv("batch-setup-ms", fmtDouble(s.batchSetupMs));
+        kv("batch-wait-ms", fmtDouble(s.batchWaitMs));
+        kv("admit-check", s.admitCheck ? "true" : "false");
+        kv("decompose-frac", fmtDouble(s.decomposeFrac));
+        os << "    arrival:\n";
+        os << "      shape: " << arrivalShapeName(s.shape) << "\n";
+        os << "      segments: " << s.segments << "\n";
+        os << "      peak-factor: " << fmtDouble(s.peakFactor) << "\n";
+        os << "      floor-factor: " << fmtDouble(s.floorFactor)
+           << "\n";
+        break;
+    }
+    case StageKind::Attack: {
+        const AttackStage& a = stage.attack;
+        kv("kind", attackKindName(a.kind));
+        if (a.kind == AttackKind::Dos) {
+            kv("margin", fmtDouble(a.margin));
+            kv("top-resources", std::to_string(a.topResources));
+            kv("duration-sec", fmtDouble(a.durationSec));
+        } else {
+            kv("probes", std::to_string(a.probes));
+            kv("waves", std::to_string(a.waves));
+            kv("victim-vms", std::to_string(a.victimVms));
+        }
+        break;
+    }
+    case StageKind::Include:
+        kv("path", stage.includePath);
+        kv("repeat", std::to_string(stage.repeat));
+        break;
+    }
+}
+
+void
+digestStage(const Stage& stage, util::Fnv1a* d)
+{
+    auto str = [d](const std::string& s) {
+        d->u64(s.size());
+        d->str(s);
+    };
+    d->u8(static_cast<uint8_t>(stage.kind));
+    str(stage.name);
+    d->u64(stage.seed);
+    switch (stage.kind) {
+    case StageKind::Experiment: {
+        const ExperimentStage& e = stage.experiment;
+        d->u64(static_cast<uint64_t>(e.servers));
+        d->u64(static_cast<uint64_t>(e.victims));
+        str(e.policy);
+        str(e.platform);
+        str(e.isolation);
+        d->f64(e.obfuscation);
+        d->u8(e.hasFaults ? 1 : 0);
+        if (e.hasFaults) {
+            const fault::FaultPlan& p = e.faults;
+            d->f64(p.arrivalProb);
+            d->f64(p.departureProb);
+            d->f64(p.phaseFlipProb);
+            d->f64(p.dropoutProb);
+            d->f64(p.spikeProb);
+            d->f64(p.spikeMagnitude);
+            d->f64(p.capacityJitterAmp);
+            d->f64(p.capacityJitterWindowSec);
+            d->u64(p.seed);
+        }
+        break;
+    }
+    case StageKind::Serve: {
+        const ServeStage& s = stage.serve;
+        d->u8(static_cast<uint8_t>(s.loop));
+        d->u64(static_cast<uint64_t>(s.requests));
+        d->f64(s.qps);
+        d->u64(static_cast<uint64_t>(s.clients));
+        d->f64(s.thinkMs);
+        d->f64(s.sloMs);
+        d->u64(static_cast<uint64_t>(s.workers));
+        d->u64(static_cast<uint64_t>(s.queueCap));
+        d->u64(static_cast<uint64_t>(s.maxBatch));
+        d->f64(s.batchSetupMs);
+        d->f64(s.batchWaitMs);
+        d->u8(s.admitCheck ? 1 : 0);
+        d->f64(s.decomposeFrac);
+        d->u8(static_cast<uint8_t>(s.shape));
+        d->u64(static_cast<uint64_t>(s.segments));
+        d->f64(s.peakFactor);
+        d->f64(s.floorFactor);
+        break;
+    }
+    case StageKind::Attack: {
+        const AttackStage& a = stage.attack;
+        d->u8(static_cast<uint8_t>(a.kind));
+        if (a.kind == AttackKind::Dos) {
+            d->f64(a.margin);
+            d->u64(static_cast<uint64_t>(a.topResources));
+            d->f64(a.durationSec);
+        } else {
+            d->u64(static_cast<uint64_t>(a.probes));
+            d->u64(static_cast<uint64_t>(a.waves));
+            d->u64(static_cast<uint64_t>(a.victimVms));
+        }
+        break;
+    }
+    case StageKind::Include:
+        str(stage.includePath);
+        d->u64(static_cast<uint64_t>(stage.repeat));
+        d->u64(stage.sub ? stage.sub->graphDigest() : 0);
+        break;
+    }
+}
+
+} // namespace
+
+const char*
+stageKindName(StageKind k)
+{
+    switch (k) {
+    case StageKind::Experiment:
+        return "experiment";
+    case StageKind::Serve:
+        return "serve";
+    case StageKind::Attack:
+        return "attack";
+    case StageKind::Include:
+        return "include";
+    }
+    return "?";
+}
+
+const char*
+attackKindName(AttackKind k)
+{
+    return k == AttackKind::Dos ? "dos" : "coresidency";
+}
+
+const char*
+loopKindName(LoopKind k)
+{
+    return k == LoopKind::Open ? "open" : "closed";
+}
+
+const char*
+arrivalShapeName(ArrivalShape s)
+{
+    switch (s) {
+    case ArrivalShape::Steady:
+        return "steady";
+    case ArrivalShape::FlashCrowd:
+        return "flash-crowd";
+    case ArrivalShape::Diurnal:
+        return "diurnal";
+    }
+    return "?";
+}
+
+uint64_t
+Scenario::graphDigest() const
+{
+    util::Fnv1a d;
+    d.u64(name.size());
+    d.str(name);
+    d.u64(description.size());
+    d.str(description);
+    d.u64(seed);
+    d.u64(stages.size());
+    for (const Stage& stage : stages)
+        digestStage(stage, &d);
+    return d.h;
+}
+
+std::string
+Scenario::dump() const
+{
+    std::ostringstream os;
+    os << "scenario: " << name << "\n";
+    if (!description.empty())
+        os << "description: " << description << "\n";
+    os << "seed: " << seed << "\n";
+    os << "stages:\n";
+    for (const Stage& stage : stages)
+        dumpStage(stage, os);
+    return os.str();
+}
+
+const std::vector<KeyDoc>&
+schemaKeys()
+{
+    static const std::vector<KeyDoc> kKeys = {
+        // Top level.
+        {"scenario", "string", "-", "-", "meta",
+         "Scenario name (required)"},
+        {"description", "string", "-", "(empty)", "meta",
+         "One-line intent shown in reports"},
+        {"seed", "uint", "[0, 2^64)", "1", "sim",
+         "Root seed; stages without a seed derive theirs from it"},
+        {"stages", "list", "1..64 items", "-", "sim",
+         "Ordered stage list (required)"},
+        // Common stage keys.
+        {"stages[].stage", "enum",
+         "experiment | serve | attack | include", "-", "sim",
+         "Stage kind discriminator (required, first key)"},
+        {"stages[].name", "string", "-", "<kind>-<index>", "meta",
+         "Stage display name"},
+        {"stages[].seed", "uint", "[0, 2^64)", "0", "sim",
+         "Stage seed; 0 derives Rng::stream(scenario seed, {stage-"
+         "phase, index})"},
+        // Experiment stage.
+        {"stages[].servers", "int", "[1, 100000]", "8", "sim",
+         "Cluster size of the controlled experiment"},
+        {"stages[].victims", "int", "[0, 1000000]", "20", "sim",
+         "Victim workloads scheduled onto the cluster"},
+        {"stages[].policy", "enum", "least-loaded | quasar",
+         "least-loaded", "sim", "Placement policy"},
+        {"stages[].platform", "enum", "baremetal | container | vm",
+         "vm", "sim", "Tenant packaging (Section 6)"},
+        {"stages[].isolation", "enum",
+         "none | pinning | net | mem | cache | core-full | core-only",
+         "none", "sim", "Isolation ladder rung (Fig. 14)"},
+        {"stages[].obfuscation", "double", "[0, 1]", "0", "sim",
+         "Victim pattern-obfuscation defense amplitude"},
+        {"stages[].faults", "map", "-", "(absent)", "sim",
+         "Fault-injection plan; must enable at least one rate"},
+        {"stages[].faults.arrivals", "double", "[0, 1]", "0", "sim",
+         "P(background VM arrives) per host per round"},
+        {"stages[].faults.departures", "double", "[0, 1]", "0", "sim",
+         "P(victim departs) per victim per round"},
+        {"stages[].faults.phase-flips", "double", "[0, 1]", "0", "sim",
+         "P(victim load-pattern phase flip) per victim per round"},
+        {"stages[].faults.dropouts", "double", "[0, 1]", "0", "sim",
+         "P(probe sample lost) per probe"},
+        {"stages[].faults.spikes", "double", "[0, 1]", "0", "sim",
+         "P(probe sample takes an outlier spike) per probe"},
+        {"stages[].faults.spike-mag", "double", "[0, 100]", "35",
+         "sim", "Spike amplitude upper bound, pressure points"},
+        {"stages[].faults.jitter", "double", "[0, 1)", "0", "sim",
+         "Transient capacity-jitter amplitude"},
+        {"stages[].faults.jitter-window", "double", "[0.001, 3600]",
+         "20", "sim", "Jitter window length, virtual seconds"},
+        {"stages[].faults.seed", "uint", "[0, 2^64)", "0", "sim",
+         "Fault seed; 0 derives from the stage seed"},
+        // Serve stage.
+        {"stages[].loop", "enum", "open | closed", "open", "sim",
+         "Open-loop Poisson arrivals or closed-loop client lanes"},
+        {"stages[].requests", "int", "[1, 10000000]", "1000", "sim",
+         "Total requests (split across ramp segments)"},
+        {"stages[].qps", "double", "[1e-06, 1e+09]", "1000", "sim",
+         "Base offered QPS (open loop); ramps scale it per segment"},
+        {"stages[].clients", "int", "[1, 100000]", "16", "sim",
+         "Closed-loop client lanes"},
+        {"stages[].think-ms", "double", "[0, 1e+06]", "4", "sim",
+         "Closed-loop mean think time, sim ms"},
+        {"stages[].slo-ms", "double", "[0.001, 1e+06]", "50", "sim",
+         "Per-request deadline budget, sim ms"},
+        {"stages[].workers", "int", "[1, 256]", "4", "sim",
+         "Virtual service lanes of the sim timeline"},
+        {"stages[].queue-cap", "int", "[1, 1000000]", "128", "sim",
+         "Bounded request-queue capacity"},
+        {"stages[].max-batch", "int", "[1, 64]", "8", "sim",
+         "Micro-batch size cap (1 disables batching)"},
+        {"stages[].batch-setup-ms", "double", "[0, 1000]", "2", "sim",
+         "Fixed per-batch service overhead, sim ms"},
+        {"stages[].batch-wait-ms", "double", "[0, 1000]", "0", "sim",
+         "Optional one-shot batch-fill wait, sim ms"},
+        {"stages[].admit-check", "bool", "true | false", "true", "sim",
+         "SLO-aware admission control at arrival"},
+        {"stages[].decompose-frac", "double", "[0, 1]", "0", "sim",
+         "Fraction of requests that are decompose queries"},
+        {"stages[].arrival", "map", "-", "(steady)", "sim",
+         "Arrival-process shape block"},
+        {"stages[].arrival.shape", "enum",
+         "steady | flash-crowd | diurnal", "steady", "sim",
+         "QPS curve; non-steady shapes require loop: open"},
+        {"stages[].arrival.segments", "int", "[1, 64]", "6", "sim",
+         "Ramp resolution: back-to-back engine runs"},
+        {"stages[].arrival.peak-factor", "double", "[1, 1000]", "4",
+         "sim", "Flash-crowd: peak QPS / base QPS"},
+        {"stages[].arrival.floor-factor", "double", "[0, 1]", "0.25",
+         "sim", "Diurnal: trough QPS / base QPS"},
+        // Attack stage.
+        {"stages[].kind", "enum", "dos | coresidency", "-", "sim",
+         "Attack campaign kind (required)"},
+        {"stages[].margin", "double", "[1, 2]", "1.15", "sim",
+         "DoS contention margin over the victim's pressure"},
+        {"stages[].top-resources", "int", "[1, 10]", "2", "sim",
+         "DoS: victim resources stressed"},
+        {"stages[].duration-sec", "double", "[30, 600]", "120", "sim",
+         "DoS timeline length, virtual seconds"},
+        {"stages[].probes", "int", "[1, 10000]", "10", "sim",
+         "Co-residency: probe VMs per wave"},
+        {"stages[].waves", "int", "[1, 1000]", "8", "sim",
+         "Co-residency: probe waves before giving up"},
+        {"stages[].victim-vms", "int", "[1, 100]", "1", "sim",
+         "Co-residency: VMs the target user runs"},
+        // Include stage.
+        {"stages[].path", "string", "-", "-", "sim",
+         "Sub-scenario file, relative to the including file "
+         "(required)"},
+        {"stages[].repeat", "int", "[1, 32]", "1", "sim",
+         "Run the sub-scenario this many times, distinct seeds"},
+    };
+    return kKeys;
+}
+
+bool
+compileText(std::string_view source, std::string_view filename,
+            Scenario* out, std::string* err)
+{
+    TextNode root;
+    if (!parseText(source, filename, &root, err))
+        return false;
+    std::string dir =
+        std::filesystem::path(filename).parent_path().string();
+    CompileCtx ctx;
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path canon = fs::weakly_canonical(fs::path(filename), ec);
+    ctx.stack.push_back(ec ? fs::path(filename).lexically_normal().string()
+                           : canon.string());
+    out->sourcePath = std::string(filename);
+    return compileTree(root, filename, dir, &ctx, out, err);
+}
+
+bool
+compileFile(const std::string& path, Scenario* out, std::string* err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        *err = path + ":1: cannot open scenario file";
+        return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return compileText(buffer.str(), path, out, err);
+}
+
+} // namespace scenario
+} // namespace bolt

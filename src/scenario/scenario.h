@@ -1,0 +1,189 @@
+#ifndef BOLT_SCENARIO_SCENARIO_H
+#define BOLT_SCENARIO_SCENARIO_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault.h"
+
+namespace bolt {
+namespace scenario {
+
+/**
+ * The declarative scenario layer: a strict YAML-ish text format
+ * (text.h) compiled into a validated scenario graph that the runner
+ * (runner.h) executes against the existing sim/fault/serve/attacks
+ * layers. New experiments become data plus documentation instead of a
+ * new C++ bench driver — the schema is documented key-by-key in
+ * docs/SCENARIOS.md, and a test diffs that document against
+ * schemaKeys() so the two cannot drift apart.
+ *
+ * Determinism: every stage owns a counter-based seed (explicit
+ * `seed:`, or derived from the scenario seed and the stage index via
+ * `util::Rng::stream`), and every layer underneath already draws from
+ * per-task counter-based streams — so a compiled scenario's run digest
+ * is bit-identical at any thread count, and a scenario file is a
+ * complete, reproducible description of a run.
+ */
+
+/** What a stage does; the `stage:` discriminator key. */
+enum class StageKind : uint8_t { Experiment, Serve, Attack, Include };
+
+/** `kind:` of an attack stage. */
+enum class AttackKind : uint8_t { Dos, CoResidency };
+
+/** `loop:` of a serve stage. */
+enum class LoopKind : uint8_t { Open, Closed };
+
+/** `shape:` of a serve stage's arrival block. */
+enum class ArrivalShape : uint8_t { Steady, FlashCrowd, Diurnal };
+
+const char* stageKindName(StageKind k);
+const char* attackKindName(AttackKind k);
+const char* loopKindName(LoopKind k);
+const char* arrivalShapeName(ArrivalShape s);
+
+/** A controlled detection experiment (core::ControlledExperiment). */
+struct ExperimentStage
+{
+    int servers = 8;
+    int victims = 20;
+    std::string policy = "least-loaded"; ///< least-loaded | quasar.
+    std::string platform = "vm"; ///< baremetal | container | vm.
+    /** none|pinning|net|mem|cache|core-full|core-only. */
+    std::string isolation = "none";
+    double obfuscation = 0.0;
+    /** Present iff the file had a `faults:` block (which must enable
+     *  at least one rate — a modifier-only block is a compile error,
+     *  matching bolt_cli's --fault-* validation). */
+    bool hasFaults = false;
+    fault::FaultPlan faults;
+};
+
+/**
+ * A serving-layer load test (serve::ServeEngine), optionally shaped by
+ * an arrival ramp: flash-crowd and diurnal shapes split the run into
+ * `segments` back-to-back engine runs whose offered QPS follows the
+ * ramp curve, each segment drawing from its own derived seed.
+ */
+struct ServeStage
+{
+    LoopKind loop = LoopKind::Open;
+    int requests = 1000;
+    double qps = 1000.0;
+    int clients = 16;
+    double thinkMs = 4.0;
+    double sloMs = 50.0;
+    int workers = 4;
+    int queueCap = 128;
+    int maxBatch = 8;
+    double batchSetupMs = 2.0;
+    double batchWaitMs = 0.0;
+    bool admitCheck = true;
+    double decomposeFrac = 0.0;
+
+    ArrivalShape shape = ArrivalShape::Steady;
+    int segments = 6;          ///< Ramp resolution (non-steady shapes).
+    double peakFactor = 4.0;   ///< Flash-crowd: peak QPS / base QPS.
+    double floorFactor = 0.25; ///< Diurnal: trough QPS / base QPS.
+};
+
+/** An attack campaign (attacks::DosTimelineExperiment / CoResidency). */
+struct AttackStage
+{
+    AttackKind kind = AttackKind::Dos;
+    // kind: dos
+    double margin = 1.15;
+    int topResources = 2;
+    double durationSec = 120.0;
+    // kind: coresidency
+    int probes = 10;
+    int waves = 8;
+    int victimVms = 1;
+};
+
+struct Scenario;
+
+/** One node of the scenario graph. */
+struct Stage
+{
+    StageKind kind = StageKind::Experiment;
+    std::string name; ///< Defaults to "<kind>-<index>".
+    /** 0 = derive from the scenario seed and stage index. */
+    uint64_t seed = 0;
+
+    ExperimentStage experiment; ///< kind == Experiment.
+    ServeStage serve;           ///< kind == Serve.
+    AttackStage attack;         ///< kind == Attack.
+
+    // kind == Include: a composable sub-scenario.
+    std::string includePath; ///< As written (relative to includer).
+    int repeat = 1;          ///< Run the sub-scenario this many times.
+    std::shared_ptr<const Scenario> sub; ///< Compiled sub-scenario.
+};
+
+/** A compiled, validated scenario. */
+struct Scenario
+{
+    std::string name;
+    std::string description;
+    uint64_t seed = 1;
+    std::vector<Stage> stages;
+    /** Source path as opened (diagnostics only; not part of the graph). */
+    std::string sourcePath;
+
+    /**
+     * FNV-1a fingerprint of the entire graph — every field of every
+     * stage, sub-scenarios included. compile(dump()) reproduces it
+     * exactly (the round-trip identity the tests pin).
+     */
+    uint64_t graphDigest() const;
+
+    /**
+     * Canonical text serialization: every schema key written
+     * explicitly (defaults filled in), doubles in shortest
+     * round-trip form, stable ordering. Recompiling the dump yields
+     * an identical graph. Include stages are dumped as include
+     * stages (the sub-scenario file must still be reachable).
+     */
+    std::string dump() const;
+};
+
+/**
+ * One row of the schema key table: the machine-readable contract that
+ * docs/SCENARIOS.md documents and tests/test_scenario.cc diffs against
+ * the doc. `determinism` is "sim" (the key changes results and is
+ * folded into digests) or "meta" (cosmetic: names and descriptions).
+ */
+struct KeyDoc
+{
+    const char* path; ///< e.g. "stages[].faults.arrivals".
+    const char* type; ///< string|uint|int|double|bool|enum|map|list.
+    const char* range; ///< "[0, 1]", enum options, or "-".
+    const char* defaultValue; ///< "-" when required.
+    const char* determinism; ///< "sim" | "meta".
+    const char* help;
+};
+
+/** Every key the compiler accepts, in documentation order. */
+const std::vector<KeyDoc>& schemaKeys();
+
+/**
+ * Compile scenario text. Include paths resolve relative to the
+ * directory of `filename`. On failure returns false with
+ * *err = "<file>:<line>: <message>"; CLI callers exit 2.
+ */
+bool compileText(std::string_view source, std::string_view filename,
+                 Scenario* out, std::string* err);
+
+/** Compile a scenario file from disk (same contract as compileText). */
+bool compileFile(const std::string& path, Scenario* out,
+                 std::string* err);
+
+} // namespace scenario
+} // namespace bolt
+
+#endif // BOLT_SCENARIO_SCENARIO_H

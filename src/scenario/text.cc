@@ -1,0 +1,347 @@
+#include "scenario/text.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace bolt {
+namespace scenario {
+
+namespace {
+
+/** One content-bearing source line after comment/blank stripping. */
+struct Line
+{
+    int number = 0; ///< 1-based.
+    int indent = 0; ///< Leading spaces.
+    std::string text; ///< Content after the indent, right-trimmed.
+};
+
+std::string
+errorAt(std::string_view filename, int line, const std::string& message)
+{
+    std::ostringstream os;
+    os << filename << ":" << line << ": " << message;
+    return os.str();
+}
+
+/**
+ * Strip a comment: '#' at the start of the content or preceded by a
+ * space opens one. '#' embedded in a value token is kept.
+ */
+void
+stripComment(std::string* s)
+{
+    for (size_t i = 0; i < s->size(); ++i) {
+        if ((*s)[i] == '#' && (i == 0 || (*s)[i - 1] == ' ')) {
+            s->resize(i);
+            return;
+        }
+    }
+}
+
+void
+rtrim(std::string* s)
+{
+    while (!s->empty() && std::isspace(static_cast<unsigned char>(s->back())))
+        s->pop_back();
+}
+
+bool
+validKey(std::string_view key)
+{
+    if (key.empty())
+        return false;
+    for (char c : key) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+            c != '_')
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Split lines, drop blanks/comments, measure indentation. Tabs in the
+ * indentation are rejected (invisible nesting bugs are not worth it).
+ */
+bool
+scanLines(std::string_view source, std::string_view filename,
+          std::vector<Line>* out, std::string* err)
+{
+    int number = 0;
+    size_t pos = 0;
+    while (pos <= source.size()) {
+        size_t eol = source.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = source.size();
+        ++number;
+        std::string raw(source.substr(pos, eol - pos));
+        pos = eol + 1;
+
+        size_t i = 0;
+        while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) {
+            if (raw[i] == '\t') {
+                *err = errorAt(filename, number,
+                               "tab characters are not allowed in "
+                               "indentation (use spaces)");
+                return false;
+            }
+            ++i;
+        }
+        std::string content = raw.substr(i);
+        stripComment(&content);
+        rtrim(&content);
+        if (content.empty())
+            continue;
+        out->push_back({number, static_cast<int>(i), content});
+        if (eol == source.size())
+            break;
+    }
+    return true;
+}
+
+/**
+ * Recursive block parser over the scanned lines. `parseEntry` consumes
+ * one `key: ...` line (plus any nested block) into an (key, node) pair;
+ * `parseBlock` consumes every line at exactly `indent` into a Map or
+ * List node (decided by the first line).
+ */
+class Parser
+{
+  public:
+    Parser(const std::vector<Line>& lines, std::string_view filename,
+           std::string* err)
+        : lines_(lines), filename_(filename), err_(err)
+    {
+    }
+
+    bool
+    parseTop(TextNode* root)
+    {
+        root->kind = TextNode::Kind::Map;
+        root->line = lines_.empty() ? 1 : lines_.front().number;
+        if (!lines_.empty() && lines_.front().indent != 0) {
+            *err_ = errorAt(filename_, lines_.front().number,
+                            "top-level entries must not be indented");
+            return false;
+        }
+        if (!lines_.empty() && lines_.front().text[0] == '-') {
+            *err_ = errorAt(filename_, lines_.front().number,
+                            "top level must be 'key: value' entries, "
+                            "not a list");
+            return false;
+        }
+        return parseMap(0, root);
+    }
+
+  private:
+    bool
+    parseMap(int indent, TextNode* node)
+    {
+        node->kind = TextNode::Kind::Map;
+        while (next_ < lines_.size()) {
+            const Line& line = lines_[next_];
+            if (line.indent < indent)
+                break;
+            if (line.indent > indent) {
+                *err_ = errorAt(filename_, line.number,
+                                "unexpected indentation");
+                return false;
+            }
+            if (line.text[0] == '-' &&
+                (line.text.size() == 1 || line.text[1] == ' ')) {
+                *err_ = errorAt(filename_, line.number,
+                                "list item not allowed inside a "
+                                "key/value block");
+                return false;
+            }
+            std::pair<std::string, TextNode> entry;
+            if (!parseEntry(line.indent, &entry))
+                return false;
+            for (const auto& [key, value] : node->entries) {
+                (void)value;
+                if (key == entry.first) {
+                    *err_ = errorAt(filename_, entry.second.line,
+                                    "duplicate key '" + entry.first +
+                                        "'");
+                    return false;
+                }
+            }
+            node->entries.push_back(std::move(entry));
+        }
+        return true;
+    }
+
+    bool
+    parseList(int indent, TextNode* node)
+    {
+        node->kind = TextNode::Kind::List;
+        while (next_ < lines_.size()) {
+            const Line& line = lines_[next_];
+            if (line.indent < indent)
+                break;
+            if (line.indent > indent) {
+                *err_ = errorAt(filename_, line.number,
+                                "unexpected indentation");
+                return false;
+            }
+            if (line.text[0] != '-' ||
+                (line.text.size() > 1 && line.text[1] != ' ')) {
+                *err_ = errorAt(filename_, line.number,
+                                "expected a '- ' list item");
+                return false;
+            }
+            std::string rest =
+                line.text.size() > 1 ? line.text.substr(2) : "";
+            size_t skip = rest.find_first_not_of(' ');
+            rest = skip == std::string::npos ? "" : rest.substr(skip);
+            if (rest.empty()) {
+                *err_ = errorAt(filename_, line.number,
+                                "empty list item");
+                return false;
+            }
+
+            TextNode item;
+            item.line = line.number;
+            if (rest.find(':') == std::string::npos) {
+                item.kind = TextNode::Kind::Scalar;
+                item.scalar = rest;
+                ++next_;
+            } else {
+                // Item map: the inline `key: value` plus continuation
+                // entries aligned two columns past the dash.
+                item.kind = TextNode::Kind::Map;
+                int item_indent = indent + 2;
+                // Re-enter parseEntry on a synthetic line: temporarily
+                // rewrite the current line as the item's first entry.
+                Line first = line;
+                first.indent = item_indent;
+                first.text = rest;
+                rewritten_ = first;
+                useRewritten_ = true;
+                std::pair<std::string, TextNode> entry;
+                if (!parseEntry(item_indent, &entry))
+                    return false;
+                item.entries.push_back(std::move(entry));
+                // Continuation lines of this item.
+                while (next_ < lines_.size() &&
+                       lines_[next_].indent == item_indent &&
+                       lines_[next_].text[0] != '-') {
+                    std::pair<std::string, TextNode> cont;
+                    if (!parseEntry(item_indent, &cont))
+                        return false;
+                    for (const auto& [key, value] : item.entries) {
+                        (void)value;
+                        if (key == cont.first) {
+                            *err_ = errorAt(filename_, cont.second.line,
+                                            "duplicate key '" +
+                                                cont.first + "'");
+                            return false;
+                        }
+                    }
+                    item.entries.push_back(std::move(cont));
+                }
+                if (next_ < lines_.size() &&
+                    lines_[next_].indent > item_indent) {
+                    *err_ = errorAt(filename_, lines_[next_].number,
+                                    "unexpected indentation");
+                    return false;
+                }
+            }
+            node->items.push_back(std::move(item));
+        }
+        return true;
+    }
+
+    /** Consume one `key: ...` line at `indent` (plus a nested block). */
+    bool
+    parseEntry(int indent, std::pair<std::string, TextNode>* out)
+    {
+        Line line = useRewritten_ ? rewritten_ : lines_[next_];
+        useRewritten_ = false;
+        ++next_;
+
+        size_t colon = line.text.find(':');
+        if (colon == std::string::npos) {
+            *err_ = errorAt(filename_, line.number,
+                            "expected 'key: value' (missing ':')");
+            return false;
+        }
+        std::string key = line.text.substr(0, colon);
+        rtrim(&key);
+        if (!validKey(key)) {
+            *err_ = errorAt(filename_, line.number,
+                            "invalid key '" + key +
+                                "' (letters, digits, '-', '_' only)");
+            return false;
+        }
+        std::string value = line.text.substr(colon + 1);
+        size_t skip = value.find_first_not_of(' ');
+        value = skip == std::string::npos ? "" : value.substr(skip);
+
+        TextNode node;
+        node.line = line.number;
+        if (!value.empty()) {
+            node.kind = TextNode::Kind::Scalar;
+            node.scalar = value;
+        } else {
+            // Nested block: children must be indented strictly deeper.
+            if (next_ >= lines_.size() ||
+                lines_[next_].indent <= indent) {
+                *err_ = errorAt(filename_, line.number,
+                                "key '" + key +
+                                    "' has neither a value nor an "
+                                    "indented block");
+                return false;
+            }
+            int child_indent = lines_[next_].indent;
+            if (lines_[next_].text[0] == '-' &&
+                (lines_[next_].text.size() == 1 ||
+                 lines_[next_].text[1] == ' ')) {
+                if (!parseList(child_indent, &node))
+                    return false;
+            } else {
+                if (!parseMap(child_indent, &node))
+                    return false;
+            }
+        }
+        *out = {std::move(key), std::move(node)};
+        return true;
+    }
+
+    const std::vector<Line>& lines_;
+    std::string_view filename_;
+    std::string* err_;
+    size_t next_ = 0;
+    Line rewritten_;
+    bool useRewritten_ = false;
+};
+
+} // namespace
+
+const TextNode*
+TextNode::find(std::string_view key) const
+{
+    for (const auto& [k, v] : entries) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+bool
+parseText(std::string_view source, std::string_view filename,
+          TextNode* root, std::string* err)
+{
+    std::vector<Line> lines;
+    if (!scanLines(source, filename, &lines, err))
+        return false;
+    if (lines.empty()) {
+        *err = errorAt(filename, 1, "empty scenario file");
+        return false;
+    }
+    Parser parser(lines, filename, err);
+    return parser.parseTop(root);
+}
+
+} // namespace scenario
+} // namespace bolt

@@ -1,0 +1,59 @@
+#ifndef BOLT_SCENARIO_TEXT_H
+#define BOLT_SCENARIO_TEXT_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bolt {
+namespace scenario {
+
+/**
+ * Parse tree of the scenario text format — a small, strict, std-only
+ * YAML-ish subset (genny-style declarative workloads without a YAML
+ * dependency):
+ *
+ *   key: value          scalar entry (value = rest of line, trimmed)
+ *   key:                nested block; children indented further
+ *   - key: value        list item opening an item map; continuation
+ *                       entries align two columns past the dash
+ *   - value             scalar list item
+ *   # comment           full-line, or trailing after whitespace
+ *
+ * Strictness contract (every violation is a line-numbered error):
+ * tabs in indentation, bare text without a key, duplicate keys within
+ * one map, list items inside a map block, `key:` with neither a value
+ * nor an indented block, and inconsistent indentation are all rejected.
+ * The compiler on top (scenario.h) adds schema validation; this layer
+ * only shapes lines into a tree.
+ */
+struct TextNode
+{
+    enum class Kind { Scalar, Map, List };
+
+    Kind kind = Kind::Scalar;
+    int line = 0;       ///< 1-based source line introducing this node.
+    std::string scalar; ///< Kind::Scalar payload.
+    /** Kind::Map entries in source order (duplicates are parse errors). */
+    std::vector<std::pair<std::string, TextNode>> entries;
+    std::vector<TextNode> items; ///< Kind::List items in source order.
+
+    /** Map lookup; nullptr when absent or this is not a map. */
+    const TextNode* find(std::string_view key) const;
+};
+
+/**
+ * Parse `source` into *root (always a Map at the top level).
+ *
+ * @param filename Used only to prefix diagnostics ("file:line: ...").
+ * @return false with *err = "<filename>:<line>: <message>" on the first
+ *         violation; the CLI surfaces this verbatim and exits 2.
+ */
+bool parseText(std::string_view source, std::string_view filename,
+               TextNode* root, std::string* err);
+
+} // namespace scenario
+} // namespace bolt
+
+#endif // BOLT_SCENARIO_TEXT_H

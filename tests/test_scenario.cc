@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Scenario-layer tests (tier1, fast — no experiments run here):
+ *
+ *  - text parser shape and strictness (line-numbered error goldens)
+ *  - compiler validation messages for malformed files, including the
+ *    cyclic-include and modifier-only-faults cases
+ *  - compile -> dump -> recompile graph identity for synthetic and
+ *    every shipped scenario
+ *  - schema/documentation sync: the key table embedded in
+ *    docs/SCENARIOS.md must list exactly the keys schemaKeys() accepts,
+ *    and dump() must emit every leaf key (so the table, the compiler
+ *    and the doc cannot drift apart)
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+#include "scenario/text.h"
+
+using namespace bolt;
+using scenario::Scenario;
+using scenario::TextNode;
+
+namespace {
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFile(const std::string& path, const std::string& content)
+{
+    std::ofstream out(path);
+    out << content;
+}
+
+/** Compile expecting failure; returns the diagnostic. */
+std::string
+compileError(const std::string& source)
+{
+    Scenario s;
+    std::string err;
+    EXPECT_FALSE(scenario::compileText(source, "bad.scn", &s, &err))
+        << "expected a compile error for:\n"
+        << source;
+    return err;
+}
+
+const char* kShipped[] = {
+    "adversary_sweep", "cloaked_victims", "closed_loop_soak",
+    "coresidency_hunt", "diurnal",        "dos_blitz",
+    "dropout_heavy",    "flash_crowd",    "grand_tour",
+    "migration_storm",  "noisy_neighbor", "quasar_showdown",
+};
+
+std::string
+repoPath(const std::string& rel)
+{
+    return std::string(BOLT_REPO_DIR) + "/" + rel;
+}
+
+// ---------------------------------------------------------------- text
+
+TEST(ScenarioText, ParsesScalarsMapsAndLists)
+{
+    TextNode root;
+    std::string err;
+    ASSERT_TRUE(scenario::parseText("a: 1\n"
+                                    "b:\n"
+                                    "  c: x  # trailing comment\n"
+                                    "# full-line comment\n"
+                                    "d:\n"
+                                    "  - e: 1\n"
+                                    "    f: 2\n"
+                                    "  - plain\n",
+                                    "t.scn", &root, &err))
+        << err;
+    ASSERT_EQ(root.entries.size(), 3u);
+    EXPECT_EQ(root.find("a")->scalar, "1");
+    EXPECT_EQ(root.find("b")->kind, TextNode::Kind::Map);
+    EXPECT_EQ(root.find("b")->find("c")->scalar, "x");
+    const TextNode* d = root.find("d");
+    ASSERT_EQ(d->kind, TextNode::Kind::List);
+    ASSERT_EQ(d->items.size(), 2u);
+    EXPECT_EQ(d->items[0].find("e")->scalar, "1");
+    EXPECT_EQ(d->items[0].find("f")->scalar, "2");
+    EXPECT_EQ(d->items[0].find("f")->line, 7);
+    EXPECT_EQ(d->items[1].scalar, "plain");
+}
+
+TEST(ScenarioText, ErrorGoldens)
+{
+    struct Case
+    {
+        const char* source;
+        const char* expected;
+    };
+    const Case kCases[] = {
+        {"\tkey: 1\n",
+         "t.scn:1: tab characters are not allowed in indentation "
+         "(use spaces)"},
+        {"a: 1\na: 2\n", "t.scn:2: duplicate key 'a'"},
+        {"a: 1\njust words\n",
+         "t.scn:2: expected 'key: value' (missing ':')"},
+        {"", "t.scn:1: empty scenario file"},
+        {"a:\nb: 2\n",
+         "t.scn:1: key 'a' has neither a value nor an indented block"},
+        {"a: 1\n- item\n",
+         "t.scn:2: list item not allowed inside a key/value block"},
+        {"a: 1\n  b: 2\n", "t.scn:2: unexpected indentation"},
+        {"  a: 1\n", "t.scn:1: top-level entries must not be indented"},
+        {"- a: 1\n",
+         "t.scn:1: top level must be 'key: value' entries, not a list"},
+        {"a!: 1\n",
+         "t.scn:1: invalid key 'a!' (letters, digits, '-', '_' only)"},
+    };
+    for (const Case& c : kCases) {
+        TextNode root;
+        std::string err;
+        EXPECT_FALSE(scenario::parseText(c.source, "t.scn", &root, &err));
+        EXPECT_EQ(err, c.expected);
+    }
+}
+
+// ------------------------------------------------------------ compiler
+
+TEST(ScenarioCompile, MinimalScenario)
+{
+    Scenario s;
+    std::string err;
+    ASSERT_TRUE(scenario::compileText("scenario: tiny\n"
+                                      "stages:\n"
+                                      "  - stage: serve\n",
+                                      "tiny.scn", &s, &err))
+        << err;
+    EXPECT_EQ(s.name, "tiny");
+    EXPECT_EQ(s.seed, 1u);
+    ASSERT_EQ(s.stages.size(), 1u);
+    EXPECT_EQ(s.stages[0].kind, scenario::StageKind::Serve);
+    EXPECT_EQ(s.stages[0].name, "serve-0"); // <kind>-<index> default.
+    EXPECT_EQ(s.stages[0].serve.requests, 1000);
+}
+
+TEST(ScenarioCompile, ErrorGoldens)
+{
+    EXPECT_EQ(compileError("stages:\n  - stage: serve\n"),
+              "bad.scn:1: missing required key 'scenario' in top level");
+    EXPECT_EQ(compileError("scenario: x\n"),
+              "bad.scn:1: missing required key 'stages' in top level");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "stages:\n"
+                           "  - stage: experiment\n"
+                           "    serveurs: 9\n"),
+              "bad.scn:4: unknown key 'serveurs' in experiment stage "
+              "(valid: stage, name, seed, servers, victims, policy, "
+              "platform, isolation, obfuscation, faults)");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "stages:\n"
+                           "  - stage: experiment\n"
+                           "    servers: 0\n"),
+              "bad.scn:4: value 0 for 'servers' out of range "
+              "[1, 100000]");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "stages:\n"
+                           "  - stage: experiment\n"
+                           "    servers: 10x\n"),
+              "bad.scn:4: value '10x' for 'servers' is not an integer");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "stages:\n"
+                           "  - stage: experiment\n"
+                           "    policy: fifo\n"),
+              "bad.scn:4: value 'fifo' for 'policy' must be one of "
+              "least-loaded, quasar");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "stages:\n"
+                           "  - stage: warmup\n"),
+              "bad.scn:3: value 'warmup' for 'stage' must be one of "
+              "experiment, serve, attack, include");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "stages:\n"
+                           "  - name: no-discriminator\n"),
+              "bad.scn:3: each stages[] item must begin with "
+              "'- stage: experiment|serve|attack|include'");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "stages:\n"
+                           "  - stage: attack\n"),
+              "bad.scn:3: missing required key 'kind' in attack stage");
+    // A dos attack must not take coresidency keys (and vice versa).
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "stages:\n"
+                           "  - stage: attack\n"
+                           "    kind: dos\n"
+                           "    probes: 4\n"),
+              "bad.scn:5: unknown key 'probes' in attack stage "
+              "(valid: stage, name, seed, kind, margin, top-resources, "
+              "duration-sec)");
+    // Modifier-only fault plans would silently do nothing -> rejected,
+    // matching bolt_cli's --fault-* validation.
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "stages:\n"
+                           "  - stage: experiment\n"
+                           "    faults:\n"
+                           "      spike-mag: 50\n"),
+              "bad.scn:4: faults block enables no fault rate (set one "
+              "of: arrivals, departures, phase-flips, dropouts, "
+              "spikes, jitter)");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "stages:\n"
+                           "  - stage: experiment\n"
+                           "    faults:\n"
+                           "      jitter: 1\n"),
+              "bad.scn:5: value 1 for 'jitter' out of range [0, 1)");
+    // Ramps shape offered load; a closed loop ignores offered load.
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "stages:\n"
+                           "  - stage: serve\n"
+                           "    loop: closed\n"
+                           "    arrival:\n"
+                           "      shape: flash-crowd\n"),
+              "bad.scn:6: arrival shape 'flash-crowd' requires loop: "
+              "open (a closed loop paces itself; offered QPS has no "
+              "effect)");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "stages:\n"
+                           "  - stage: include\n"
+                           "    path: nope_does_not_exist.scn\n"),
+              "bad.scn:4: cannot open include "
+              "'nope_does_not_exist.scn'");
+}
+
+TEST(ScenarioCompile, CyclicIncludeIsRejected)
+{
+    std::string dir = ::testing::TempDir();
+    writeFile(dir + "/cyc_a.scn", "scenario: a\n"
+                                  "stages:\n"
+                                  "  - stage: include\n"
+                                  "    path: cyc_b.scn\n");
+    writeFile(dir + "/cyc_b.scn", "scenario: b\n"
+                                  "stages:\n"
+                                  "  - stage: include\n"
+                                  "    path: cyc_a.scn\n");
+    Scenario s;
+    std::string err;
+    EXPECT_FALSE(scenario::compileFile(dir + "/cyc_a.scn", &s, &err));
+    EXPECT_NE(err.find("cyc_b.scn:4: cyclic include of 'cyc_a.scn'"),
+              std::string::npos)
+        << err;
+    // Self-include is the 1-cycle.
+    writeFile(dir + "/cyc_self.scn", "scenario: s\n"
+                                     "stages:\n"
+                                     "  - stage: include\n"
+                                     "    path: cyc_self.scn\n");
+    EXPECT_FALSE(scenario::compileFile(dir + "/cyc_self.scn", &s, &err));
+    EXPECT_NE(err.find("cyclic include of 'cyc_self.scn'"),
+              std::string::npos)
+        << err;
+}
+
+// ----------------------------------------------------------- round-trip
+
+TEST(ScenarioRoundTrip, SyntheticAllFeatures)
+{
+    std::string dir = ::testing::TempDir();
+    writeFile(dir + "/rt_child.scn", "scenario: child\n"
+                                     "stages:\n"
+                                     "  - stage: attack\n"
+                                     "    kind: coresidency\n");
+    const std::string source = "scenario: everything\n"
+                               "description: all stage kinds at once\n"
+                               "seed: 99\n"
+                               "stages:\n"
+                               "  - stage: serve\n"
+                               "    loop: open\n"
+                               "    requests: 500\n"
+                               "    qps: 250.5\n"
+                               "    decompose-frac: 0.125\n"
+                               "    arrival:\n"
+                               "      shape: diurnal\n"
+                               "      segments: 5\n"
+                               "      floor-factor: 0.3\n"
+                               "  - stage: serve\n"
+                               "    loop: closed\n"
+                               "    clients: 9\n"
+                               "    think-ms: 2.5\n"
+                               "  - stage: experiment\n"
+                               "    policy: quasar\n"
+                               "    platform: container\n"
+                               "    isolation: cache\n"
+                               "    obfuscation: 0.4\n"
+                               "    faults:\n"
+                               "      arrivals: 0.25\n"
+                               "      jitter: 0.1\n"
+                               "      jitter-window: 7.5\n"
+                               "  - stage: attack\n"
+                               "    kind: dos\n"
+                               "    margin: 1.3\n"
+                               "  - stage: attack\n"
+                               "    kind: coresidency\n"
+                               "    waves: 3\n"
+                               "  - stage: include\n"
+                               "    path: rt_child.scn\n"
+                               "    repeat: 2\n";
+    Scenario first;
+    std::string err;
+    ASSERT_TRUE(scenario::compileText(source, dir + "/rt.scn", &first,
+                                      &err))
+        << err;
+    std::string dumped = first.dump();
+    Scenario second;
+    ASSERT_TRUE(scenario::compileText(dumped, dir + "/rt.scn", &second,
+                                      &err))
+        << err << "\ndump was:\n"
+        << dumped;
+    EXPECT_EQ(first.graphDigest(), second.graphDigest());
+    EXPECT_EQ(dumped, second.dump());
+}
+
+TEST(ScenarioRoundTrip, EveryShippedScenario)
+{
+    for (const char* name : kShipped) {
+        std::string path =
+            repoPath("scenarios/" + std::string(name) + ".scn");
+        Scenario first;
+        std::string err;
+        ASSERT_TRUE(scenario::compileFile(path, &first, &err)) << err;
+        std::string dumped = first.dump();
+        Scenario second;
+        // Recompile under a filename in the same directory so include
+        // stages resolve their relative paths.
+        ASSERT_TRUE(scenario::compileText(
+            dumped, repoPath("scenarios/roundtrip.scn"), &second, &err))
+            << name << ": " << err;
+        EXPECT_EQ(first.graphDigest(), second.graphDigest()) << name;
+        EXPECT_EQ(dumped, second.dump()) << name;
+    }
+}
+
+// ------------------------------------------------------- schema vs doc
+
+TEST(ScenarioSchema, DocTableMatchesSchemaKeys)
+{
+    std::string doc = readFile(repoPath("docs/SCENARIOS.md"));
+    // Only the "Schema reference" section defines keys; the gallery
+    // table further down also uses "| `...`" rows.
+    size_t begin = doc.find("## Schema reference");
+    size_t end = doc.find("## Cookbook");
+    ASSERT_NE(begin, std::string::npos);
+    ASSERT_NE(end, std::string::npos);
+    std::set<std::string> documented;
+    // Key-table rows look like "| `stages[].servers` | int | ... |".
+    std::stringstream lines(doc.substr(begin, end - begin));
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.rfind("| `", 0) != 0)
+            continue;
+        size_t end = line.find('`', 3);
+        if (end == std::string::npos)
+            continue;
+        documented.insert(line.substr(3, end - 3));
+    }
+    std::set<std::string> accepted;
+    for (const scenario::KeyDoc& key : scenario::schemaKeys())
+        accepted.insert(key.path);
+    ASSERT_FALSE(accepted.empty());
+    for (const std::string& key : accepted)
+        EXPECT_TRUE(documented.count(key))
+            << "schema key '" << key
+            << "' is missing from docs/SCENARIOS.md";
+    for (const std::string& key : documented)
+        EXPECT_TRUE(accepted.count(key))
+            << "docs/SCENARIOS.md documents '" << key
+            << "' but schemaKeys() does not accept it";
+}
+
+TEST(ScenarioSchema, DumpEmitsEveryLeafKey)
+{
+    // Compile a scenario exercising every stage kind, then check that
+    // the canonical dump emits every key in the schema table — ties
+    // schemaKeys() to what the compiler actually reads and writes.
+    std::string dir = ::testing::TempDir();
+    writeFile(dir + "/leaf_child.scn", "scenario: child\n"
+                                       "stages:\n"
+                                       "  - stage: serve\n");
+    const std::string source = "scenario: everything\n"
+                               "description: leaf coverage\n"
+                               "stages:\n"
+                               "  - stage: serve\n"
+                               "    arrival:\n"
+                               "      shape: flash-crowd\n"
+                               "  - stage: experiment\n"
+                               "    faults:\n"
+                               "      dropouts: 0.1\n"
+                               "  - stage: attack\n"
+                               "    kind: dos\n"
+                               "  - stage: attack\n"
+                               "    kind: coresidency\n"
+                               "  - stage: include\n"
+                               "    path: leaf_child.scn\n";
+    Scenario s;
+    std::string err;
+    ASSERT_TRUE(scenario::compileText(source, dir + "/leaf.scn", &s,
+                                      &err))
+        << err;
+    std::string dumped = s.dump();
+    for (const scenario::KeyDoc& key : scenario::schemaKeys()) {
+        std::string path = key.path;
+        // Leaf key name: "stages[].faults.arrivals" -> "arrivals".
+        std::string leaf = path.substr(path.rfind('.') + 1);
+        EXPECT_NE(dumped.find(leaf + ":"), std::string::npos)
+            << "dump() never emits schema key '" << path << "'";
+    }
+}
+
+// ------------------------------------------------------------- defaults
+
+TEST(ScenarioSchema, StageSeedsDeriveFromScenarioSeed)
+{
+    const char* source = "scenario: seeds\n"
+                         "seed: 5\n"
+                         "stages:\n"
+                         "  - stage: serve\n"
+                         "  - stage: serve\n"
+                         "  - stage: serve\n"
+                         "    seed: 123\n";
+    Scenario s;
+    std::string err;
+    ASSERT_TRUE(scenario::compileText(source, "seeds.scn", &s, &err))
+        << err;
+    EXPECT_EQ(s.stages[0].seed, 0u); // 0 = derive at run time.
+    EXPECT_EQ(s.stages[2].seed, 123u);
+
+    // Different scenario seeds must produce different run output for
+    // derived stages (checked cheaply via the graph digest, which folds
+    // the seed).
+    Scenario other = s;
+    other.seed = 6;
+    EXPECT_NE(s.graphDigest(), other.graphDigest());
+}
+
+} // namespace

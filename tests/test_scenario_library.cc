@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shipped-scenario determinism suite (SLOW — runs every scenario in
+ * scenarios/ twice): for each file, the full runner output and the run
+ * digest must be byte-identical at 1 and 8 threads, and must match the
+ * committed golden in scenarios/golden/ (the same gate
+ * scripts/check.sh --scenario applies through the CLI).
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+#include "util/thread_pool.h"
+
+using namespace bolt;
+
+namespace {
+
+const char* kShipped[] = {
+    "adversary_sweep", "cloaked_victims", "closed_loop_soak",
+    "coresidency_hunt", "diurnal",        "dos_blitz",
+    "dropout_heavy",    "flash_crowd",    "grand_tour",
+    "migration_storm",  "noisy_neighbor", "quasar_showdown",
+};
+
+std::string
+repoPath(const std::string& rel)
+{
+    return std::string(BOLT_REPO_DIR) + "/" + rel;
+}
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+struct RunCapture
+{
+    std::string output;
+    scenario::RunResult result;
+};
+
+RunCapture
+runAt(const scenario::Scenario& s, unsigned threads)
+{
+    util::ThreadPool::setGlobalThreads(threads);
+    std::ostringstream os;
+    RunCapture run;
+    run.result = scenario::runScenario(s, os);
+    run.output = os.str();
+    return run;
+}
+
+TEST(ScenarioLibrary, ThreadCountInvariantAndGoldenStable)
+{
+    for (const char* name : kShipped) {
+        SCOPED_TRACE(name);
+        scenario::Scenario s;
+        std::string err;
+        ASSERT_TRUE(scenario::compileFile(
+            repoPath("scenarios/" + std::string(name) + ".scn"), &s,
+            &err))
+            << err;
+
+        RunCapture one = runAt(s, 1);
+        RunCapture eight = runAt(s, 8);
+        EXPECT_EQ(one.result.digest, eight.result.digest);
+        EXPECT_EQ(one.output, eight.output);
+        EXPECT_GT(one.result.stagesRun, 0);
+
+        std::string golden = readFile(
+            repoPath("scenarios/golden/" + std::string(name) +
+                     ".golden"));
+        EXPECT_EQ(one.output, golden)
+            << "scenario output drifted from scenarios/golden/" << name
+            << ".golden — if the change is intentional, regenerate "
+               "with scripts/check.sh --scenario --update";
+    }
+    util::ThreadPool::setGlobalThreads(0);
+}
+
+} // namespace
