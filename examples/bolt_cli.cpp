@@ -364,6 +364,8 @@ runServeBench(const CliArgs& args)
     cfg.maxBatch = static_cast<size_t>(args.getInt("max-batch", 8));
     cfg.batchSetupMs = args.getDouble("batch-setup-ms", 2.0);
     cfg.batchWaitMs = args.getDouble("batch-wait-ms", 0.0);
+    cfg.batchMarginalCost =
+        args.getDouble("batch-marginal-cost", 1.0);
     cfg.admitSloCheck = !args.has("no-admit-check");
     cfg.load.requests =
         static_cast<size_t>(args.getInt("requests", 2000));
@@ -382,6 +384,7 @@ runServeBench(const CliArgs& args)
     report.set("workers", static_cast<uint64_t>(cfg.workers));
     report.set("queue_cap", static_cast<uint64_t>(cfg.queueCapacity));
     report.set("max_batch", static_cast<uint64_t>(cfg.maxBatch));
+    report.set("batch_marginal_cost", cfg.batchMarginalCost);
     report.set("slo_ms", cfg.load.sloMs);
     report.set("seed", cfg.load.seed);
     report.set("threads",
@@ -514,6 +517,9 @@ usage()
            "--queue-cap N\n"
            "              --max-batch N --batch-setup-ms MS "
            "--batch-wait-ms MS\n"
+           "              --batch-marginal-cost F (cost of batch\n"
+           "              followers relative to the first request;\n"
+           "              1 = classic linear-additive model)\n"
            "              --slo-ms MS --decompose-frac F --seed S\n"
            "              --no-admit-check (disable SLO admission "
            "control)\n"
@@ -572,6 +578,7 @@ const std::vector<CliFlagSpec> kServeBenchFlags = {
     {"max-batch", FlagKind::Int, 1, 64},
     {"batch-setup-ms", FlagKind::Double, 0.0, 1000.0},
     {"batch-wait-ms", FlagKind::Double, 0.0, 1000.0},
+    {"batch-marginal-cost", FlagKind::Double, 0.0, 1.0},
     {"slo-ms", FlagKind::Double, 0.001, 1e6},
     {"decompose-frac", FlagKind::Double, 0.0, 1.0},
     {"seed", FlagKind::UInt, 0, kSeedMax},

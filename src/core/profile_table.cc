@@ -6,22 +6,21 @@ namespace bolt {
 namespace core {
 
 ScaledProfileTable::ScaledProfileTable(const TrainingSet& training)
-    : count_(training.size())
+    : base_(training.size(), sim::kNumResources),
+      lo_(training.size(), sim::kNumResources),
+      hi_(training.size(), sim::kNumResources)
 {
-    base_.resize(count_ * sim::kNumResources);
-    lo_.resize(count_ * sim::kNumResources);
-    hi_.resize(count_ * sim::kNumResources);
-    for (size_t e = 0; e < count_; ++e) {
+    for (size_t e = 0; e < training.size(); ++e) {
         const sim::ResourceVector& full = training.entry(e).fullLoadBase;
         for (size_t c = 0; c < sim::kNumResources; ++c) {
-            base_[e * sim::kNumResources + c] = full.at(c);
+            base_.at(e, c) = full.at(c);
             // The scaling law is monotone in level (nondecreasing for
             // nonnegative bases, nonincreasing otherwise), so the range
             // extremes sit at the grid endpoints either way.
             double a = at(e, c, kLevelMin);
             double b = at(e, c, kLevelMax);
-            lo_[e * sim::kNumResources + c] = std::min(a, b);
-            hi_[e * sim::kNumResources + c] = std::max(a, b);
+            lo_.at(e, c) = std::min(a, b);
+            hi_.at(e, c) = std::max(a, b);
         }
     }
 }

@@ -2,9 +2,9 @@
 #define BOLT_CORE_PROFILE_TABLE_H
 
 #include <cstddef>
-#include <vector>
 
 #include "core/training.h"
+#include "linalg/kernels.h"
 #include "sim/resource.h"
 #include "workloads/app.h"
 
@@ -12,8 +12,8 @@ namespace bolt {
 namespace core {
 
 /**
- * Flat per-entry tables of the training set's load-scaled profiles —
- * the level grid the recommender's deviation loops walk.
+ * Per-entry tables of the training set's load-scaled profiles — the
+ * level grid the recommender's deviation kernels walk.
  *
  * The load-scaling law (workloads::scaledPressureAt) is piecewise
  * linear in the load level: one knot at workloads::kCapacityLoadFloor
@@ -27,8 +27,11 @@ namespace core {
  * is what decompose()'s candidate pruning relies on (the scaling law
  * is monotone nondecreasing in level for nonnegative bases).
  *
- * Storage is three flat entry-major std::vector<double> blocks, so
- * per-query hot loops read contiguous memory and allocate nothing.
+ * Storage is three structure-of-arrays matrices (linalg::SoaMatrix):
+ * one aligned, block-padded column per resource, entries contiguous
+ * within a column. The batched fit/prune kernels in linalg/kernels.h
+ * stream these columns directly (baseCol/loCol/hiCol); the scalar
+ * accessors keep their exact pre-SoA semantics.
  */
 class ScaledProfileTable
 {
@@ -46,7 +49,10 @@ class ScaledProfileTable
     /** Tabulate every entry's fullLoadBase profile. */
     explicit ScaledProfileTable(const TrainingSet& training);
 
-    size_t entries() const { return count_; }
+    size_t entries() const { return base_.rows(); }
+
+    /** entries() rounded up to a whole kernel block (column stride). */
+    size_t paddedEntries() const { return base_.paddedRows(); }
 
     /**
      * Exact scaled pressure of entry e, resource index c, at `level`:
@@ -56,27 +62,28 @@ class ScaledProfileTable
     double at(size_t e, size_t c, double level) const
     {
         return workloads::scaledPressureAt(
-            base_[e * sim::kNumResources + c],
-            static_cast<sim::Resource>(c), level);
+            base_.at(e, c), static_cast<sim::Resource>(c), level);
     }
 
     /** Smallest at(e, c, level) over level in [kLevelMin, kLevelMax]. */
-    double lo(size_t e, size_t c) const
-    {
-        return lo_[e * sim::kNumResources + c];
-    }
+    double lo(size_t e, size_t c) const { return lo_.at(e, c); }
 
     /** Largest at(e, c, level) over level in [kLevelMin, kLevelMax]. */
-    double hi(size_t e, size_t c) const
-    {
-        return hi_[e * sim::kNumResources + c];
-    }
+    double hi(size_t e, size_t c) const { return hi_.at(e, c); }
+
+    /** Padded full-load-base column for resource index c. */
+    const double* baseCol(size_t c) const { return base_.col(c); }
+
+    /** Padded lower-bound column for resource index c. */
+    const double* loCol(size_t c) const { return lo_.col(c); }
+
+    /** Padded upper-bound column for resource index c. */
+    const double* hiCol(size_t c) const { return hi_.col(c); }
 
   private:
-    size_t count_ = 0;
-    std::vector<double> base_; ///< fullLoadBase, entry-major.
-    std::vector<double> lo_;   ///< Profile at kLevelMin.
-    std::vector<double> hi_;   ///< Profile at kLevelMax.
+    linalg::SoaMatrix base_; ///< fullLoadBase, one column per resource.
+    linalg::SoaMatrix lo_;   ///< Profile at kLevelMin.
+    linalg::SoaMatrix hi_;   ///< Profile at kLevelMax.
 };
 
 } // namespace core

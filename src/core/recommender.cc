@@ -1,6 +1,7 @@
 #include "recommender.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
@@ -28,13 +29,24 @@ constexpr double kMatchDistanceScale = 12.0;
  */
 constexpr double kPruneSlack = 1e-6;
 
+/**
+ * Candidates per widening block: the prune bound gates a whole block
+ * against the incumbent at block start, then the survivors are packed
+ * and refit together by linalg::widenFit. A stale incumbent within a
+ * block only admits extra candidates whose exact deviation the bound
+ * already proves uncompetitive, so the search outcome is unchanged.
+ * A multiple of the kernel block keeps packed columns aligned.
+ */
+constexpr size_t kWidenChunk = 16;
+static_assert(kWidenChunk % linalg::kKernelBlock == 0);
+
 } // namespace
 
 /**
  * Reusable working memory for one analyze()/decompose() call. Handed
  * out per thread-pool worker (or from the spare list) by the
  * recommender, so after a thread's first query every buffer here is a
- * capacity-warm vector or a fixed-size array: the query hot loops
+ * capacity-warm vector or a fixed-size lane array: the query hot loops
  * allocate nothing.
  */
 struct QueryScratch
@@ -42,50 +54,77 @@ struct QueryScratch
     // Collaborative-filtering completion: entry list, factor storage
     // and cached shuffle orders (see linalg::SgdScratch).
     linalg::SgdScratch sgd;
+    /**
+     * Whether sgd.entries still begins with the recommender's
+     * query-invariant training block. Once loaded, later queries only
+     * truncate back to it and append their victim tail instead of
+     * re-copying the whole block (scratch never migrates between
+     * recommender instances, so the prefix cannot go stale).
+     */
+    bool sgdPrefixLoaded = false;
     std::vector<double> fullRow; ///< Reconstructed victim row.
 
-    // The observation unpacked into flat arrays over the *observed*
-    // coordinates only, with the weight sums every deviation loop
-    // divides by (accumulated in the same coordinate order as the
-    // uncached code, so the bits match).
+    // The observation unpacked into fixed-size lane arrays over the
+    // *observed* coordinates only, with the weight sums every deviation
+    // kernel divides by (accumulated in the same coordinate order as
+    // the uncached code, so the bits match).
     size_t obsCount = 0;
-    size_t obsIdx[sim::kNumResources] = {};
-    double obsVal[sim::kNumResources] = {};
-    bool obsExact[sim::kNumResources] = {};
-    double obsWeight[sim::kNumResources] = {};
+    sim::LaneArray<size_t> obsIdx;
+    sim::LaneArray<double> obsVal;
+    sim::LaneArray<bool> obsExact;
+    sim::LaneArray<double> obsWeight;
     double wsumAll = 0.0;   ///< Weight sum over observed coordinates.
     double wsumExact = 0.0; ///< ... over Exact coordinates only.
     size_t exactCount = 0;
     bool hasUpper = false;
 
     // Observed core-coordinate subset (decompose()'s shortlist ranks
-    // part-0 candidates on these alone when a core is shared).
+    // part-0 candidates on these alone when a core is shared). Only the
+    // first kCoreResources.size() lanes are used.
     size_t coreCount = 0;
-    size_t coreIdx[sim::kCoreResources.size()] = {};
-    double coreVal[sim::kCoreResources.size()] = {};
-    double coreWeight[sim::kCoreResources.size()] = {};
+    sim::LaneArray<size_t> coreIdx;
+    sim::LaneArray<double> coreVal;
+    sim::LaneArray<double> coreWeight;
     double coreWsum = 0.0;
 
     /** (class id, score) accumulator for the similarity distribution. */
     std::vector<std::pair<size_t, double>> classScores;
 
+    // Kernel problem descriptions plus padded per-entry outputs. The
+    // coord arrays are rebuilt per query; levels/scores are sized to
+    // the table's padded entry count on first use and stay warm.
+    std::array<linalg::FitCoord, linalg::kMaxFitCoords> fitCoords;
+    linalg::AlignedVector levels; ///< Fitted level per entry, padded.
+    linalg::AlignedVector scores; ///< Deviation per entry, padded.
+    linalg::AlignedVector pearsonRow;   ///< 1 x paddedEntries.
+    linalg::AlignedVector batchRows;    ///< Q x n completed victim rows.
+    linalg::AlignedVector batchPearson; ///< Q x paddedEntries.
+
     // decompose() working state.
     std::vector<std::pair<double, size_t>> shortlist;
-    std::vector<DecompositionPart> solo;
     std::vector<DecompositionPart> bestParts;
     std::vector<DecompositionPart> improvedParts;
     std::vector<DecompositionPart> baseParts;
-    std::vector<DecompositionPart> parts;
-    /**
-     * Per-part predicted values on the observed coordinates, row-major
-     * (row p holds part p's load-scaled profile). Kept in sync with
-     * whichever part vector is being evaluated, so a level refit only
-     * recomputes the one row that moved.
-     */
-    std::vector<double> partPred;
     /** Per-coordinate prediction-sum bounds of the fixed base parts. */
-    double baseLo[sim::kNumResources] = {};
-    double baseHi[sim::kNumResources] = {};
+    sim::LaneArray<double> baseLo;
+    sim::LaneArray<double> baseHi;
+    std::array<linalg::PruneCoord, linalg::kMaxFitCoords> pruneCoords;
+    std::array<linalg::WidenCoord, linalg::kMaxFitCoords> widenCoords;
+    /** Base parts' full-load bases, row-major (partCount-1) x coords. */
+    alignas(linalg::kKernelAlign) double
+        fixedBase[(linalg::kMaxWidenParts - 1) * linalg::kMaxFitCoords];
+    double fixedLevels[linalg::kMaxWidenParts - 1];
+    // One widening block: prune bounds, surviving candidate ids, their
+    // packed base columns (one aligned column per coordinate), and the
+    // refit outputs.
+    alignas(linalg::kKernelAlign) double pruneBuf[kWidenChunk];
+    alignas(linalg::kKernelAlign) double
+        widenPack[linalg::kMaxFitCoords * kWidenChunk];
+    alignas(linalg::kKernelAlign) double widenDist[kWidenChunk];
+    alignas(linalg::kKernelAlign) double
+        widenLevels[kWidenChunk * linalg::kMaxWidenParts];
+    const double* candPtrs[linalg::kMaxFitCoords] = {};
+    size_t survivors[kWidenChunk] = {};
 };
 
 /** RAII lease of a QueryScratch from a recommender's per-thread pool. */
@@ -108,10 +147,10 @@ struct ScratchLease
 namespace {
 
 /**
- * Flatten the observed coordinates of `observation` into `s`'s arrays.
- * Coordinate order is ascending resource index — the order the uncached
- * deviation loops visited them — so the precomputed weight sums are
- * bit-identical to the per-call accumulations they replace.
+ * Flatten the observed coordinates of `observation` into `s`'s lane
+ * arrays. Coordinate order is ascending resource index — the order the
+ * uncached deviation loops visited them — so the precomputed weight
+ * sums are bit-identical to the per-call accumulations they replace.
  */
 void
 unpackObservation(const SparseObservation& observation,
@@ -244,6 +283,12 @@ HybridRecommender::HybridRecommender(const TrainingSet& training,
 
     table_ = ScaledProfileTable(training_);
 
+    // Entry-side half of the ranking's weighted Pearson (means,
+    // variances and mean-centered columns under the resource weights),
+    // hoisted out of the per-query sweep.
+    pearson_ = linalg::buildPearsonTable(training_.columns(),
+                                         resourceWeights_);
+
     scratchPool_ = &util::ThreadPool::global();
     workerScratch_.resize(scratchPool_->threadCount());
 }
@@ -324,21 +369,13 @@ class QueryTimer
 
 } // namespace
 
-SimilarityResult
-HybridRecommender::analyze(const SparseObservation& observation) const
+void
+HybridRecommender::completeRow(const SparseObservation& observation,
+                               QueryScratch& s) const
 {
-    QueryTimer timer(obs::MetricId::kRecommenderAnalyzeCalls,
-                     obs::MetricId::kRecommenderAnalyzeWallUs);
-    SimilarityResult result;
-    result.conceptsKept = rank_;
-
     const linalg::Matrix& a = training_.matrix();
     size_t m = a.rows();
     size_t n = a.cols();
-
-    ScratchLease lease(*this);
-    QueryScratch& s = *lease;
-    unpackObservation(observation, resourceWeights_, s);
 
     // Stage 1 — collaborative filtering: complete the sparse victim row
     // by PQ-reconstruction, warm-started from the truncated SVD factors
@@ -347,7 +384,16 @@ HybridRecommender::analyze(const SparseObservation& observation) const
     // only the Exact ones, since an Upper (aggregate) entry is not the
     // victim's own pressure. Pressures are normalized to [0, 1] for the
     // factorization so the SGD step size is scale-free.
-    s.sgd.entries.assign(entryPrefix_.begin(), entryPrefix_.end());
+    //
+    // The training block of the entry list is query-invariant, so once
+    // a scratch has loaded it the next query merely truncates the
+    // victim tail off instead of re-copying ~m*n entries.
+    if (s.sgdPrefixLoaded && s.sgd.entries.size() >= entryPrefix_.size()) {
+        s.sgd.entries.resize(entryPrefix_.size());
+    } else {
+        s.sgd.entries.assign(entryPrefix_.begin(), entryPrefix_.end());
+        s.sgdPrefixLoaded = true;
+    }
     for (size_t i = 0; i < s.obsCount; ++i) {
         if (s.obsExact[i])
             s.sgd.entries.push_back({m, s.obsIdx[i], s.obsVal[i] / 100.0});
@@ -369,10 +415,7 @@ HybridRecommender::analyze(const SparseObservation& observation) const
         const double* pr = completion.p.rowPtr(m);
         for (size_t c = 0; c < n; ++c) {
             const double* qr = completion.q.rowPtr(c);
-            double acc = 0.0;
-            for (size_t k = 0; k < sgdRank_; ++k)
-                acc += pr[k] * qr[k];
-            full_row[c] = acc;
+            full_row[c] = linalg::dotOrdered(pr, qr, sgdRank_);
         }
     }
     // Back to pressure points; Exact measurements are trusted over the
@@ -386,6 +429,20 @@ HybridRecommender::analyze(const SparseObservation& observation) const
             full_row[c] = std::min(full_row[c], observation.get(res));
         full_row[c] = std::clamp(full_row[c], 0.0, 100.0);
     }
+}
+
+void
+HybridRecommender::finishAnalyze(const SparseObservation& observation,
+                                 QueryScratch& s,
+                                 const double* pearson_row,
+                                 SimilarityResult& result) const
+{
+    const linalg::Matrix& a = training_.matrix();
+    size_t m = a.rows();
+    size_t n = a.cols();
+    std::vector<double>& full_row = s.fullRow;
+
+    result.conceptsKept = rank_;
     result.reconstructed = sim::ResourceVector::fromVector(full_row);
 
     // Stage 2 — content-based matching. Direct evidence (the measured
@@ -395,58 +452,36 @@ HybridRecommender::analyze(const SparseObservation& observation) const
     // The CF-reconstructed full profile contributes a weighted-Pearson
     // term (Eq. 1) that disambiguates candidates that agree on the
     // observed coordinates.
-    // Weighted deviation between the observation and a candidate's
-    // profile predicted at input load `level` (Exact entries: absolute;
-    // Upper entries: one-sided, since other co-residents may account for
-    // the remainder of the aggregate reading). Candidate profiles come
-    // from the precomputed level table.
-    auto deviation_at = [&](size_t entry_idx, double level,
-                            bool exact_only) {
-        double dist = 0.0;
-        for (size_t i = 0; i < s.obsCount; ++i) {
-            size_t c = s.obsIdx[i];
-            double w = s.obsWeight[i];
-            double pred = table_.at(entry_idx, c, level);
-            if (s.obsExact[i]) {
-                dist += w * std::abs(full_row[c] - pred);
-            } else {
-                if (exact_only)
-                    continue;
-                double over = std::max(0.0, pred - full_row[c]);
-                double under = std::max(0.0, full_row[c] - pred);
-                dist += w * (over + 0.05 * under);
-            }
-        }
-        double wsum = exact_only ? s.wsumExact : s.wsumAll;
-        return wsum > 0.0 ? dist / wsum : 1e9;
-    };
-
-    // A victim is observed at an unknown input load; the candidate's
-    // known full-load profile is swept along the shared load-scaling law
-    // and the best-fitting load is used (ternary search over a convex
-    // piecewise-linear objective).
-    // The level is fitted on the Exact coordinates only: aggregate
-    // (Upper) readings carry other co-residents' pressure and would drag
-    // the fit away from the attributable evidence.
+    //
+    // Both the level fit and the deviation score run as one blocked
+    // kernel sweep over every entry (linalg::fitLevelsAndScore), with
+    // the same per-coordinate contributions as before: Exact entries
+    // absolute, Upper entries one-sided (other co-residents may account
+    // for the remainder of the aggregate reading). The level is fitted
+    // on the Exact coordinates only when any exist: aggregate (Upper)
+    // readings carry other co-residents' pressure and would drag the
+    // fit away from the attributable evidence.
     bool any_exact = s.exactCount > 0;
-    auto fit_level = [&](size_t entry_idx) {
-        double lo = 0.05, hi = 1.1;
-        for (int it = 0; it < 18; ++it) {
-            double m1 = lo + (hi - lo) / 3.0;
-            double m2 = hi - (hi - lo) / 3.0;
-            if (deviation_at(entry_idx, m1, any_exact) <
-                deviation_at(entry_idx, m2, any_exact)) {
-                hi = m2;
-            } else {
-                lo = m1;
-            }
-        }
-        return 0.5 * (lo + hi);
-    };
-    auto observed_match = [&](size_t entry_idx) {
-        double dist = deviation_at(entry_idx, fit_level(entry_idx), false);
-        return std::exp(-dist / kMatchDistanceScale);
-    };
+    for (size_t i = 0; i < s.obsCount; ++i) {
+        size_t c = s.obsIdx[i];
+        s.fitCoords[i] = {
+            table_.baseCol(c), s.obsWeight[i], full_row[c],
+            s.obsExact[i] ? linalg::DevMode::Abs : linalg::DevMode::Upper,
+            sim::isCapacityResource(static_cast<sim::Resource>(c))};
+    }
+    linalg::FitSpec fit;
+    fit.coords = s.fitCoords.data();
+    fit.coordCount = s.obsCount;
+    fit.iters = 18;
+    fit.lo = ScaledProfileTable::kLevelMin;
+    fit.hi = ScaledProfileTable::kLevelMax;
+    fit.capacityFloor = workloads::kCapacityLoadFloor;
+    fit.skipUpperInFit = any_exact;
+    fit.fitWsum = any_exact ? s.wsumExact : s.wsumAll;
+    fit.scoreWsum = s.wsumAll;
+    s.levels.resize(table_.paddedEntries());
+    s.scores.resize(table_.paddedEntries());
+    linalg::fitLevelsAndScore(fit, m, s.levels.data(), s.scores.data());
 
     // With Upper (aggregate) entries present, the completed full_row is
     // contaminated by the other co-residents, so the Pearson shape term
@@ -455,13 +490,9 @@ HybridRecommender::analyze(const SparseObservation& observation) const
     double direct_weight = s.hasUpper ? 1.0 : 0.7;
 
     result.ranking.reserve(m);
-    std::span<const double> full_span(full_row);
-    std::span<const double> weight_span(resourceWeights_);
     for (size_t r = 0; r < m; ++r) {
-        double direct = observed_match(r);
-        double pearson = std::max(
-            0.0,
-            linalg::weightedPearson(full_span, a.rowSpan(r), weight_span));
+        double direct = std::exp(-s.scores[r] / kMatchDistanceScale);
+        double pearson = std::max(0.0, pearson_row[r]);
         result.ranking.emplace_back(
             r, direct_weight * direct + (1.0 - direct_weight) * pearson);
     }
@@ -471,7 +502,7 @@ HybridRecommender::analyze(const SparseObservation& observation) const
                      });
 
     if (!result.ranking.empty()) {
-        result.topFittedLevel = fit_level(result.ranking.front().first);
+        result.topFittedLevel = s.levels[result.ranking.front().first];
     }
 
     // Detection confidence: the gap between the best match and the best
@@ -546,7 +577,83 @@ HybridRecommender::analyze(const SparseObservation& observation) const
     // over two probed resources is not a confident identification.
     result.confidence = result.topScore() *
                         std::sqrt(std::clamp(s.wsumAll, 0.0, 1.0));
+}
+
+SimilarityResult
+HybridRecommender::analyze(const SparseObservation& observation) const
+{
+    QueryTimer timer(obs::MetricId::kRecommenderAnalyzeCalls,
+                     obs::MetricId::kRecommenderAnalyzeWallUs);
+    SimilarityResult result;
+
+    ScratchLease lease(*this);
+    QueryScratch& s = *lease;
+    unpackObservation(observation, resourceWeights_, s);
+    completeRow(observation, s);
+    s.pearsonRow.resize(pearson_.centered.paddedRows());
+    linalg::pearsonBatch(pearson_, s.fullRow.data(), 1,
+                         s.pearsonRow.data());
+    finishAnalyze(observation, s, s.pearsonRow.data(), result);
     return result;
+}
+
+std::vector<SimilarityResult>
+HybridRecommender::analyzeBatch(
+    std::span<const SparseObservation> observations) const
+{
+    std::vector<SimilarityResult> results(observations.size());
+    if (observations.empty())
+        return results;
+
+    auto& metrics = obs::MetricsRegistry::global();
+    bool timed = metrics.enabled();
+    std::chrono::steady_clock::time_point start;
+    if (timed)
+        start = std::chrono::steady_clock::now();
+
+    size_t q_count = observations.size();
+    size_t n = training_.matrix().cols();
+
+    ScratchLease lease(*this);
+    QueryScratch& s = *lease;
+
+    // Pass 1 — per-query victim-row completion into the batch block.
+    s.batchRows.resize(q_count * n);
+    for (size_t q = 0; q < q_count; ++q) {
+        metrics.add(obs::MetricId::kRecommenderAnalyzeCalls);
+        unpackObservation(observations[q], resourceWeights_, s);
+        completeRow(observations[q], s);
+        std::copy(s.fullRow.begin(), s.fullRow.end(),
+                  s.batchRows.begin() + static_cast<long>(q * n));
+    }
+
+    // Pass 2 — the whole batch's Pearson ranking terms as one blocked
+    // Q x entries sweep over the hoisted table.
+    size_t padded = pearson_.centered.paddedRows();
+    s.batchPearson.resize(q_count * padded);
+    linalg::pearsonBatch(pearson_, s.batchRows.data(), q_count,
+                         s.batchPearson.data());
+
+    // Pass 3 — per-query ranking and augmentation.
+    for (size_t q = 0; q < q_count; ++q) {
+        unpackObservation(observations[q], resourceWeights_, s);
+        s.fullRow.assign(
+            s.batchRows.begin() + static_cast<long>(q * n),
+            s.batchRows.begin() + static_cast<long>((q + 1) * n));
+        finishAnalyze(observations[q], s, s.batchPearson.data() + q * padded,
+                      results[q]);
+    }
+
+    if (timed) {
+        double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        double per_query = us / static_cast<double>(q_count);
+        for (size_t q = 0; q < q_count; ++q)
+            metrics.observe(obs::MetricId::kRecommenderAnalyzeWallUs,
+                            per_query);
+    }
+    return results;
 }
 
 Decomposition
@@ -566,106 +673,72 @@ HybridRecommender::decompose(const SparseObservation& observation,
     QueryScratch& s = *lease;
     unpackObservation(observation, resourceWeights_, s);
 
-    const size_t stride = s.obsCount;
-    s.partPred.resize((max_parts + 2) * stride);
     s.shortlist.clear();
     s.shortlist.reserve(m);
-    s.solo.reserve(max_parts + 1);
     s.bestParts.reserve(max_parts + 1);
     s.improvedParts.reserve(max_parts + 1);
     s.baseParts.reserve(max_parts + 1);
-    s.parts.reserve(max_parts + 1);
-
-    /** Recompute partPred row `row` for entry `entry_idx` at `level`. */
-    auto refresh_part = [&](size_t row, size_t entry_idx, double level) {
-        double* pred = s.partPred.data() + row * stride;
-        for (size_t i = 0; i < s.obsCount; ++i)
-            pred[i] = table_.at(entry_idx, s.obsIdx[i], level);
-    };
-
-    // Weighted deviation between the observation and the sum of the
-    // parts' load-scaled profiles, read from the cached partPred rows
-    // (callers keep row p in sync with parts[p], so a level refit only
-    // recomputes the row that moved — the others are reused). Core
-    // entries are explained by part 0 alone (the focus-core sibling)
-    // when a core is shared, and by nothing otherwise (no co-resident
-    // touches the adversary's cores).
-    auto deviation = [&](const std::vector<DecompositionPart>& parts) {
-        double dist = 0.0;
-        for (size_t i = 0; i < s.obsCount; ++i) {
-            double pred = 0.0;
-            if (sim::isCoreResource(
-                    static_cast<sim::Resource>(s.obsIdx[i]))) {
-                if (core_shared && !parts.empty())
-                    pred = s.partPred[i]; // Row 0: part 0's profile.
-            } else {
-                for (size_t p = 0; p < parts.size(); ++p)
-                    pred += s.partPred[p * stride + i];
-                pred = std::min(pred, 100.0);
-            }
-            dist += s.obsWeight[i] * std::abs(s.obsVal[i] - pred);
-        }
-        return s.wsumAll > 0.0 ? dist / s.wsumAll : 1e9;
-    };
-
-    // Ternary-search the load level of one part, holding others fixed.
-    auto refit = [&](std::vector<DecompositionPart>& parts, size_t which) {
-        double lo = 0.05, hi = 1.1;
-        for (int it = 0; it < 12; ++it) {
-            double m1 = lo + (hi - lo) / 3.0;
-            double m2 = hi - (hi - lo) / 3.0;
-            parts[which].level = m1;
-            refresh_part(which, parts[which].index, m1);
-            double d1 = deviation(parts);
-            parts[which].level = m2;
-            refresh_part(which, parts[which].index, m2);
-            double d2 = deviation(parts);
-            if (d1 < d2)
-                hi = m2;
-            else
-                lo = m1;
-        }
-        parts[which].level = 0.5 * (lo + hi);
-        refresh_part(which, parts[which].index, parts[which].level);
-    };
+    s.levels.resize(table_.paddedEntries());
+    s.scores.resize(table_.paddedEntries());
 
     // Shortlist part-0 candidates. With a shared core, the core signal
     // is single-tenant, so the shortlist ranks candidates on the core
     // coordinates alone — ranking on the whole aggregate would anchor
     // part 0 to ghost blends. Without core sharing, every entry
-    // competes on the full (uncore) signal.
-    auto core_deviation = [&](size_t idx, double level) {
-        double dist = 0.0;
+    // competes on the full (uncore) signal, which is exactly the solo
+    // fit below, so that ranking reuses its kernel sweep.
+    if (core_shared) {
         for (size_t i = 0; i < s.coreCount; ++i) {
-            dist += s.coreWeight[i] *
-                    std::abs(s.coreVal[i] -
-                             table_.at(idx, s.coreIdx[i], level));
+            size_t c = s.coreIdx[i];
+            s.fitCoords[i] = {
+                table_.baseCol(c), s.coreWeight[i], s.coreVal[i],
+                linalg::DevMode::Abs,
+                sim::isCapacityResource(static_cast<sim::Resource>(c))};
         }
-        return s.coreWsum > 0.0 ? dist / s.coreWsum : 1e9;
-    };
-    auto core_fit = [&](size_t idx) {
-        double lo = 0.05, hi = 1.1;
-        for (int it = 0; it < 12; ++it) {
-            double m1 = lo + (hi - lo) / 3.0;
-            double m2 = hi - (hi - lo) / 3.0;
-            if (core_deviation(idx, m1) < core_deviation(idx, m2))
-                hi = m2;
-            else
-                lo = m1;
-        }
-        return core_deviation(idx, 0.5 * (lo + hi));
-    };
+        linalg::FitSpec core_fit;
+        core_fit.coords = s.fitCoords.data();
+        core_fit.coordCount = s.coreCount;
+        core_fit.iters = 12;
+        core_fit.lo = ScaledProfileTable::kLevelMin;
+        core_fit.hi = ScaledProfileTable::kLevelMax;
+        core_fit.capacityFloor = workloads::kCapacityLoadFloor;
+        core_fit.fitWsum = s.coreWsum;
+        core_fit.scoreWsum = s.coreWsum;
+        linalg::fitLevelsAndScore(core_fit, m, s.levels.data(),
+                                  s.scores.data());
+        for (size_t i = 0; i < m; ++i)
+            s.shortlist.emplace_back(s.scores[i], i);
+    }
 
-    for (size_t i = 0; i < m; ++i) {
-        if (core_shared) {
-            s.shortlist.emplace_back(core_fit(i), i);
-        } else {
-            s.solo.clear();
-            s.solo.push_back({i, 1.0});
-            refresh_part(0, i, 1.0);
-            refit(s.solo, 0);
-            s.shortlist.emplace_back(deviation(s.solo), i);
-        }
+    // Solo fit of every entry against the full observation: weighted
+    // absolute deviation from the entry's load-scaled profile, with
+    // core coordinates explained by the entry itself when a core is
+    // shared and by nothing otherwise (no co-resident touches the
+    // adversary's cores).
+    for (size_t i = 0; i < s.obsCount; ++i) {
+        size_t c = s.obsIdx[i];
+        bool core = sim::isCoreResource(static_cast<sim::Resource>(c));
+        s.fitCoords[i] = {
+            table_.baseCol(c), s.obsWeight[i], s.obsVal[i],
+            core && !core_shared ? linalg::DevMode::Zero
+                                 : linalg::DevMode::Abs,
+            sim::isCapacityResource(static_cast<sim::Resource>(c))};
+    }
+    linalg::FitSpec solo_fit;
+    solo_fit.coords = s.fitCoords.data();
+    solo_fit.coordCount = s.obsCount;
+    solo_fit.iters = 12;
+    solo_fit.lo = ScaledProfileTable::kLevelMin;
+    solo_fit.hi = ScaledProfileTable::kLevelMax;
+    solo_fit.capacityFloor = workloads::kCapacityLoadFloor;
+    solo_fit.fitWsum = s.wsumAll;
+    solo_fit.scoreWsum = s.wsumAll;
+    linalg::fitLevelsAndScore(solo_fit, m, s.levels.data(),
+                              s.scores.data());
+
+    if (!core_shared) {
+        for (size_t i = 0; i < m; ++i)
+            s.shortlist.emplace_back(s.scores[i], i);
     }
     std::sort(s.shortlist.begin(), s.shortlist.end());
     size_t k0 = std::min(prune, s.shortlist.size());
@@ -675,22 +748,29 @@ HybridRecommender::decompose(const SparseObservation& observation,
     // for the single-tenant hypothesis).
     double best_distance = 1e9;
     s.bestParts.clear();
-    for (size_t i = 0; i < m; ++i) {
-        s.solo.clear();
-        s.solo.push_back({i, 1.0});
-        refresh_part(0, i, 1.0);
-        refit(s.solo, 0);
-        double d = deviation(s.solo);
-        if (d < best_distance) {
-            best_distance = d;
-            s.bestParts = s.solo;
+    {
+        bool best_found = false;
+        size_t best_idx = 0;
+        for (size_t i = 0; i < m; ++i) {
+            double d = s.scores[i];
+            if (d < best_distance) {
+                best_distance = d;
+                best_idx = i;
+                best_found = true;
+            }
         }
+        if (best_found)
+            s.bestParts.push_back({best_idx, s.levels[best_idx]});
     }
 
     // Greedy widening: add a part while it improves the explanation
     // meaningfully (Occam margin), re-fitting levels by coordinate
     // descent. The candidate pool for the added part is the full
-    // training set; part 0 stays within the anchored shortlist.
+    // training set, walked in aligned blocks: each block is gated by
+    // the pruning bound against the incumbent, and the survivors are
+    // packed and refit together by linalg::widenFit (lanes independent,
+    // so the fold below reproduces the one-candidate-at-a-time search
+    // bit for bit). Part 0 stays within the anchored shortlist.
     for (size_t depth = 2; depth <= max_parts; ++depth) {
         double improved_distance = best_distance;
         s.improvedParts = s.bestParts;
@@ -712,80 +792,149 @@ HybridRecommender::decompose(const SparseObservation& observation,
                 if (s0 > 0 && core_shared)
                     s.baseParts[0] = {s.shortlist[s0].second, 0.8};
             }
+            bool prune_ok = s.wsumAll > 0.0;
+            if (!prune_ok) {
+                // A weightless observation scores every candidate at
+                // the 1e9 sentinel, which never beats the incumbent;
+                // the reference loop still counted each candidate as
+                // evaluated.
+                prune_evaluated += m;
+                continue;
+            }
             // Per-coordinate bounds on the base parts' prediction over
             // every level assignment the coordinate descent can reach
             // (levels stay inside the table's grid range). Summed in
             // part order, like the exact evaluation.
-            bool prune_ok = s.wsumAll > 0.0;
-            if (prune_ok) {
-                for (size_t i = 0; i < s.obsCount; ++i) {
-                    size_t c = s.obsIdx[i];
-                    double lo_sum = 0.0, hi_sum = 0.0;
-                    if (sim::isCoreResource(
-                            static_cast<sim::Resource>(c))) {
-                        if (core_shared) {
-                            lo_sum = table_.lo(s.baseParts[0].index, c);
-                            hi_sum = table_.hi(s.baseParts[0].index, c);
-                        }
-                    } else {
-                        for (const auto& p : s.baseParts) {
-                            lo_sum += table_.lo(p.index, c);
-                            hi_sum += table_.hi(p.index, c);
-                        }
+            for (size_t i = 0; i < s.obsCount; ++i) {
+                size_t c = s.obsIdx[i];
+                double lo_sum = 0.0, hi_sum = 0.0;
+                if (sim::isCoreResource(static_cast<sim::Resource>(c))) {
+                    if (core_shared) {
+                        lo_sum = table_.lo(s.baseParts[0].index, c);
+                        hi_sum = table_.hi(s.baseParts[0].index, c);
                     }
-                    s.baseLo[i] = lo_sum;
-                    s.baseHi[i] = hi_sum;
+                } else {
+                    for (const auto& p : s.baseParts) {
+                        lo_sum += table_.lo(p.index, c);
+                        hi_sum += table_.hi(p.index, c);
+                    }
                 }
+                s.baseLo[i] = lo_sum;
+                s.baseHi[i] = hi_sum;
             }
-            for (size_t j = 0; j < m; ++j) {
-                if (prune_ok) {
-                    // Lower-bound the candidate's best reachable
-                    // deviation; skip the coordinate descent when even
-                    // the bound cannot beat the incumbent. Every step
-                    // below is a monotone floating-point operation on
-                    // quantities that bound the exact evaluation's, so
-                    // the bound never exceeds the exact deviation and
-                    // pruning never changes the search's outcome.
-                    double lb_dist = 0.0;
-                    for (size_t i = 0; i < s.obsCount; ++i) {
+
+            // Candidate-independent halves of the prune bound and the
+            // widening refit problem.
+            const size_t num_parts = s.baseParts.size() + 1;
+            for (size_t p = 0; p + 1 < num_parts; ++p) {
+                s.fixedLevels[p] = s.baseParts[p].level;
+                for (size_t i = 0; i < s.obsCount; ++i)
+                    s.fixedBase[p * s.obsCount + i] =
+                        table_.baseCol(s.obsIdx[i])[s.baseParts[p].index];
+            }
+            for (size_t i = 0; i < s.obsCount; ++i) {
+                size_t c = s.obsIdx[i];
+                bool core =
+                    sim::isCoreResource(static_cast<sim::Resource>(c));
+                linalg::PruneCoord& pc = s.pruneCoords[i];
+                pc.additive = !core;
+                pc.weight = s.obsWeight[i];
+                pc.target = s.obsVal[i];
+                if (core) {
+                    pc.candLo = nullptr;
+                    pc.candHi = nullptr;
+                    pc.baseLo = core_shared ? s.baseLo[i] : 0.0;
+                    pc.baseHi = core_shared ? s.baseHi[i] : 0.0;
+                } else {
+                    pc.baseLo = s.baseLo[i];
+                    pc.baseHi = s.baseHi[i];
+                }
+                linalg::WidenCoord& wc = s.widenCoords[i];
+                wc.weight = s.obsWeight[i];
+                wc.target = s.obsVal[i];
+                wc.core = core;
+                wc.capacity = sim::isCapacityResource(
+                    static_cast<sim::Resource>(c));
+            }
+            linalg::WidenSpec wspec;
+            wspec.coords = s.widenCoords.data();
+            wspec.coordCount = s.obsCount;
+            wspec.partCount = num_parts;
+            wspec.fixedBase = s.fixedBase;
+            wspec.candBase = s.candPtrs;
+            wspec.fixedInitLevels = s.fixedLevels;
+            wspec.candInitLevel = 0.8;
+            wspec.coreShared = core_shared;
+            wspec.wsum = s.wsumAll;
+            wspec.rounds = 2;
+            wspec.iters = 12;
+            wspec.lo = ScaledProfileTable::kLevelMin;
+            wspec.hi = ScaledProfileTable::kLevelMax;
+            wspec.capacityFloor = workloads::kCapacityLoadFloor;
+
+            for (size_t j0 = 0; j0 < m; j0 += kWidenChunk) {
+                size_t count = std::min(kWidenChunk, m - j0);
+                // Lower-bound every candidate's best reachable
+                // deviation; a candidate whose bound cannot beat the
+                // incumbent (as of block start — only ever a
+                // conservative staleness) skips the coordinate descent.
+                // Every step of the bound is a monotone floating-point
+                // operation on quantities that bound the exact
+                // evaluation's, so pruning never changes the search's
+                // outcome.
+                for (size_t i = 0; i < s.obsCount; ++i) {
+                    if (s.pruneCoords[i].additive) {
                         size_t c = s.obsIdx[i];
-                        double lo_v, hi_v;
-                        if (sim::isCoreResource(
-                                static_cast<sim::Resource>(c))) {
-                            lo_v = core_shared ? s.baseLo[i] : 0.0;
-                            hi_v = core_shared ? s.baseHi[i] : 0.0;
-                        } else {
-                            lo_v = std::min(
-                                s.baseLo[i] + table_.lo(j, c), 100.0);
-                            hi_v = std::min(
-                                s.baseHi[i] + table_.hi(j, c), 100.0);
-                        }
-                        double v = s.obsVal[i];
-                        double gap = v < lo_v
-                                         ? lo_v - v
-                                         : (v > hi_v ? v - hi_v : 0.0);
-                        lb_dist += s.obsWeight[i] * gap;
+                        s.pruneCoords[i].candLo = table_.loCol(c) + j0;
+                        s.pruneCoords[i].candHi = table_.hiCol(c) + j0;
                     }
-                    if (lb_dist / s.wsumAll >
+                }
+                linalg::pruneBounds(s.pruneCoords.data(), s.obsCount,
+                                    count, s.pruneBuf);
+                size_t n_surv = 0;
+                for (size_t jl = 0; jl < count; ++jl) {
+                    if (s.pruneBuf[jl] / s.wsumAll >
                         improved_distance + kPruneSlack) {
                         ++prune_skipped;
-                        continue;
+                    } else {
+                        s.survivors[n_surv++] = j0 + jl;
                     }
                 }
-                ++prune_evaluated;
-                s.parts = s.baseParts;
-                s.parts.push_back({j, 0.8});
-                for (size_t p = 0; p < s.parts.size(); ++p)
-                    refresh_part(p, s.parts[p].index, s.parts[p].level);
-                // Two rounds of coordinate descent over the levels.
-                for (int round = 0; round < 2; ++round)
-                    for (size_t p = 0; p < s.parts.size(); ++p)
-                        refit(s.parts, p);
-                double d = deviation(s.parts);
-                if (d < improved_distance) {
-                    improved_distance = d;
-                    s.improvedParts = s.parts;
-                    found = true;
+                if (n_surv == 0)
+                    continue;
+                // Pack the survivors' base columns and refit the whole
+                // block.
+                for (size_t i = 0; i < s.obsCount; ++i) {
+                    const double* src = table_.baseCol(s.obsIdx[i]);
+                    double* dst = s.widenPack + i * kWidenChunk;
+                    for (size_t si = 0; si < n_surv; ++si)
+                        dst[si] = src[s.survivors[si]];
+                    for (size_t si = n_surv;
+                         si < linalg::paddedCount(n_surv); ++si)
+                        dst[si] = 0.0;
+                    s.candPtrs[i] = dst;
+                }
+                linalg::widenFit(wspec, n_surv, s.widenDist,
+                                 s.widenLevels);
+                // Fold in candidate order: a lane's deviation does not
+                // depend on the incumbent, so this reproduces the
+                // sequential search's improvement trajectory exactly.
+                for (size_t si = 0; si < n_surv; ++si) {
+                    ++prune_evaluated;
+                    double d = s.widenDist[si];
+                    if (d < improved_distance) {
+                        improved_distance = d;
+                        found = true;
+                        s.improvedParts.clear();
+                        for (size_t p = 0; p + 1 < num_parts; ++p)
+                            s.improvedParts.push_back(
+                                {s.baseParts[p].index,
+                                 s.widenLevels[si * num_parts + p]});
+                        s.improvedParts.push_back(
+                            {s.survivors[si],
+                             s.widenLevels[si * num_parts +
+                                           (num_parts - 1)]});
+                    }
                 }
             }
         }

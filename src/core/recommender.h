@@ -7,9 +7,12 @@
 #include <utility>
 #include <vector>
 
+#include <span>
+
 #include "core/observation.h"
 #include "core/profile_table.h"
 #include "core/training.h"
+#include "linalg/kernels.h"
 #include "linalg/sgd.h"
 #include "linalg/svd.h"
 
@@ -156,6 +159,20 @@ class HybridRecommender
     SimilarityResult analyze(const SparseObservation& observation) const;
 
     /**
+     * Analyze a micro-batch of sparse signals in one pass. Results are
+     * bit-identical to calling analyze() per observation, in order: the
+     * per-query stages (SGD completion, level fits, ranking) run
+     * sequentially through the same code, and the one batched stage —
+     * the weighted-Pearson ranking term — computes each (query, entry)
+     * correlation in the reference accumulation order (see
+     * linalg::pearsonBatch). Batching exists purely to turn the
+     * ranking's Q x E similarity block into blocked column-major work
+     * over the hoisted Pearson table instead of Q separate sweeps.
+     */
+    std::vector<SimilarityResult>
+    analyzeBatch(std::span<const SparseObservation> observations) const;
+
+    /**
      * Explain an aggregate observation as the sum of up to `max_parts`
      * previously-seen applications (Section 3.3): uncore readings are
      * the sum of every co-resident's pressure; core readings belong to
@@ -209,6 +226,21 @@ class HybridRecommender
     void releaseScratch(ScratchHandle h) const;
     friend struct ScratchLease;
 
+    /**
+     * Stage 1 of analyze(): unpack + CF completion of the victim row
+     * into s.fullRow (pressure points, overrides applied).
+     */
+    void completeRow(const SparseObservation& observation,
+                     QueryScratch& s) const;
+    /**
+     * Stage 2 of analyze(): content ranking, augmentation and
+     * distribution, consuming s.fullRow and this query's row of the
+     * batched Pearson output.
+     */
+    void finishAnalyze(const SparseObservation& observation,
+                       QueryScratch& s, const double* pearson_row,
+                       SimilarityResult& result) const;
+
     const TrainingSet& training_;
     RecommenderConfig config_;
     linalg::SvdResult svd_;
@@ -223,6 +255,8 @@ class HybridRecommender
     /** Normalized ([0, 1]) training block of the completion problem. */
     std::vector<linalg::SgdEntry> entryPrefix_;
     ScaledProfileTable table_; ///< Load-scaled training profiles.
+    /** Entry-side half of the ranking's weighted Pearson, hoisted. */
+    linalg::PearsonTable pearson_;
 
     // Per-thread query scratch. Workers of scratchPool_ use their slot
     // in workerScratch_; everyone else borrows from spare_. The pool

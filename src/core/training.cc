@@ -9,6 +9,8 @@ void
 TrainingSet::add(Entry entry)
 {
     matrix_.appendRow(entry.profile.toVector());
+    columns_.appendRow(
+        std::span<const double>(entry.profile.data(), sim::kNumResources));
     std::string label = entry.classLabel();
     auto it = std::find(distinctClasses_.begin(), distinctClasses_.end(),
                         label);

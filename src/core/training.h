@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/kernels.h"
 #include "linalg/matrix.h"
 #include "sim/isolation.h"
 #include "workloads/app.h"
@@ -81,6 +82,14 @@ class TrainingSet
     const linalg::Matrix& matrix() const { return matrix_; }
 
     /**
+     * The same profiles in structure-of-arrays form: one aligned,
+     * block-padded column per resource, for the batched kernels in
+     * linalg/kernels.h (buildPearsonTable streams these columns).
+     * Cached alongside matrix(); invalidated by add().
+     */
+    const linalg::SoaMatrix& columns() const { return columns_; }
+
+    /**
      * Cached `entry(i).classLabel()` — the query path compares classes
      * per candidate, and building the string each time would allocate
      * inside the recommender's hot ranking loop.
@@ -108,6 +117,7 @@ class TrainingSet
   private:
     std::vector<Entry> entries_;
     linalg::Matrix matrix_;             ///< entries_ x kNumResources.
+    linalg::SoaMatrix columns_;         ///< Same data, column-major SoA.
     std::vector<std::string> classLabels_;  ///< Per entry.
     std::vector<size_t> classIds_;          ///< Per entry, interned.
     std::vector<std::string> distinctClasses_;

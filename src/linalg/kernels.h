@@ -1,0 +1,348 @@
+#ifndef BOLT_LINALG_KERNELS_H
+#define BOLT_LINALG_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+namespace bolt {
+namespace linalg {
+
+/**
+ * Batched, blocked kernels for the recommender's serve-path math.
+ *
+ * The recommender ranks a query against every training entry with the
+ * same few inner loops: a weighted-Pearson pass, a ternary level-fit of
+ * the load-scaling law, a lower-bound prune test, and a multi-part
+ * coordinate-descent refit. This header turns each of those loops
+ * inside out — entries become the innermost dimension, processed in
+ * fixed-width blocks over structure-of-arrays columns — so a micro-batch
+ * of queries against E entries is GEMM-shaped blocked work instead of
+ * Q x E scalar matvecs.
+ *
+ * Determinism contract: every kernel is *bit-identical* to the scalar
+ * reference loops it replaces. Entries are independent output lanes, so
+ * blocking (and the optional AVX2 backend) only evaluates independent
+ * lanes side by side; no reduction is ever reassociated, every
+ * per-entry accumulation keeps the reference coordinate order, and the
+ * AVX2 translation unit is compiled with FMA contraction disabled so a
+ * vector lane executes exactly the scalar instruction stream. The
+ * scalar backend is the golden reference; tests/test_kernels.cc holds
+ * the bit-equality suite.
+ *
+ * This layer is resource-agnostic (linalg sits below sim): callers pass
+ * the load-scaling tags (capacity => load floor) and deviation mode per
+ * coordinate explicitly.
+ */
+
+/** Doubles per SIMD lane group (AVX2: one 256-bit vector). */
+constexpr size_t kKernelBlock = 4;
+
+/** Alignment of SoA columns and kernel scratch (one cache line). */
+constexpr size_t kKernelAlign = 64;
+
+/** Entry count rounded up to a whole block. */
+constexpr size_t
+paddedCount(size_t n)
+{
+    return (n + kKernelBlock - 1) / kKernelBlock * kKernelBlock;
+}
+
+/** Minimal aligned allocator so kernel buffers can live in std::vector. */
+template <typename T>
+struct KernelAllocator
+{
+    using value_type = T;
+    KernelAllocator() = default;
+    template <typename U>
+    KernelAllocator(const KernelAllocator<U>&)
+    {
+    }
+    T* allocate(size_t n)
+    {
+        return static_cast<T*>(::operator new(
+            n * sizeof(T), std::align_val_t(kKernelAlign)));
+    }
+    void deallocate(T* p, size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(kKernelAlign));
+    }
+    template <typename U>
+    bool operator==(const KernelAllocator<U>&) const
+    {
+        return true;
+    }
+};
+
+/** Cache-line-aligned double buffer (padded kernel outputs/scratch). */
+using AlignedVector = std::vector<double, KernelAllocator<double>>;
+
+/**
+ * Column-major structure-of-arrays matrix: `rows` logical rows by
+ * `cols` columns, each column a contiguous aligned array padded to a
+ * whole number of kernel blocks with a zero tail. The kernels stream
+ * one column per coordinate and process rows in blocks; the zero tail
+ * keeps tail blocks finite (outputs beyond rows() are ignored).
+ */
+class SoaMatrix
+{
+  public:
+    SoaMatrix() = default;
+    SoaMatrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), padded_(paddedCount(rows)),
+          data_(padded_ * cols, 0.0)
+    {
+    }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    /** Rows per column as stored (rows() rounded up to a block). */
+    size_t paddedRows() const { return padded_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    /** Contiguous padded column c. */
+    double* col(size_t c) { return data_.data() + c * padded_; }
+    const double* col(size_t c) const { return data_.data() + c * padded_; }
+
+    double& at(size_t r, size_t c) { return data_[c * padded_ + r]; }
+    double at(size_t r, size_t c) const { return data_[c * padded_ + r]; }
+
+    /**
+     * Append one row (width cols()), growing every column by one logical
+     * row; re-pads in place, zeroing any fresh tail.
+     */
+    void appendRow(std::span<const double> row);
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    size_t padded_ = 0;
+    AlignedVector data_;
+};
+
+/** Kernel backend. Scalar is the golden reference. */
+enum class KernelBackend : uint8_t {
+    Scalar,
+    Avx2, ///< Available only in BOLT_SIMD builds on AVX2 hardware.
+};
+
+/** Backend used by subsequent kernel calls (process-wide). */
+KernelBackend activeKernelBackend();
+
+/** Whether a backend can run here (compiled in + CPU support). */
+bool kernelBackendAvailable(KernelBackend b);
+
+/**
+ * Select the kernel backend; returns false (and keeps the current
+ * backend) when unavailable. Intended for startup and for the
+ * equivalence tests — not for mid-query switching.
+ */
+bool setKernelBackend(KernelBackend b);
+
+/**
+ * Sequential dot product of k-ascending accumulation order — the shared
+ * primitive of the SVD-projection/full-row reconstruction (one victim
+ * factor row against each item factor row). Kept scalar on every
+ * backend: vectorizing a single dot would reassociate the reduction.
+ */
+inline double
+dotOrdered(const double* a, const double* b, size_t k)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < k; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+// ---------------------------------------------------------------------
+// Batched weighted Pearson (the ranking stage's GEMM)
+// ---------------------------------------------------------------------
+
+/**
+ * Query-invariant half of weightedPearson(query, entry_row, w) against a
+ * fixed row set and fixed weights, hoisted once: the weight sum, each
+ * entry's weighted mean and variance, and the mean-centered rows stored
+ * as SoA columns (one column per coordinate, entries padded). All three
+ * are accumulated in the reference implementation's order, so a batched
+ * correlation is bit-identical to calling weightedPearson per entry.
+ */
+struct PearsonTable
+{
+    size_t entries = 0;
+    size_t lanes = 0; ///< Coordinates per row (columns of the row set).
+    double wsum = 0.0;
+    std::vector<double> weights; ///< The fixed weight vector.
+    SoaMatrix centered;          ///< col(i)[e] = rows(e,i) - mean_e.
+    AlignedVector variance;      ///< Weighted variance per entry, padded.
+};
+
+/**
+ * Build the entry-side table for `rows` (SoA, entries x lanes) under
+ * `weights` (length lanes).
+ */
+PearsonTable buildPearsonTable(const SoaMatrix& rows,
+                               std::span<const double> weights);
+
+/**
+ * Weighted Pearson of Q query rows (row-major, Q x lanes) against every
+ * table entry: out is row-major Q x paddedRows (the caller sizes it as
+ * queries * table.centered.paddedRows() and ignores lanes beyond
+ * entries). Bit-identical per (q, e) to
+ * weightedPearson(query_q, row_e, weights).
+ */
+void pearsonBatch(const PearsonTable& table, const double* queries,
+                  size_t query_count, double* out);
+
+// ---------------------------------------------------------------------
+// Blocked ternary level fit (analyze ranking / decompose shortlists)
+// ---------------------------------------------------------------------
+
+/** How one observed coordinate contributes to a deviation. */
+enum class DevMode : uint8_t {
+    Abs,   ///< w * |target - pred|.
+    Upper, ///< w * (max(0, pred-t) + 0.05 * max(0, t-pred)); skippable.
+    Zero,  ///< Prediction forced to 0: w * |target - 0|.
+};
+
+/** Upper bounds on kernel problem shapes (stack scratch sizing). */
+constexpr size_t kMaxFitCoords = 16;
+constexpr size_t kMaxWidenParts = 6;
+
+/**
+ * One observed coordinate of a level-fit problem. `base` is the padded
+ * SoA column of per-entry full-load bases for this coordinate (from the
+ * scaled-profile table); prediction at level L is
+ * clamp(base * (capacity ? max(L, capacityFloor) : L), 0, 100),
+ * exactly workloads::scaledPressureAt.
+ */
+struct FitCoord
+{
+    const double* base = nullptr;
+    double weight = 0.0;
+    double target = 0.0;
+    DevMode mode = DevMode::Abs;
+    bool capacity = false;
+};
+
+/**
+ * Blocked ternary level search, entries as lanes: per entry, `iters`
+ * iterations shrinking [lo, hi] by thirds on the fit deviation
+ * (skipUpperInFit drops Upper coordinates and divides by fitWsum),
+ * then a final deviation at the fitted midpoint level over *all*
+ * coordinates divided by scoreWsum. A non-positive wsum yields 1e9,
+ * like the reference. Identical branch trajectory per entry to the
+ * scalar ternary search.
+ */
+struct FitSpec
+{
+    const FitCoord* coords = nullptr;
+    size_t coordCount = 0;
+    int iters = 18;
+    double lo = 0.05;
+    double hi = 1.1;
+    double capacityFloor = 0.85;
+    bool skipUpperInFit = false;
+    double fitWsum = 0.0;
+    double scoreWsum = 0.0;
+};
+
+/**
+ * Fit every entry in [0, entry_count): levels[e] gets the fitted level,
+ * scores[e] the final deviation at that level. Both outputs must have
+ * paddedCount(entry_count) capacity; tail lanes hold garbage.
+ */
+void fitLevelsAndScore(const FitSpec& spec, size_t entry_count,
+                       double* levels, double* scores);
+
+// ---------------------------------------------------------------------
+// Blocked lower-bound pruning (decompose's candidate gate)
+// ---------------------------------------------------------------------
+
+/**
+ * One observed coordinate of the prune bound. For additive coordinates
+ * the candidate's own [lo, hi] column widens the base parts' bounds
+ * (sum clamped at 100); for core coordinates the candidate never
+ * contributes and the caller bakes the core-shared case into
+ * baseLo/baseHi (zeros when no core is shared).
+ */
+struct PruneCoord
+{
+    const double* candLo = nullptr; ///< Candidate lo column (additive).
+    const double* candHi = nullptr; ///< Candidate hi column (additive).
+    double baseLo = 0.0;
+    double baseHi = 0.0;
+    double weight = 0.0;
+    double target = 0.0;
+    bool additive = true; ///< False: candidate-independent (core) coord.
+};
+
+/**
+ * Unnormalized lower bound on each candidate's best reachable deviation
+ * (the caller divides by its weight sum and compares to the incumbent).
+ * bounds needs paddedCount(entry_count) capacity. Bit-identical per
+ * candidate to the scalar bound loop.
+ */
+void pruneBounds(const PruneCoord* coords, size_t coord_count,
+                 size_t entry_count, double* bounds);
+
+// ---------------------------------------------------------------------
+// Blocked multi-part coordinate-descent refit (decompose widening)
+// ---------------------------------------------------------------------
+
+/** One observed coordinate of the widening refit. */
+struct WidenCoord
+{
+    double weight = 0.0;
+    double target = 0.0;
+    bool core = false; ///< Explained by part 0 alone (or nobody).
+    bool capacity = false;
+};
+
+/**
+ * The decompose widening step, candidates as lanes: every candidate
+ * extends the same fixed base parts with its own trailing part, then
+ * runs `rounds` rounds of per-part ternary refits (each `iters`
+ * iterations) and reports the final deviation. State per candidate is
+ * the parts' level vector; all candidates execute the same operation
+ * sequence, so lanes stay independent and bit-identical to evaluating
+ * each candidate with the scalar refit loop.
+ *
+ * fixedBase is row-major (partCount-1) x coordCount: the base parts'
+ * full-load base per coordinate. candBase holds the trailing part's
+ * bases as one padded SoA column per coordinate (packed by the caller
+ * to the surviving candidates).
+ */
+struct WidenSpec
+{
+    const WidenCoord* coords = nullptr;
+    size_t coordCount = 0;
+    size_t partCount = 0; ///< Fixed parts + 1 (the candidate).
+    const double* fixedBase = nullptr;
+    const double* const* candBase = nullptr; ///< Per-coord padded column.
+    const double* fixedInitLevels = nullptr; ///< Length partCount-1.
+    double candInitLevel = 0.8;
+    bool coreShared = false;
+    double wsum = 0.0; ///< Caller guarantees > 0 (prune gate).
+    int rounds = 2;
+    int iters = 12;
+    double lo = 0.05;
+    double hi = 1.1;
+    double capacityFloor = 0.85;
+};
+
+/**
+ * Refit every packed candidate in [0, cand_count): dist[e] gets the
+ * final deviation, levels[e * partCount + p] the fitted level of part p.
+ * dist needs paddedCount(cand_count) capacity; levels needs
+ * paddedCount(cand_count) * partCount.
+ */
+void widenFit(const WidenSpec& spec, size_t cand_count, double* dist,
+              double* levels);
+
+} // namespace linalg
+} // namespace bolt
+
+#endif // BOLT_LINALG_KERNELS_H

@@ -198,14 +198,5 @@ weightedPearson(std::span<const double> a, std::span<const double> b,
     return cov / std::sqrt(va * vb);
 }
 
-double
-weightedPearson(const std::vector<double>& a, const std::vector<double>& b,
-                const std::vector<double>& weights)
-{
-    return weightedPearson(std::span<const double>(a),
-                           std::span<const double>(b),
-                           std::span<const double>(weights));
-}
-
 } // namespace linalg
 } // namespace bolt

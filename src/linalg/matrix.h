@@ -101,14 +101,14 @@ double norm(const std::vector<double>& a);
  * weighted means m(.; w). Returns 0 when either side has zero weighted
  * variance (no information).
  *
- * The span form is the allocation-free primitive (pair it with
- * Matrix::rowSpan in ranking loops); the vector overload forwards to it.
+ * The span form is the only form (std::vector converts implicitly;
+ * pair it with Matrix::rowSpan in ranking loops to stay
+ * allocation-free). The batched multi-query form lives in
+ * linalg/kernels.h (buildPearsonTable / pearsonBatch) and is
+ * bit-identical to calling this per entry.
  */
 double weightedPearson(std::span<const double> a, std::span<const double> b,
                        std::span<const double> weights);
-double weightedPearson(const std::vector<double>& a,
-                       const std::vector<double>& b,
-                       const std::vector<double>& weights);
 
 } // namespace linalg
 } // namespace bolt

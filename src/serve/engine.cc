@@ -165,9 +165,11 @@ ServeEngine::run() const
     auto estimatedWaitMs = [&]() {
         double batches_ahead = static_cast<double>(
             (pendingQ.size() + max_batch) / max_batch);
+        double nominal_fill =
+            1.0 + config_.batchMarginalCost *
+                      static_cast<double>(max_batch - 1);
         double batch_ms =
-            config_.batchSetupMs + static_cast<double>(max_batch) *
-                                       load.serviceMedianMs;
+            config_.batchSetupMs + nominal_fill * load.serviceMedianMs;
         return batches_ahead * batch_ms / static_cast<double>(workers);
     };
 
@@ -263,8 +265,14 @@ ServeEngine::run() const
         }
 
         double service_ms = config_.batchSetupMs;
-        for (uint64_t id : batch)
-            service_ms += requests[id].costMs;
+        bool first_in_batch = true;
+        for (uint64_t id : batch) {
+            service_ms += first_in_batch
+                              ? requests[id].costMs
+                              : config_.batchMarginalCost *
+                                    requests[id].costMs;
+            first_in_batch = false;
+        }
         double completion_ms = ev.t + service_ms;
         uint32_t batch_id = static_cast<uint32_t>(batches.size());
         for (uint64_t id : batch) {
@@ -313,15 +321,34 @@ ServeEngine::run() const
 
         auto execBatch = [&](size_t b) {
             auto t0 = std::chrono::steady_clock::now();
+            // Decompose queries run per request; the batch's analyze
+            // queries run as one blocked sweep (analyzeBatch is
+            // bit-identical to per-request analyze, and every digest
+            // lands slot-addressed, so the fold order is free).
+            std::vector<uint64_t> analyze_ids;
+            std::vector<core::SparseObservation> analyze_queries;
+            analyze_ids.reserve(batches[b].size());
+            analyze_queries.reserve(batches[b].size());
             for (uint64_t id : batches[b]) {
                 const Request& req = requests[id];
-                util::Fnv1a dig;
-                if (req.isDecompose)
+                if (req.isDecompose) {
+                    util::Fnv1a dig;
                     foldDecompose(dig, recommender_.decompose(
                                            req.query, req.coreShared));
-                else
-                    foldAnalyze(dig, recommender_.analyze(req.query));
-                res.outcomes[id].resultDigest = dig.h;
+                    res.outcomes[id].resultDigest = dig.h;
+                } else {
+                    analyze_ids.push_back(id);
+                    analyze_queries.push_back(req.query);
+                }
+            }
+            if (!analyze_ids.empty()) {
+                std::vector<core::SimilarityResult> results =
+                    recommender_.analyzeBatch(analyze_queries);
+                for (size_t i = 0; i < analyze_ids.size(); ++i) {
+                    util::Fnv1a dig;
+                    foldAnalyze(dig, results[i]);
+                    res.outcomes[analyze_ids[i]].resultDigest = dig.h;
+                }
             }
             metrics.observe(
                 obs::MetricId::kServeExecWallUs,

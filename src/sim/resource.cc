@@ -12,8 +12,9 @@ const std::string&
 resourceName(Resource r)
 {
     static const std::array<std::string, kNumResources> names = {
-        "L1-i", "L1-d", "L2", "CPU", "LLC",
-        "MemCap", "MemBw", "NetBw", "DiskCap", "DiskBw",
+#define BOLT_RESOURCE_NAME(Sym, Name, Domain, Kind) Name,
+        BOLT_RESOURCE_CATALOG(BOLT_RESOURCE_NAME)
+#undef BOLT_RESOURCE_NAME
     };
     return names.at(index(r));
 }

@@ -159,8 +159,14 @@ constexpr double kTailSaturation = 150.0;
 constexpr bool
 isLoadInvariant(sim::Resource r)
 {
-    return r == sim::Resource::MemCap || r == sim::Resource::DiskCap;
+    return sim::isCapacityResource(r);
 }
+
+static_assert(isLoadInvariant(sim::Resource::MemCap) &&
+                  isLoadInvariant(sim::Resource::DiskCap) &&
+                  !isLoadInvariant(sim::Resource::MemBw),
+              "the capacity tag in the resource catalog drives the "
+              "load-scaling law; MemCap/DiskCap are the footprints");
 
 /**
  * Load multiplier floor for capacity resources: a dataset stays

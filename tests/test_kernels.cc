@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Bit-equality suite for the batched serve-path kernels
+ * (src/linalg/kernels.h).
+ *
+ * Two layers of evidence:
+ *
+ *  - Reference equality: pearsonBatch must reproduce the scalar
+ *    linalg::weightedPearson per (query, entry) bit for bit, and
+ *    analyzeBatch must reproduce per-query analyze() field for field.
+ *    These run in every build.
+ *  - Backend equality: every kernel must produce byte-identical output
+ *    lanes under the Scalar and Avx2 backends across randomized shapes
+ *    (ragged tails, degenerate counts). These skip unless the binary
+ *    was built with BOLT_SIMD on AVX2 hardware.
+ *
+ * Comparisons go through the raw IEEE-754 bit pattern, never through
+ * an epsilon: the kernels promise bit-exactness, so the tests demand
+ * it.
+ */
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/recommender.h"
+#include "core/training.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "workloads/generators.h"
+
+using namespace bolt;
+using namespace bolt::linalg;
+
+namespace {
+
+uint64_t
+bits(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+/** Restore the process-wide kernel backend on scope exit. */
+struct BackendGuard
+{
+    KernelBackend saved = activeKernelBackend();
+    ~BackendGuard() { setKernelBackend(saved); }
+};
+
+/** Fill [0, n) of a padded column; the tail stays zero. */
+AlignedVector
+randomColumn(std::mt19937_64& rng, size_t n, double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    AlignedVector col(paddedCount(n), 0.0);
+    for (size_t i = 0; i < n; ++i)
+        col[i] = dist(rng);
+    return col;
+}
+
+/** Entry counts covering aligned, ragged and degenerate shapes. */
+const size_t kEntryCounts[] = {1, 2, 3, 4, 5, 7, 8, 13, 16, 33};
+
+SoaMatrix
+randomRows(std::mt19937_64& rng, size_t entries, size_t lanes)
+{
+    std::uniform_real_distribution<double> dist(0.0, 100.0);
+    SoaMatrix m(entries, lanes);
+    for (size_t e = 0; e < entries; ++e)
+        for (size_t l = 0; l < lanes; ++l)
+            m.at(e, l) = dist(rng);
+    return m;
+}
+
+} // namespace
+
+TEST(KernelShapes, PaddedCountRoundsUpToWholeBlocks)
+{
+    EXPECT_EQ(paddedCount(0), 0u);
+    EXPECT_EQ(paddedCount(1), kKernelBlock);
+    EXPECT_EQ(paddedCount(kKernelBlock), kKernelBlock);
+    EXPECT_EQ(paddedCount(kKernelBlock + 1), 2 * kKernelBlock);
+}
+
+TEST(KernelShapes, SoaMatrixAppendRowRepadsWithZeroTail)
+{
+    SoaMatrix m(0, 3);
+    std::vector<double> row = {1.0, 2.0, 3.0};
+    for (size_t r = 0; r < 2 * kKernelBlock + 1; ++r) {
+        row[0] = static_cast<double>(r);
+        m.appendRow(row);
+        ASSERT_EQ(m.rows(), r + 1);
+        ASSERT_EQ(m.paddedRows(), paddedCount(r + 1));
+        // Every logical row survives the re-pad; the tail is zero.
+        for (size_t e = 0; e <= r; ++e) {
+            EXPECT_EQ(m.at(e, 0), static_cast<double>(e));
+            EXPECT_EQ(m.at(e, 1), 2.0);
+            EXPECT_EQ(m.at(e, 2), 3.0);
+        }
+        for (size_t c = 0; c < m.cols(); ++c)
+            for (size_t e = m.rows(); e < m.paddedRows(); ++e)
+                EXPECT_EQ(m.col(c)[e], 0.0);
+    }
+}
+
+TEST(PearsonBatch, MatchesScalarWeightedPearsonBitForBit)
+{
+    std::mt19937_64 rng(0x5eed0001);
+    std::uniform_real_distribution<double> wdist(0.05, 1.0);
+    for (size_t entries : kEntryCounts) {
+        const size_t lanes = 10;
+        SoaMatrix rows = randomRows(rng, entries, lanes);
+        std::vector<double> weights(lanes);
+        for (double& w : weights)
+            w = wdist(rng);
+        PearsonTable table = buildPearsonTable(rows, weights);
+
+        for (size_t q_count : {size_t(1), size_t(3), size_t(8)}) {
+            std::vector<double> queries(q_count * lanes);
+            std::uniform_real_distribution<double> qdist(0.0, 100.0);
+            for (double& v : queries)
+                v = qdist(rng);
+            AlignedVector out(q_count * rows.paddedRows(), -1.0);
+            pearsonBatch(table, queries.data(), q_count, out.data());
+
+            for (size_t q = 0; q < q_count; ++q) {
+                std::span<const double> qrow(queries.data() + q * lanes,
+                                             lanes);
+                for (size_t e = 0; e < entries; ++e) {
+                    std::vector<double> row(lanes);
+                    for (size_t l = 0; l < lanes; ++l)
+                        row[l] = rows.at(e, l);
+                    double ref = weightedPearson(qrow, row, weights);
+                    double got = out[q * rows.paddedRows() + e];
+                    EXPECT_EQ(bits(got), bits(ref))
+                        << "entries=" << entries << " q=" << q
+                        << " e=" << e;
+                }
+            }
+        }
+    }
+}
+
+TEST(PearsonBatch, EmptyQueryBatchWritesNothing)
+{
+    std::mt19937_64 rng(0x5eed0002);
+    SoaMatrix rows = randomRows(rng, 5, 4);
+    std::vector<double> weights = {0.4, 0.3, 0.2, 0.1};
+    PearsonTable table = buildPearsonTable(rows, weights);
+    AlignedVector out(rows.paddedRows(), -7.0);
+    pearsonBatch(table, nullptr, 0, out.data());
+    for (double v : out)
+        EXPECT_EQ(v, -7.0);
+}
+
+TEST(PearsonBatch, ZeroVarianceEntryCorrelatesToZero)
+{
+    SoaMatrix rows(2, 3);
+    // Entry 0 is flat (zero weighted variance); entry 1 ramps.
+    for (size_t l = 0; l < 3; ++l) {
+        rows.at(0, l) = 42.0;
+        rows.at(1, l) = static_cast<double>(l) * 10.0;
+    }
+    std::vector<double> weights = {1.0, 1.0, 1.0};
+    PearsonTable table = buildPearsonTable(rows, weights);
+    std::vector<double> query = {1.0, 2.0, 3.0};
+    AlignedVector out(rows.paddedRows(), -1.0);
+    pearsonBatch(table, query.data(), 1, out.data());
+    EXPECT_EQ(out[0], 0.0);
+    EXPECT_GT(out[1], 0.9);
+}
+
+TEST(FitKernel, NonPositiveWsumYieldsSentinelScore)
+{
+    AlignedVector base = {50.0, 60.0, 70.0, 80.0};
+    FitCoord coord{base.data(), 1.0, 55.0, DevMode::Abs, false};
+    FitSpec spec;
+    spec.coords = &coord;
+    spec.coordCount = 1;
+    spec.fitWsum = 0.0;
+    spec.scoreWsum = 0.0;
+    AlignedVector levels(kKernelBlock), scores(kKernelBlock);
+    fitLevelsAndScore(spec, 4, levels.data(), scores.data());
+    for (size_t e = 0; e < 4; ++e)
+        EXPECT_EQ(scores[e], 1e9);
+}
+
+// ---------------------------------------------------------------------
+// Scalar-vs-AVX2 backend equality (skipped without BOLT_SIMD + AVX2).
+// ---------------------------------------------------------------------
+
+namespace {
+
+#define SKIP_WITHOUT_AVX2()                                              \
+    do {                                                                 \
+        if (!kernelBackendAvailable(KernelBackend::Avx2))                \
+            GTEST_SKIP() << "AVX2 backend not available "                \
+                            "(build with -DBOLT_SIMD=ON on AVX2 "        \
+                            "hardware)";                                 \
+    } while (0)
+
+void
+expectLanesEqual(const AlignedVector& a, const AlignedVector& b,
+                 size_t lanes, const char* what)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < lanes; ++i)
+        EXPECT_EQ(bits(a[i]), bits(b[i]))
+            << what << " lane " << i << " diverges: " << a[i]
+            << " vs " << b[i];
+}
+
+} // namespace
+
+TEST(BackendEquality, PearsonBatchRandomizedShapes)
+{
+    SKIP_WITHOUT_AVX2();
+    BackendGuard guard;
+    std::mt19937_64 rng(0xa5d2);
+    std::uniform_real_distribution<double> wdist(0.05, 1.0);
+    for (size_t entries : kEntryCounts) {
+        const size_t lanes = 10;
+        SoaMatrix rows = randomRows(rng, entries, lanes);
+        std::vector<double> weights(lanes);
+        for (double& w : weights)
+            w = wdist(rng);
+        PearsonTable table = buildPearsonTable(rows, weights);
+        const size_t q_count = 5;
+        std::vector<double> queries(q_count * lanes);
+        std::uniform_real_distribution<double> qdist(0.0, 100.0);
+        for (double& v : queries)
+            v = qdist(rng);
+
+        size_t out_size = q_count * rows.paddedRows();
+        AlignedVector scalar_out(out_size, 0.0), simd_out(out_size, 0.0);
+        ASSERT_TRUE(setKernelBackend(KernelBackend::Scalar));
+        pearsonBatch(table, queries.data(), q_count, scalar_out.data());
+        ASSERT_TRUE(setKernelBackend(KernelBackend::Avx2));
+        pearsonBatch(table, queries.data(), q_count, simd_out.data());
+        for (size_t q = 0; q < q_count; ++q)
+            for (size_t e = 0; e < entries; ++e) {
+                size_t i = q * rows.paddedRows() + e;
+                EXPECT_EQ(bits(scalar_out[i]), bits(simd_out[i]))
+                    << "entries=" << entries << " q=" << q << " e=" << e;
+            }
+    }
+}
+
+TEST(BackendEquality, FitLevelsAndScoreRandomizedShapes)
+{
+    SKIP_WITHOUT_AVX2();
+    BackendGuard guard;
+    std::mt19937_64 rng(0xf17);
+    std::uniform_real_distribution<double> wdist(0.05, 1.0);
+    std::uniform_real_distribution<double> tdist(0.0, 100.0);
+    std::uniform_int_distribution<int> mdist(0, 2);
+    std::uniform_int_distribution<int> bdist(0, 1);
+    for (size_t entries : kEntryCounts) {
+        for (size_t coords : {size_t(1), size_t(5), kMaxFitCoords}) {
+            std::vector<AlignedVector> bases;
+            std::vector<FitCoord> fc(coords);
+            bool any_exact = false;
+            double wsum_all = 0.0, wsum_exact = 0.0;
+            for (size_t i = 0; i < coords; ++i) {
+                bases.push_back(randomColumn(rng, entries, 0.0, 100.0));
+                fc[i].base = bases.back().data();
+                fc[i].weight = wdist(rng);
+                fc[i].target = tdist(rng);
+                fc[i].mode = static_cast<DevMode>(mdist(rng));
+                fc[i].capacity = bdist(rng) == 1;
+                wsum_all += fc[i].weight;
+                if (fc[i].mode != DevMode::Upper) {
+                    any_exact = true;
+                    wsum_exact += fc[i].weight;
+                }
+            }
+            FitSpec spec;
+            spec.coords = fc.data();
+            spec.coordCount = coords;
+            spec.iters = 14;
+            spec.skipUpperInFit = any_exact;
+            spec.fitWsum = any_exact ? wsum_exact : wsum_all;
+            spec.scoreWsum = wsum_all;
+
+            size_t padded = paddedCount(entries);
+            AlignedVector l1(padded), s1(padded), l2(padded), s2(padded);
+            ASSERT_TRUE(setKernelBackend(KernelBackend::Scalar));
+            fitLevelsAndScore(spec, entries, l1.data(), s1.data());
+            ASSERT_TRUE(setKernelBackend(KernelBackend::Avx2));
+            fitLevelsAndScore(spec, entries, l2.data(), s2.data());
+            expectLanesEqual(l1, l2, entries, "fit level");
+            expectLanesEqual(s1, s2, entries, "fit score");
+        }
+    }
+}
+
+TEST(BackendEquality, PruneBoundsRandomizedShapes)
+{
+    SKIP_WITHOUT_AVX2();
+    BackendGuard guard;
+    std::mt19937_64 rng(0x9c0de);
+    std::uniform_real_distribution<double> wdist(0.05, 1.0);
+    std::uniform_real_distribution<double> tdist(0.0, 100.0);
+    std::uniform_int_distribution<int> bdist(0, 1);
+    for (size_t entries : kEntryCounts) {
+        const size_t coords = 8;
+        std::vector<AlignedVector> lo_cols, hi_cols;
+        std::vector<PruneCoord> pc(coords);
+        for (size_t i = 0; i < coords; ++i) {
+            lo_cols.push_back(randomColumn(rng, entries, 0.0, 50.0));
+            hi_cols.push_back(randomColumn(rng, entries, 50.0, 100.0));
+            pc[i].additive = bdist(rng) == 1;
+            pc[i].candLo = pc[i].additive ? lo_cols.back().data() : nullptr;
+            pc[i].candHi = pc[i].additive ? hi_cols.back().data() : nullptr;
+            pc[i].baseLo = tdist(rng) * 0.3;
+            pc[i].baseHi = pc[i].baseLo + tdist(rng) * 0.5;
+            pc[i].weight = wdist(rng);
+            pc[i].target = tdist(rng);
+        }
+        size_t padded = paddedCount(entries);
+        AlignedVector b1(padded), b2(padded);
+        ASSERT_TRUE(setKernelBackend(KernelBackend::Scalar));
+        pruneBounds(pc.data(), coords, entries, b1.data());
+        ASSERT_TRUE(setKernelBackend(KernelBackend::Avx2));
+        pruneBounds(pc.data(), coords, entries, b2.data());
+        expectLanesEqual(b1, b2, entries, "prune bound");
+    }
+}
+
+TEST(BackendEquality, WidenFitRandomizedShapes)
+{
+    SKIP_WITHOUT_AVX2();
+    BackendGuard guard;
+    std::mt19937_64 rng(0x31de);
+    std::uniform_real_distribution<double> wdist(0.05, 1.0);
+    std::uniform_real_distribution<double> tdist(0.0, 100.0);
+    std::uniform_int_distribution<int> bdist(0, 1);
+    for (size_t cands : kEntryCounts) {
+        for (size_t parts : {size_t(2), size_t(3), kMaxWidenParts}) {
+            const size_t coords = 10;
+            std::vector<WidenCoord> wc(coords);
+            std::vector<AlignedVector> cand_cols;
+            std::vector<const double*> cand_ptrs(coords);
+            std::vector<double> fixed_base((parts - 1) * coords);
+            std::vector<double> fixed_levels(parts - 1, 0.7);
+            double wsum = 0.0;
+            for (size_t i = 0; i < coords; ++i) {
+                wc[i].weight = wdist(rng);
+                wc[i].target = tdist(rng);
+                wc[i].core = bdist(rng) == 1;
+                wc[i].capacity = bdist(rng) == 1;
+                wsum += wc[i].weight;
+                cand_cols.push_back(
+                    randomColumn(rng, cands, 0.0, 100.0));
+                cand_ptrs[i] = cand_cols.back().data();
+                for (size_t p = 0; p + 1 < parts; ++p)
+                    fixed_base[p * coords + i] = tdist(rng);
+            }
+            WidenSpec spec;
+            spec.coords = wc.data();
+            spec.coordCount = coords;
+            spec.partCount = parts;
+            spec.fixedBase = fixed_base.data();
+            spec.candBase = cand_ptrs.data();
+            spec.fixedInitLevels = fixed_levels.data();
+            spec.coreShared = bdist(rng) == 1;
+            spec.wsum = wsum;
+
+            size_t padded = paddedCount(cands);
+            AlignedVector d1(padded), d2(padded);
+            AlignedVector lv1(padded * parts), lv2(padded * parts);
+            ASSERT_TRUE(setKernelBackend(KernelBackend::Scalar));
+            widenFit(spec, cands, d1.data(), lv1.data());
+            ASSERT_TRUE(setKernelBackend(KernelBackend::Avx2));
+            widenFit(spec, cands, d2.data(), lv2.data());
+            expectLanesEqual(d1, d2, cands, "widen distance");
+            for (size_t e = 0; e < cands; ++e)
+                for (size_t p = 0; p < parts; ++p) {
+                    size_t i = e * parts + p;
+                    EXPECT_EQ(bits(lv1[i]), bits(lv2[i]))
+                        << "cands=" << cands << " parts=" << parts
+                        << " widen level e=" << e << " p=" << p;
+                }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// analyzeBatch vs per-query analyze (end-to-end bit equality).
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Shared trained recommender (expensive, built once per suite). */
+class BatchedAnalyze : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        util::Rng rng(4242);
+        util::Rng tr = rng.substream("train");
+        auto specs = workloads::trainingSet(tr);
+        training_ = new core::TrainingSet(
+            core::TrainingSet::fromSpecs(specs, tr));
+        recommender_ = new core::HybridRecommender(*training_);
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete recommender_;
+        delete training_;
+        recommender_ = nullptr;
+        training_ = nullptr;
+    }
+
+    static core::TrainingSet* training_;
+    static core::HybridRecommender* recommender_;
+};
+
+core::TrainingSet* BatchedAnalyze::training_ = nullptr;
+core::HybridRecommender* BatchedAnalyze::recommender_ = nullptr;
+
+void
+expectResultsBitEqual(const core::SimilarityResult& a,
+                      const core::SimilarityResult& b)
+{
+    ASSERT_EQ(a.ranking.size(), b.ranking.size());
+    for (size_t i = 0; i < a.ranking.size(); ++i) {
+        EXPECT_EQ(a.ranking[i].first, b.ranking[i].first);
+        EXPECT_EQ(bits(a.ranking[i].second), bits(b.ranking[i].second));
+    }
+    ASSERT_EQ(a.distribution.size(), b.distribution.size());
+    for (size_t i = 0; i < a.distribution.size(); ++i) {
+        EXPECT_EQ(a.distribution[i].first, b.distribution[i].first);
+        EXPECT_EQ(bits(a.distribution[i].second),
+                  bits(b.distribution[i].second));
+    }
+    for (size_t c = 0; c < sim::kNumResources; ++c)
+        EXPECT_EQ(bits(a.reconstructed.at(c)), bits(b.reconstructed.at(c)));
+    EXPECT_EQ(a.conceptsKept, b.conceptsKept);
+    EXPECT_EQ(bits(a.margin), bits(b.margin));
+    EXPECT_EQ(bits(a.topFittedLevel), bits(b.topFittedLevel));
+    EXPECT_EQ(bits(a.confidence), bits(b.confidence));
+}
+
+} // namespace
+
+TEST_F(BatchedAnalyze, MatchesPerQueryAnalyzeBitForBit)
+{
+    // A mixed batch: sparse and full observations, Exact and Upper
+    // bounds, varying load levels — the shapes the serve path batches.
+    util::Rng rng(77);
+    std::vector<core::SparseObservation> batch;
+    for (size_t q = 0; q < 9; ++q) {
+        const auto& entry = training_->entry((q * 5 + 2) %
+                                             training_->size());
+        core::SparseObservation obs;
+        size_t observed = 2 + q % 9;
+        size_t n = 0;
+        for (sim::Resource r : sim::kAllResources) {
+            if (n++ >= observed)
+                break;
+            double v = std::clamp(
+                entry.profile[r] + rng.gaussian(0.0, 1.0), 0.0, 100.0);
+            bool upper = (q % 3 == 1) && !sim::isCoreResource(r);
+            obs.set(r, v,
+                    upper ? core::SparseObservation::Bound::Upper
+                          : core::SparseObservation::Bound::Exact);
+        }
+        batch.push_back(std::move(obs));
+    }
+
+    auto batched = recommender_->analyzeBatch(batch);
+    ASSERT_EQ(batched.size(), batch.size());
+    for (size_t q = 0; q < batch.size(); ++q) {
+        SCOPED_TRACE("query " + std::to_string(q));
+        expectResultsBitEqual(batched[q], recommender_->analyze(batch[q]));
+    }
+}
+
+TEST_F(BatchedAnalyze, EmptyBatchReturnsEmpty)
+{
+    EXPECT_TRUE(
+        recommender_->analyzeBatch(
+                        std::span<const core::SparseObservation>())
+            .empty());
+}
+
+TEST_F(BatchedAnalyze, SingleQueryBatchMatchesAnalyze)
+{
+    core::SparseObservation obs;
+    obs.set(sim::Resource::CPU, 40.0);
+    obs.set(sim::Resource::L2, 25.0);
+    obs.set(sim::Resource::MemBw, 60.0);
+    auto batched = recommender_->analyzeBatch(
+        std::span<const core::SparseObservation>(&obs, 1));
+    ASSERT_EQ(batched.size(), 1u);
+    expectResultsBitEqual(batched[0], recommender_->analyze(obs));
+}

@@ -95,18 +95,21 @@ TEST(VectorOps, DotAndNorm)
 TEST(WeightedPearson, PerfectCorrelation)
 {
     std::vector<double> w(4, 1.0);
-    EXPECT_NEAR(weightedPearson({1, 2, 3, 4}, {2, 4, 6, 8}, w), 1.0,
-                1e-12);
-    EXPECT_NEAR(weightedPearson({1, 2, 3, 4}, {8, 6, 4, 2}, w), -1.0,
-                1e-12);
+    std::vector<double> up = {1, 2, 3, 4};
+    std::vector<double> doubled = {2, 4, 6, 8};
+    std::vector<double> down = {8, 6, 4, 2};
+    EXPECT_NEAR(weightedPearson(up, doubled, w), 1.0, 1e-12);
+    EXPECT_NEAR(weightedPearson(up, down, w), -1.0, 1e-12);
 }
 
 TEST(WeightedPearson, ZeroVarianceIsZero)
 {
     std::vector<double> w(3, 1.0);
-    EXPECT_DOUBLE_EQ(weightedPearson({5, 5, 5}, {1, 2, 3}, w), 0.0);
-    EXPECT_DOUBLE_EQ(weightedPearson({1, 2, 3}, {1, 2, 3}, {0, 0, 0}),
-                     0.0);
+    std::vector<double> flat = {5, 5, 5};
+    std::vector<double> ramp = {1, 2, 3};
+    std::vector<double> zero_w = {0, 0, 0};
+    EXPECT_DOUBLE_EQ(weightedPearson(flat, ramp, w), 0.0);
+    EXPECT_DOUBLE_EQ(weightedPearson(ramp, ramp, zero_w), 0.0);
 }
 
 TEST(WeightedPearson, WeightsChangeResult)
@@ -115,8 +118,10 @@ TEST(WeightedPearson, WeightsChangeResult)
     // raise the correlation.
     std::vector<double> a = {1, 2, 10};
     std::vector<double> b = {1, 2, -10};
-    double uniform = weightedPearson(a, b, {1, 1, 1});
-    double skewed = weightedPearson(a, b, {10, 10, 0.01});
+    std::vector<double> w_uniform = {1, 1, 1};
+    std::vector<double> w_skewed = {10, 10, 0.01};
+    double uniform = weightedPearson(a, b, w_uniform);
+    double skewed = weightedPearson(a, b, w_skewed);
     EXPECT_GT(skewed, uniform);
 }
 
