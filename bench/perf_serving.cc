@@ -33,7 +33,16 @@
  *
  * Regenerate the golden after an intentional serving change with:
  *   ./build-release/bench/perf_serving > bench/BENCH_serving.golden
+ *
+ * `--json` runs the telemetry-overhead probe instead of the sweep:
+ * the saturation config is timed with the windowed telemetry recorder
+ * off and on (best wall time of three interleaved reps each), stdout is
+ * one JSON object with both wall-QPS figures and the regression
+ * percentage, and the exit code is 1 when telemetry costs more than 5%
+ * of saturation wall-QPS or perturbs the sim digest. The golden sweep
+ * output is untouched by this mode.
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <iomanip>
@@ -44,6 +53,7 @@
 #include <vector>
 
 #include "core/recommender.h"
+#include "obs/timeseries.h"
 #include "serve/engine.h"
 #include "util/digest.h"
 #include "util/table.h"
@@ -77,12 +87,105 @@ hex64(uint64_t v)
     return os.str();
 }
 
+/** Saturation-load config the telemetry probe uses. */
+serve::ServeConfig
+saturationConfig()
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 4;
+    cfg.queueCapacity = 256;
+    cfg.maxBatch = 8;
+    cfg.batchMarginalCost = 1.0;
+    cfg.load.requests = static_cast<size_t>(kSaturationQps);
+    cfg.load.offeredQps = kSaturationQps;
+    cfg.load.sloMs = kSloMs;
+    cfg.load.decomposeFraction = 0.15;
+    cfg.load.seed = 1;
+    return cfg;
+}
+
+/**
+ * Telemetry-overhead probe (`--json`): time the saturation config with
+ * the recorder off and on, interleaved, best of `reps` each. Wall-QPS
+ * here is Wall-class (machine-dependent); the sim digests are asserted
+ * equal so the probe also re-proves telemetry inertness end to end.
+ */
+int
+runJsonProbe(const core::HybridRecommender& recommender)
+{
+    auto& telemetry = obs::TimeSeriesRecorder::global();
+    auto timedRun = [&](bool on, uint64_t* digest) {
+        telemetry.configure(telemetry.config()); // Drop old windows.
+        telemetry.setEnabled(on);
+        auto t0 = std::chrono::steady_clock::now();
+        auto result =
+            serve::ServeEngine(recommender, saturationConfig()).run();
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        telemetry.setEnabled(false);
+        *digest = result.digest();
+        return wall;
+    };
+
+    constexpr int kReps = 3;
+    uint64_t digest_off = 0, digest_on = 0;
+    double best_off = 0.0, best_on = 0.0;
+    timedRun(false, &digest_off); // Warm caches before timing.
+    for (int rep = 0; rep < kReps; ++rep) {
+        double off = timedRun(false, &digest_off);
+        double on = timedRun(true, &digest_on);
+        best_off = rep ? std::min(best_off, off) : off;
+        best_on = rep ? std::min(best_on, on) : on;
+    }
+    telemetry.configure(telemetry.config());
+
+    double qps_off = best_off > 0.0 ? kSaturationQps / best_off : 0.0;
+    double qps_on = best_on > 0.0 ? kSaturationQps / best_on : 0.0;
+    double overhead_pct =
+        qps_off > 0.0 ? (qps_off - qps_on) / qps_off * 100.0 : 0.0;
+    bool digests_match = digest_off == digest_on;
+    bool within_budget = overhead_pct < 5.0;
+
+    std::ostringstream os;
+    os.precision(6);
+    os << "{\"bench\":\"perf_serving\",\"mode\":\"telemetry-overhead\","
+       << "\"saturation_qps\":" << kSaturationQps
+       << ",\"requests\":" << static_cast<size_t>(kSaturationQps)
+       << ",\"reps\":" << kReps
+       << ",\"telemetry_off_wall_qps\":" << qps_off
+       << ",\"telemetry_on_wall_qps\":" << qps_on
+       << ",\"telemetry_overhead_pct\":" << overhead_pct
+       << ",\"sim_digest_off\":\"" << hex64(digest_off)
+       << "\",\"sim_digest_on\":\"" << hex64(digest_on)
+       << "\",\"digests_match\":" << (digests_match ? "true" : "false")
+       << ",\"within_budget\":" << (within_budget ? "true" : "false")
+       << "}\n";
+    std::cout << os.str();
+
+    if (!digests_match) {
+        std::cerr << "FAIL: telemetry perturbed the sim digest\n";
+        return 1;
+    }
+    if (!within_budget) {
+        std::cerr << "FAIL: telemetry costs "
+                  << util::AsciiTable::num(overhead_pct, 2)
+                  << "% of saturation wall-QPS (budget 5%)\n";
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     util::applyThreadsFlag(argc, argv);
+    bool json_mode = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--json")
+            json_mode = true;
 
     // Same corpus construction as bolt_cli serve-bench --seed 1.
     util::Rng rng(1);
@@ -90,6 +193,9 @@ main(int argc, char** argv)
     auto specs = workloads::trainingSet(tr);
     auto training = core::TrainingSet::fromSpecs(specs, tr);
     core::HybridRecommender recommender(training);
+
+    if (json_mode)
+        return runJsonProbe(recommender);
 
     util::AsciiTable table({"Offered", "Mode", "Achieved", "Goodput",
                             "Done", "RejQ", "RejSLO", "Shed", "p50 ms",

@@ -16,11 +16,15 @@
  *   bolt_cli serve-bench [--requests N] [--qps Q] [--workers N]
  *                       [--queue-cap N] [--max-batch N] [--slo-ms MS]
  *                       [--closed-loop --clients N --think-ms MS] ...
+ *   bolt_cli report     --telemetry FILE [--top N]
  *
  * Every subcommand also takes the shared observability flags:
  *   --metrics-out FILE  write a RunReport JSON (config + metrics)
  *   --trace-out FILE    write a sim-time trace (Chrome JSON; .jsonl
  *                       for flat JSONL)
+ *   --telemetry-out FILE  windowed time-series + SLO alerts (JSONL;
+ *                       `bolt_cli report` renders it)
+ *   --telemetry-window SEC  telemetry window width (default 1)
  *   --log-level L       error|warn|info|debug (default warn)
  *
  * Every run is deterministic for a given seed; --threads only changes
@@ -32,11 +36,14 @@
  * out-of-range values ("--threads 99999") all exit 2 with the valid
  * flags listed — a typo must fail loudly, not silently run a default.
  */
+#include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attacks/coresidency.h"
@@ -483,7 +490,336 @@ runScenarioCmd(const CliArgs& args)
     report.setSimSeconds(result.simSeconds);
     report.set("stages_run", static_cast<uint64_t>(result.stagesRun));
     report.set("run_digest", hex64(result.digest));
+    if (result.expectsTotal > 0)
+        report.set("expect_failures",
+                   static_cast<uint64_t>(result.expectFailures.size()));
     obs::writeConfiguredOutputs(report);
+    if (!result.ok()) {
+        for (const std::string& f : result.expectFailures)
+            std::cerr << "bolt_cli: " << f << "\n";
+        return 3;
+    }
+    return 0;
+}
+
+// ------------------------------------------------------------------
+// `bolt_cli report`: post-run analyzer over a --telemetry-out JSONL
+// dump. Everything below derives purely from the file, so the report
+// for a given dump is byte-identical wherever it is rendered.
+
+/** One parsed telemetry point line. */
+struct ReportPoint
+{
+    std::string series;
+    std::string label;
+    int64_t window = 0;
+    uint64_t count = 0;
+    double mean = 0.0;
+    double p99 = 0.0;
+    bool sample = false; ///< Line carried sum/mean/percentiles.
+};
+
+/** One parsed alert line. */
+struct ReportAlert
+{
+    std::string rule;
+    bool firing = false;
+    int64_t window = 0;
+    double t = 0.0;
+    double value = 0.0;
+    int epoch = 1;
+};
+
+/**
+ * Extract one field from a flat telemetry JSONL object. Good for
+ * exactly the format writeTelemetryJsonl/writeAlertsJsonl emit (no
+ * nesting, no escaped quotes in values).
+ */
+bool
+jsonField(const std::string& line, const std::string& key,
+          std::string* out)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    if (pos < line.size() && line[pos] == '"') {
+        size_t end = line.find('"', pos + 1);
+        if (end == std::string::npos)
+            return false;
+        *out = line.substr(pos + 1, end - pos - 1);
+        return true;
+    }
+    size_t end = pos;
+    while (end < line.size() && line[end] != ',' && line[end] != '}')
+        ++end;
+    *out = line.substr(pos, end - pos);
+    return true;
+}
+
+double
+jsonNumField(const std::string& line, const std::string& key,
+             double fallback)
+{
+    std::string raw;
+    if (!jsonField(line, key, &raw) || raw == "null")
+        return fallback;
+    try {
+        return std::stod(raw);
+    } catch (...) {
+        return fallback;
+    }
+}
+
+/** Render values as a fixed-ramp ASCII sparkline over `cols` columns. */
+std::string
+sparkline(const std::vector<double>& byWindow, int64_t wMin,
+          int64_t wMax, size_t cols)
+{
+    static const char kRamp[] = " .:-=+*#%@";
+    const size_t levels = sizeof kRamp - 2; // Index of the top glyph.
+    int64_t span = wMax - wMin + 1;
+    if (span <= 0 || byWindow.empty())
+        return "";
+    cols = std::min<size_t>(cols, static_cast<size_t>(span));
+    std::vector<double> col(cols, 0.0);
+    std::vector<uint64_t> n(cols, 0);
+    for (int64_t w = 0; w < span; ++w) {
+        if (static_cast<size_t>(w) >= byWindow.size())
+            break;
+        size_t c = static_cast<size_t>(
+            (static_cast<uint64_t>(w) * cols) /
+            static_cast<uint64_t>(span));
+        col[c] += byWindow[static_cast<size_t>(w)];
+        ++n[c];
+    }
+    double peak = 0.0;
+    for (size_t c = 0; c < cols; ++c) {
+        if (n[c])
+            col[c] /= static_cast<double>(n[c]);
+        peak = std::max(peak, col[c]);
+    }
+    std::string out(cols, ' ');
+    for (size_t c = 0; c < cols; ++c) {
+        if (peak <= 0.0 || col[c] <= 0.0)
+            continue;
+        size_t lvl = 1 + static_cast<size_t>((col[c] / peak) *
+                                             static_cast<double>(levels - 1));
+        out[c] = kRamp[std::min(lvl, levels)];
+    }
+    return out;
+}
+
+int
+runReport(const CliArgs& args)
+{
+    std::string path = args.get("telemetry", "");
+    if (path.empty()) {
+        std::cerr << "bolt_cli: report requires --telemetry <file> (a "
+                     "--telemetry-out dump)\n";
+        return 2;
+    }
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "bolt_cli: cannot open '" << path << "'\n";
+        return 2;
+    }
+    std::string line;
+    if (!std::getline(in, line) ||
+        line.find("\"bolt_telemetry\"") == std::string::npos) {
+        std::cerr << "bolt_cli: '" << path
+                  << "' is not a bolt telemetry dump (missing "
+                     "bolt_telemetry header)\n";
+        return 2;
+    }
+    double window_sec = jsonNumField(line, "window_sec", 1.0);
+    uint64_t dropped = static_cast<uint64_t>(
+        jsonNumField(line, "series_dropped", 0.0));
+
+    std::vector<ReportPoint> points;
+    std::vector<ReportAlert> alerts;
+    int lineno = 1;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::string s;
+        if (jsonField(line, "alert", &s)) {
+            ReportAlert a;
+            a.rule = s;
+            jsonField(line, "state", &s);
+            a.firing = s == "firing";
+            a.window = static_cast<int64_t>(
+                jsonNumField(line, "window", 0.0));
+            a.t = jsonNumField(line, "t", 0.0);
+            a.value = jsonNumField(line, "value", 0.0);
+            a.epoch =
+                static_cast<int>(jsonNumField(line, "epoch", 1.0));
+            alerts.push_back(std::move(a));
+        } else if (jsonField(line, "series", &s)) {
+            ReportPoint p;
+            p.series = s;
+            jsonField(line, "label", &p.label);
+            p.window = static_cast<int64_t>(
+                jsonNumField(line, "window", 0.0));
+            p.count = static_cast<uint64_t>(
+                jsonNumField(line, "count", 0.0));
+            std::string raw;
+            p.sample = jsonField(line, "mean", &raw);
+            p.mean = jsonNumField(line, "mean", 0.0);
+            p.p99 = jsonNumField(line, "p99", 0.0);
+            points.push_back(std::move(p));
+        } else {
+            std::cerr << "bolt_cli: " << path << ":" << lineno
+                      << ": unrecognized telemetry line\n";
+            return 2;
+        }
+    }
+
+    int64_t wMin = 0, wMax = 0;
+    bool haveW = false;
+    for (const ReportPoint& p : points) {
+        wMin = haveW ? std::min(wMin, p.window) : p.window;
+        wMax = haveW ? std::max(wMax, p.window) : p.window;
+        haveW = true;
+    }
+
+    // Group by (series, label), insertion order = export order.
+    std::vector<std::pair<std::string, std::vector<size_t>>> groups;
+    for (size_t i = 0; i < points.size(); ++i) {
+        std::string key = points[i].series;
+        if (!points[i].label.empty())
+            key += "[" + points[i].label + "]";
+        if (groups.empty() || groups.back().first != key)
+            groups.emplace_back(key, std::vector<size_t>{});
+        groups.back().second.push_back(i);
+    }
+
+    std::cout << "telemetry report: " << path << "\n"
+              << "windows " << wMin << ".." << wMax << " ("
+              << util::AsciiTable::num(window_sec, window_sec < 1 ? 3 : 0)
+              << "s each), " << groups.size() << " series, "
+              << points.size() << " points, " << alerts.size()
+              << " alert events, dropped=" << dropped << "\n\n";
+
+    // Per-series sparkline table: counts for counter series, per-window
+    // means for sample series.
+    util::AsciiTable table({"Series", "Windows", "Total", "Mean", "Spark"});
+    for (const auto& [key, idx] : groups) {
+        uint64_t total = 0;
+        double weighted = 0.0;
+        bool sample = false;
+        std::vector<double> byWindow(
+            static_cast<size_t>(wMax - wMin + 1), 0.0);
+        for (size_t i : idx) {
+            const ReportPoint& p = points[i];
+            total += p.count;
+            weighted += p.mean * static_cast<double>(p.count);
+            sample = sample || p.sample;
+            byWindow[static_cast<size_t>(p.window - wMin)] =
+                sample ? p.mean : static_cast<double>(p.count);
+        }
+        double mean =
+            total ? weighted / static_cast<double>(total) : 0.0;
+        table.addRow({key, std::to_string(idx.size()),
+                      std::to_string(total),
+                      sample ? util::AsciiTable::num(mean, 2) : "-",
+                      sparkline(byWindow, wMin, wMax, 48)});
+    }
+    table.print(std::cout);
+
+    // SLO-violation timeline.
+    std::cout << "\nslo alerts:";
+    if (alerts.empty()) {
+        std::cout << " none\n";
+    } else {
+        std::cout << "\n";
+        for (const ReportAlert& a : alerts) {
+            std::cout << "  " << (a.firing ? "fired   " : "resolved")
+                      << " " << a.rule << "  window " << a.window
+                      << " (t=" << util::AsciiTable::num(a.t, 0)
+                      << "s) value="
+                      << util::AsciiTable::num(a.value, 2);
+            if (a.epoch > 1)
+                std::cout << " epoch=" << a.epoch;
+            std::cout << "\n";
+        }
+    }
+
+    // Queue/batch occupancy profile.
+    bool any_occ = false;
+    for (const auto& [key, idx] : groups) {
+        const std::string& series = points[idx.front()].series;
+        if (series != "serve.queue_depth" &&
+            series != "serve.batch_size")
+            continue;
+        if (!any_occ)
+            std::cout << "\noccupancy:\n";
+        any_occ = true;
+        uint64_t total = 0;
+        double weighted = 0.0, peak = 0.0, p99 = 0.0;
+        for (size_t i : idx) {
+            const ReportPoint& p = points[i];
+            total += p.count;
+            weighted += p.mean * static_cast<double>(p.count);
+            peak = std::max(peak, p.mean);
+            p99 = std::max(p99, p.p99);
+        }
+        std::cout << "  " << key << ": samples=" << total << " mean="
+                  << util::AsciiTable::num(
+                         total ? weighted / static_cast<double>(total)
+                               : 0.0,
+                         2)
+                  << " peak-window-mean="
+                  << util::AsciiTable::num(peak, 2)
+                  << " max-p99=" << util::AsciiTable::num(p99, 2)
+                  << "\n";
+    }
+
+    // Top-k tenant attribution per firing alert window range.
+    int top = args.getInt("top", 5);
+    for (size_t a = 0; a < alerts.size(); ++a) {
+        if (!alerts[a].firing)
+            continue;
+        int64_t wStart = alerts[a].window;
+        int64_t wEnd = wMax;
+        for (size_t b = a + 1; b < alerts.size(); ++b) {
+            if (alerts[b].rule == alerts[a].rule && !alerts[b].firing) {
+                wEnd = alerts[b].window;
+                break;
+            }
+        }
+        std::vector<std::pair<std::string, uint64_t>> tenants;
+        for (const ReportPoint& p : points) {
+            if (p.series != "serve.tenant_requests" ||
+                p.window < wStart || p.window > wEnd)
+                continue;
+            bool found = false;
+            for (auto& [label, n] : tenants) {
+                if (label == p.label) {
+                    n += p.count;
+                    found = true;
+                }
+            }
+            if (!found)
+                tenants.emplace_back(p.label, p.count);
+        }
+        if (tenants.empty())
+            continue;
+        std::stable_sort(tenants.begin(), tenants.end(),
+                         [](const auto& x, const auto& y) {
+                             return x.second > y.second;
+                         });
+        std::cout << "\nattribution for " << alerts[a].rule
+                  << " (windows " << wStart << ".." << wEnd << ", top "
+                  << top << " by serve.tenant_requests):\n";
+        for (size_t i = 0;
+             i < tenants.size() && i < static_cast<size_t>(top); ++i) {
+            std::cout << "  " << tenants[i].first << ": "
+                      << tenants[i].second << "\n";
+        }
+    }
     return 0;
 }
 
@@ -492,10 +828,11 @@ usage()
 {
     std::cout
         << "usage: bolt_cli <run|experiment|detect|dos|coresidency|"
-           "serve-bench> [--flag value ...]\n"
+           "serve-bench|report> [--flag value ...]\n"
            "  run         --scenario FILE (declarative scenario; see\n"
            "              docs/SCENARIOS.md and scenarios/)\n"
            "              --dump (print the canonical form, don't run)\n"
+           "              exit 3 when an `expect:` item fails\n"
            "  experiment  --servers N --victims N --seed S [--quasar]\n"
            "              --threads N (0 = hardware; any value gives\n"
            "              bit-identical results)\n"
@@ -524,11 +861,17 @@ usage()
            "              --no-admit-check (disable SLO admission "
            "control)\n"
            "              --closed-loop --clients N --think-ms MS\n"
+           "  report      --telemetry FILE (a --telemetry-out dump)\n"
+           "              --top N (tenants per alert attribution, "
+           "default 5)\n"
            "observability (any subcommand):\n"
            "  --metrics-out FILE  RunReport JSON: config + metrics "
            "snapshot\n"
            "  --trace-out FILE    sim-time trace (Chrome JSON; .jsonl "
            "= JSONL)\n"
+           "  --telemetry-out FILE  windowed time-series + alerts "
+           "(JSONL)\n"
+           "  --telemetry-window SEC  window width (default 1)\n"
            "  --log-level L       error|warn|info|debug (default "
            "warn)\n"
            "unknown flags are rejected\n";
@@ -569,6 +912,10 @@ const std::vector<CliFlagSpec> kCoResidencyFlags = {
 const std::vector<CliFlagSpec> kRunFlags = {
     {"scenario", FlagKind::String},
     {"dump", FlagKind::Flag},
+};
+const std::vector<CliFlagSpec> kReportFlags = {
+    {"telemetry", FlagKind::String},
+    {"top", FlagKind::Int, 1, 1000},
 };
 const std::vector<CliFlagSpec> kServeBenchFlags = {
     {"requests", FlagKind::Int, 1, 10000000},
@@ -623,6 +970,9 @@ main(int argc, char** argv)
     } else if (command == "serve-bench") {
         spec = &kServeBenchFlags;
         run = runServeBench;
+    } else if (command == "report") {
+        spec = &kReportFlags;
+        run = runReport;
     } else {
         std::cerr << "bolt_cli: unknown command '" << command << "'\n";
         usage();

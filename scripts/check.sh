@@ -30,6 +30,13 @@
 # rejected with a line-numbered diagnostic and exit 2. Pass --update
 # after --scenario to regenerate the goldens instead of diffing them.
 #
+# The --telemetry stage asserts the telemetry-pipeline contract:
+# enabling --telemetry-out must not change run stdout (telemetry
+# observes, it never perturbs), the JSONL dump must be byte-identical
+# at 1 and 8 threads, `bolt_cli report` must render it, a failing
+# `expect:` must exit 3 with a file:line message, and the perf_serving
+# --json probe must show <5% saturation wall-QPS overhead.
+#
 # The --simd stage asserts the kernel-backend determinism contract: a
 # Release build with -DBOLT_SIMD=ON must pass its test suite (including
 # the scalar-vs-AVX2 bit-equality tests in tests/test_kernels.cc) and
@@ -37,7 +44,7 @@
 # perf_serving sweep byte-for-byte. On hardware without AVX2 the SIMD
 # build falls back to the scalar backend and the gate still holds.
 #
-# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--fault|--serve|--scenario [--update]|--simd|--bench-only]
+# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--fault|--serve|--scenario [--update]|--telemetry|--simd|--bench-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -298,6 +305,99 @@ if [[ "${mode}" == "--scenario" || "${mode}" == "all" ]]; then
     echo "Scenario gate passed."
 fi
 
+if [[ "${mode}" == "--telemetry" || "${mode}" == "all" ]]; then
+    echo "== Telemetry pipeline gate =="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target bolt_cli
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-release -j "$(nproc)" --target perf_serving
+    tel_dir="$(mktemp -d)"
+    trap 'rm -rf "${obs_dir:-}" "${fault_dir:-}" "${serve_dir:-}" "${scn_dir:-}" "${tel_dir:-}"' EXIT
+    cli=./build/examples/bolt_cli
+
+    # Telemetry inertness: the same scenario run with and without a
+    # telemetry dump must produce byte-identical stdout (the recorder
+    # observes the decision plane, it never perturbs it).
+    scn=scenarios/flash_crowd.scn
+    "${cli}" run --scenario "${scn}" > "${tel_dir}/plain.txt"
+    "${cli}" run --scenario "${scn}" \
+        --telemetry-out "${tel_dir}/t_1.jsonl" --threads 1 \
+        > "${tel_dir}/tel_1.txt"
+    "${cli}" run --scenario "${scn}" \
+        --telemetry-out "${tel_dir}/t_8.jsonl" --threads 8 \
+        > "${tel_dir}/tel_8.txt"
+    for variant in tel_1 tel_8; do
+        if ! diff -u "${tel_dir}/plain.txt" "${tel_dir}/${variant}.txt"; then
+            echo "FAIL: --telemetry-out changed scenario stdout" \
+                 "(${variant})" >&2
+            exit 1
+        fi
+    done
+
+    # The windowed JSONL export is Sim-class: per-thread shards merge in
+    # shard order, so the dump is byte-identical at any thread count.
+    if ! diff -u "${tel_dir}/t_1.jsonl" "${tel_dir}/t_8.jsonl"; then
+        echo "FAIL: telemetry JSONL differs between 1 and 8 threads" >&2
+        exit 1
+    fi
+    if ! grep -q '"bolt_telemetry":1' "${tel_dir}/t_1.jsonl"; then
+        echo "FAIL: telemetry dump is missing its header line" >&2
+        exit 1
+    fi
+
+    # The post-run analyzer must render the dump (exit 0) and reject a
+    # non-telemetry file with a usage error (exit 2).
+    "${cli}" report --telemetry "${tel_dir}/t_1.jsonl" --top 3 \
+        > "${tel_dir}/report.txt"
+    if ! grep -q "serve.latency_ms" "${tel_dir}/report.txt"; then
+        echo "FAIL: report output lost the serve.latency_ms series" >&2
+        exit 1
+    fi
+    rc=0
+    "${cli}" report --telemetry "${tel_dir}/plain.txt" \
+        >/dev/null 2>&1 || rc=$?
+    if [[ "${rc}" != 2 ]]; then
+        echo "FAIL: report on a non-telemetry file exited ${rc}," \
+             "expected 2" >&2
+        exit 1
+    fi
+
+    # Failed `expect:` blocks are their own exit code (3) with a
+    # file:line diagnostic, distinct from usage errors (2).
+    cat > "${tel_dir}/failing.scn" <<'EOF'
+scenario: telemetry-gate-failing-expect
+seed: 5
+stages:
+  - stage: serve
+    requests: 200
+    qps: 2000
+expect:
+  - metric: serve.completed
+    min: 1000000
+EOF
+    rc=0
+    "${cli}" run --scenario "${tel_dir}/failing.scn" \
+        >/dev/null 2>"${tel_dir}/expect_err.txt" || rc=$?
+    if [[ "${rc}" != 3 ]]; then
+        echo "FAIL: failing expect exited ${rc}, expected 3" >&2
+        exit 1
+    fi
+    if ! grep -q "failing.scn:" "${tel_dir}/expect_err.txt" ||
+       ! grep -q "expectation failed" "${tel_dir}/expect_err.txt"; then
+        echo "FAIL: expect failure diagnostic lost its file:line" >&2
+        exit 1
+    fi
+
+    # Overhead budget: recording every serve/detector/fault series at
+    # saturation load must cost <5% wall-QPS and leave the sim digest
+    # untouched (perf_serving --json exits 1 otherwise).
+    ./build-release/bench/perf_serving --json \
+        > "${tel_dir}/overhead.json"
+    echo "-- perf_serving telemetry-overhead probe --"
+    cat "${tel_dir}/overhead.json"
+    echo "Telemetry gate passed."
+fi
+
 if [[ "${mode}" == "--simd" || "${mode}" == "all" ]]; then
     echo "== SIMD backend equivalence gate =="
     cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -309,7 +409,7 @@ if [[ "${mode}" == "--simd" || "${mode}" == "all" ]]; then
     echo "-- SIMD build test suite (incl. scalar-vs-AVX2 bit equality) --"
     ctest --test-dir build-simd --output-on-failure -j "$(nproc)" -L tier1
     simd_dir="$(mktemp -d)"
-    trap 'rm -rf "${obs_dir:-}" "${fault_dir:-}" "${serve_dir:-}" "${scn_dir:-}" "${simd_dir:-}"' EXIT
+    trap 'rm -rf "${obs_dir:-}" "${fault_dir:-}" "${serve_dir:-}" "${scn_dir:-}" "${tel_dir:-}" "${simd_dir:-}"' EXIT
 
     # The recommender query digest must be byte-identical across
     # backends (each run is also gated against the committed golden).

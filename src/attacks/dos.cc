@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/monitor.h"
+#include "obs/timeseries.h"
 #include "sim/cluster.h"
 #include "workloads/generators.h"
 
@@ -85,7 +87,14 @@ DosTimelineExperiment::run(bool use_bolt) const
 
     std::vector<DosTimelineSample> timeline;
     util::Rng noise = rng.substream("noise");
+    // Timeline telemetry is keyed by attack mode so the bolt and naive
+    // passes land in distinct series; the monitor advances on the same
+    // sequential loop, so rule evaluation is trivially deterministic.
+    auto& telemetry = obs::TimeSeriesRecorder::global();
+    auto& monitor = obs::SloMonitor::global();
+    const std::string mode = use_bolt ? "bolt" : "naive";
     for (double t = 0.0; t < config_.durationSec; t += 1.0) {
+        monitor.advanceTo(t);
         DosTimelineSample s;
         s.t = t;
         bool attacking = t >= config_.detectionAtSec;
@@ -131,8 +140,16 @@ DosTimelineExperiment::run(bool use_bolt) const
         defense.sample(t, s.cpuUtil);
         s.migrating = defense.migrating(t);
         s.migrated = defense.migrated(t);
+        if (telemetry.enabled()) {
+            telemetry.sample(obs::SeriesId::kDosVictimP99Ms, mode, t,
+                             s.p99Ms);
+            telemetry.sample(obs::SeriesId::kDosHostCpuUtil, mode, t,
+                             s.cpuUtil);
+        }
         timeline.push_back(s);
     }
+    // Close out the trailing windows so rules see the full timeline.
+    monitor.advanceTo(config_.durationSec);
     return timeline;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace bolt {
@@ -39,6 +40,12 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
     double now = t;
     auto& metrics = obs::MetricsRegistry::global();
     metrics.add(obs::MetricId::kDetectorRounds);
+    // Windowed telemetry is keyed by round index so the analyzer can
+    // show how retries and abstentions concentrate in later rounds.
+    auto& telemetry = obs::TimeSeriesRecorder::global();
+    if (telemetry.enabled())
+        telemetry.count(obs::SeriesId::kDetectorRoundEvents,
+                        "r" + std::to_string(round_index), t);
 
     ProfileRound prof = profiler_.profile(env, now, rng, round_index);
     now += prof.durationSec;
@@ -73,7 +80,7 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
             ++round.benchmarksRun;
             metrics.add(obs::MetricId::kDetectorExtraProbes);
             // Dropped probes are masked, not recorded as zero pressure.
-            auto kept = Profiler::applySampleFaults(env, raw);
+            auto kept = Profiler::applySampleFaults(env, raw, now);
             if (kept)
                 prof.observation.set(r, *kept);
             else
@@ -136,6 +143,9 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
                    static_cast<size_t>(config_.minObservedForMatch)) {
             ++round.retryRounds;
             metrics.add(obs::MetricId::kDetectorRetryRounds);
+            if (telemetry.enabled())
+                telemetry.count(obs::SeriesId::kDetectorRetryEvents,
+                                "r" + std::to_string(round_index), now);
             now += backoff;
             backoff *= config_.retryBackoffMult;
             for (sim::Resource r : sim::kAllResources) {
@@ -151,7 +161,7 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
                 now += Microbenchmark::rampDurationSec(raw);
                 ++round.benchmarksRun;
                 metrics.add(obs::MetricId::kDetectorRetryProbes);
-                auto kept = Profiler::applySampleFaults(env, raw);
+                auto kept = Profiler::applySampleFaults(env, raw, now);
                 if (kept)
                     prof.observation.set(r, *kept);
                 else
@@ -166,6 +176,9 @@ Detector::detectOnce(const HostEnvironment& env, double t, util::Rng& rng,
             round.abstained = true;
             round.confidence = whole.confidence;
             metrics.add(obs::MetricId::kDetectorGatedAbstentions);
+            if (telemetry.enabled())
+                telemetry.count(obs::SeriesId::kDetectorAbstentions,
+                                "r" + std::to_string(round_index), now);
             metrics.add(obs::MetricId::kDetectorInconclusiveRounds);
             round.profilingSec = now - t;
             metrics.observe(obs::MetricId::kDetectorRoundSimSec,

@@ -6,6 +6,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
@@ -423,6 +424,8 @@ ControlledExperiment::run()
                         local.remove(here[v]->id);
                         metrics.add(
                             obs::MetricId::kFaultTenantDepartures);
+                        obs::TimeSeriesRecorder::global().count(
+                            obs::SeriesId::kFaultEvents, "departure", t);
                         continue;
                     }
                     double new_phase = 0.0;
@@ -432,6 +435,8 @@ ControlledExperiment::run()
                         instances.find(here[v]->id)
                             ->second.setPatternPhase(new_phase);
                         metrics.add(obs::MetricId::kFaultPhaseFlips);
+                        obs::TimeSeriesRecorder::global().count(
+                            obs::SeriesId::kFaultEvents, "phase-flip", t);
                     }
                 }
                 fault::ArrivalEvent arr = host_faults->arrivalAt(iter);
@@ -452,6 +457,8 @@ ControlledExperiment::run()
                                     {kPhaseNeighborInstance, s,
                                      static_cast<uint64_t>(iter)})));
                         metrics.add(obs::MetricId::kFaultTenantArrivals);
+                        obs::TimeSeriesRecorder::global().count(
+                            obs::SeriesId::kFaultEvents, "arrival", t);
                     }
                 }
                 if (std::none_of(alive.begin(), alive.end(),

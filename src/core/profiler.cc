@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace bolt {
@@ -63,18 +64,24 @@ Profiler::measureResource(const HostEnvironment& env, sim::Resource r,
 }
 
 std::optional<double>
-Profiler::applySampleFaults(const HostEnvironment& env, double reading)
+Profiler::applySampleFaults(const HostEnvironment& env, double reading,
+                            double t)
 {
     if (!env.faults)
         return reading;
     fault::SampleFault f = env.faults->nextSampleFault();
     auto& metrics = obs::MetricsRegistry::global();
+    auto& telemetry = obs::TimeSeriesRecorder::global();
     if (f.dropped) {
         metrics.add(obs::MetricId::kFaultSampleDropouts);
+        if (telemetry.enabled())
+            telemetry.count(obs::SeriesId::kFaultEvents, "dropout", t);
         return std::nullopt;
     }
     if (f.delta != 0.0) {
         metrics.add(obs::MetricId::kFaultSampleSpikes);
+        if (telemetry.enabled())
+            telemetry.count(obs::SeriesId::kFaultEvents, "spike", t);
         return std::clamp(reading + f.delta, 0.0, 100.0);
     }
     return reading;
@@ -103,7 +110,7 @@ Profiler::profile(const HostEnvironment& env, double t, util::Rng& rng,
         double raw = measureResource(env, r, round.focusCore, now, rng);
         now += Microbenchmark::rampDurationSec(raw);
         ++round.benchmarksRun;
-        auto ci = applySampleFaults(env, raw);
+        auto ci = applySampleFaults(env, raw, now);
         if (ci)
             round.observation.set(r, *ci);
         else

@@ -131,10 +131,12 @@ class Profiler
      * was dropped and must be masked. Consumes exactly one slot of the
      * host's sample-fault stream per call; without an oracle it is the
      * identity. Callers still advance virtual time by the probe's ramp
-     * duration — the benchmark ran, only its reading was lost.
+     * duration — the benchmark ran, only its reading was lost. The sim
+     * time t attributes the fault to a telemetry window.
      */
     static std::optional<double>
-    applySampleFaults(const HostEnvironment& env, double reading);
+    applySampleFaults(const HostEnvironment& env, double reading,
+                      double t = 0.0);
 
     /**
      * Shutter profiling (Section 3.3): brief, frequent windows on the

@@ -148,10 +148,22 @@ double
 HistogramSnapshot::percentile(double p) const
 {
     if (count == 0)
-        return 0.0;
+        return std::nan(""); // documented empty-histogram sentinel
     const MetricInfo& info = metricInfo(id);
     double width = (info.hi - info.lo) / info.bins;
     p = std::min(std::max(p, 0.0), 100.0);
+    if (p <= 0.0) {
+        // Low edge of the first occupied bucket.
+        for (size_t b = 0; b < buckets.size(); ++b)
+            if (buckets[b])
+                return info.lo + static_cast<double>(b) * width;
+    }
+    if (p >= 100.0) {
+        // High edge of the last occupied bucket.
+        for (size_t b = buckets.size(); b-- > 0;)
+            if (buckets[b])
+                return info.lo + static_cast<double>(b + 1) * width;
+    }
     double rank = p / 100.0 * static_cast<double>(count);
     uint64_t cum = 0;
     for (size_t b = 0; b < buckets.size(); ++b) {

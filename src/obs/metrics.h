@@ -140,7 +140,16 @@ enum class MetricKind { Counter, Gauge, Histogram };
     X(ScenarioIncludesRun, "scenario.includes_run",                          \
       Sim, false, "Sub-scenario runs performed by include stages")           \
     X(ScenarioServeSegments, "scenario.serve_segments",                      \
-      Sim, false, "Arrival-ramp segments executed by serve stages")
+      Sim, false, "Arrival-ramp segments executed by serve stages")          \
+    X(TelemetrySeriesDropped, "telemetry.series_dropped",                    \
+      Sim, false,                                                            \
+      "Keyed-series label creations refused by the cardinality cap")         \
+    X(MonitorWindowsEvaluated, "monitor.windows_evaluated",                  \
+      Sim, false, "Closed telemetry windows evaluated by the SLO monitor")   \
+    X(MonitorAlertsFired, "monitor.alerts_fired",                            \
+      Sim, false, "SLO rule transitions into the firing state")              \
+    X(MonitorAlertsResolved, "monitor.alerts_resolved",                      \
+      Sim, false, "SLO rule transitions back to the resolved state")
 
 #define BOLT_GAUGE_METRICS(X)                                                \
     X(PoolQueueDepthPeak, "pool.queue_depth_peak",                           \
@@ -250,8 +259,11 @@ struct HistogramSnapshot
      * from the bucket counts with linear interpolation inside the
      * bucket that crosses the rank. Resolution is the bucket width;
      * samples clamped into the edge buckets resolve to edge-bucket
-     * positions. Returns 0 for an empty histogram. Deterministic for
-     * Sim-class metrics (depends only on the bit-exact bucket counts).
+     * positions. Edge sentinels: an empty histogram returns NaN
+     * (rendered as null in JSON), p <= 0 returns the low edge of the
+     * first occupied bucket and p >= 100 the high edge of the last
+     * occupied bucket. Deterministic for Sim-class metrics (depends
+     * only on the bit-exact bucket counts).
      */
     double percentile(double p) const;
 };

@@ -1,6 +1,8 @@
 #include "report.h"
 
 #include "log.h"
+#include "monitor.h"
+#include "timeseries.h"
 #include "trace.h"
 
 #include <chrono>
@@ -215,6 +217,7 @@ namespace {
 
 std::string g_metrics_out;
 std::string g_trace_out;
+std::string g_telemetry_out;
 bool g_outputs_written = false;
 std::chrono::steady_clock::time_point g_start_time;
 std::string g_program_name = "bolt";
@@ -257,6 +260,12 @@ setTraceOutPath(std::string path)
     g_trace_out = std::move(path);
 }
 
+void
+setTelemetryOutPath(std::string path)
+{
+    g_telemetry_out = std::move(path);
+}
+
 const std::string&
 metricsOutPath()
 {
@@ -267,6 +276,12 @@ const std::string&
 traceOutPath()
 {
     return g_trace_out;
+}
+
+const std::string&
+telemetryOutPath()
+{
+    return g_telemetry_out;
 }
 
 void
@@ -294,6 +309,17 @@ writeConfiguredOutputs(const RunReport& report)
                                                              << "'");
         }
     }
+    if (!g_telemetry_out.empty()) {
+        std::ofstream os(g_telemetry_out);
+        if (os) {
+            writeTelemetryJsonl(os,
+                                TimeSeriesRecorder::global().snapshot());
+            writeAlertsJsonl(os, SloMonitor::global().events());
+        } else {
+            BOLT_LOG_ERROR("cannot open telemetry output file '"
+                           << g_telemetry_out << "'");
+        }
+    }
 }
 
 bool
@@ -310,6 +336,7 @@ applyObsFlags(int& argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         std::string_view arg = argv[i];
         if (arg == "--metrics-out" || arg == "--trace-out" ||
+            arg == "--telemetry-out" || arg == "--telemetry-window" ||
             arg == "--log-level") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s: %s requires a value\n",
@@ -325,6 +352,25 @@ applyObsFlags(int& argc, char** argv)
                 setTraceOutPath(value);
                 Tracer::global().setEnabled(true);
                 any = true;
+            } else if (arg == "--telemetry-out") {
+                setTelemetryOutPath(value);
+                TimeSeriesRecorder::global().setEnabled(true);
+                any = true;
+            } else if (arg == "--telemetry-window") {
+                char* end = nullptr;
+                double sec = std::strtod(value, &end);
+                if (end == value || *end != '\0' || !(sec > 0.0)) {
+                    std::fprintf(stderr,
+                                 "%s: --telemetry-window expects a "
+                                 "positive number of sim seconds, got "
+                                 "'%s'\n",
+                                 g_program_name.c_str(), value);
+                    return false;
+                }
+                TelemetryConfig cfg =
+                    TimeSeriesRecorder::global().config();
+                cfg.windowSec = sec;
+                TimeSeriesRecorder::global().configure(cfg);
             } else {
                 LogLevel level;
                 if (!parseLogLevel(value, &level)) {

@@ -75,14 +75,19 @@ class RunReport
 };
 
 /**
- * Output paths configured by --metrics-out / --trace-out (empty =
- * don't write). The trace format is chosen by extension: ".jsonl"
- * writes flat JSONL, anything else Chrome trace_event JSON.
+ * Output paths configured by --metrics-out / --trace-out /
+ * --telemetry-out (empty = don't write). The trace format is chosen
+ * by extension: ".jsonl" writes flat JSONL, anything else Chrome
+ * trace_event JSON. The telemetry output is always JSONL (windowed
+ * series points followed by SLO alert events — the input format of
+ * `bolt_cli report`).
  */
 void setMetricsOutPath(std::string path);
 void setTraceOutPath(std::string path);
+void setTelemetryOutPath(std::string path);
 const std::string& metricsOutPath();
 const std::string& traceOutPath();
+const std::string& telemetryOutPath();
 
 /**
  * Write the configured outputs for one finished run: the RunReport
@@ -97,9 +102,11 @@ void writeConfiguredOutputs(const RunReport& report);
  * Consume the shared observability flags from argv, enabling the
  * subsystems they configure:
  *
- *   --metrics-out FILE   enable metrics; write a RunReport JSON there
- *   --trace-out FILE     enable tracing; write the trace there
- *   --log-level LEVEL    error|warn|info|debug (default warn)
+ *   --metrics-out FILE      enable metrics; write a RunReport JSON there
+ *   --trace-out FILE        enable tracing; write the trace there
+ *   --telemetry-out FILE    enable windowed telemetry; write JSONL there
+ *   --telemetry-window SEC  telemetry window width in sim seconds (> 0)
+ *   --log-level LEVEL       error|warn|info|debug (default warn)
  *
  * Consumed flags are removed from argv (argc is updated) so drivers
  * with their own strict parsers — google-benchmark — never see them.

@@ -1,15 +1,21 @@
 #include "scenario/runner.h"
 
 #include <algorithm>
+#include <charconv>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <string>
 
+#include <filesystem>
+
 #include "attacks/coresidency.h"
 #include "attacks/dos.h"
 #include "core/experiment.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "obs/report.h"
+#include "obs/timeseries.h"
 #include "serve/engine.h"
 #include "util/digest.h"
 #include "util/rng.h"
@@ -403,12 +409,167 @@ runWithSeed(const Scenario& s, uint64_t seed, std::ostream& os,
     return total;
 }
 
+/** Shortest round-trip decimal form of a double. */
+std::string
+fmtNum(double v)
+{
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    (void)ec;
+    return std::string(buf, ptr);
+}
+
+/** Resolve one compiled SloRuleSpec into the monitor's rule form. */
+obs::SloRule
+toObsRule(const SloRuleSpec& spec)
+{
+    obs::SloRule r;
+    r.name = spec.rule;
+    r.kind = spec.kind == "burn-rate" ? obs::RuleKind::BurnRate
+             : spec.kind == "absence" ? obs::RuleKind::Absence
+                                      : obs::RuleKind::Threshold;
+    obs::seriesByName(spec.series, &r.series);
+    r.label = spec.label;
+    r.agg = spec.agg == "count" ? obs::RuleAgg::Count
+            : spec.agg == "sum" ? obs::RuleAgg::Sum
+            : spec.agg == "p50" ? obs::RuleAgg::P50
+            : spec.agg == "p95" ? obs::RuleAgg::P95
+            : spec.agg == "p99" ? obs::RuleAgg::P99
+                                : obs::RuleAgg::Mean;
+    r.op = spec.op == "below" ? obs::RuleOp::Below : obs::RuleOp::Above;
+    r.value = spec.value;
+    r.sustain = static_cast<uint32_t>(spec.sustainWindows);
+    if (!spec.totalSeries.empty())
+        obs::seriesByName(spec.totalSeries, &r.totalSeries);
+    r.totalLabel = spec.totalLabel;
+    r.budget = spec.budget;
+    r.shortWindows = static_cast<uint32_t>(spec.shortWindows);
+    r.longWindows = static_cast<uint32_t>(spec.longWindows);
+    r.windows = static_cast<uint32_t>(spec.windows);
+    return r;
+}
+
+uint64_t
+counterValue(const obs::Snapshot& snap, std::string_view name)
+{
+    for (const auto& c : snap.counters)
+        if (name == obs::metricInfo(c.id).name)
+            return c.value;
+    return 0;
+}
+
 } // namespace
 
 RunResult
 runScenario(const Scenario& s, std::ostream& os)
 {
-    return runWithSeed(s, s.seed, os, 0);
+    const bool has_rules = !s.sloRules.empty();
+    const bool has_expects = !s.expects.empty();
+    auto& metrics = obs::MetricsRegistry::global();
+    auto& telemetry = obs::TimeSeriesRecorder::global();
+    auto& monitor = obs::SloMonitor::global();
+
+    // Expectations and rules auto-enable the observability they need
+    // and restore the ambient state afterwards; metric expects
+    // evaluate run deltas so back-to-back in-process runs (tests, the
+    // scenario library gate) don't bleed into each other.
+    const bool metrics_were_enabled = metrics.enabled();
+    const bool telemetry_was_enabled = telemetry.enabled();
+    obs::Snapshot before;
+    if (has_expects) {
+        metrics.setEnabled(true);
+        before = metrics.snapshot();
+    }
+    if (has_rules) {
+        // The alert timeline is golden-gated, so it must not depend on
+        // --telemetry-window: force the scenario's own window width
+        // and start from an empty recorder.
+        obs::TelemetryConfig cfg = telemetry.config();
+        cfg.windowSec = s.sloWindowSec;
+        telemetry.configure(cfg);
+        telemetry.setEnabled(true);
+        std::vector<obs::SloRule> rules;
+        rules.reserve(s.sloRules.size());
+        for (const SloRuleSpec& spec : s.sloRules)
+            rules.push_back(toObsRule(spec));
+        monitor.setRules(std::move(rules));
+    }
+
+    RunResult total = runWithSeed(s, s.seed, os, 0);
+
+    if (has_rules) {
+        os << "  alerts:";
+        if (monitor.events().empty()) {
+            os << " none\n";
+        } else {
+            os << "\n";
+            for (const obs::AlertEvent& ev : monitor.events()) {
+                os << "    " << (ev.firing ? "fired" : "resolved")
+                   << " " << ev.rule << " t=" << fmtNum(ev.t)
+                   << "s value=" << util::AsciiTable::num(ev.value, 2);
+                if (ev.epoch > 1)
+                    os << " epoch=" << ev.epoch;
+                os << "\n";
+            }
+        }
+    }
+    if (has_expects) {
+        obs::Snapshot after = metrics.snapshot();
+        std::string file =
+            std::filesystem::path(s.sourcePath.empty() ? "<scenario>"
+                                                       : s.sourcePath)
+                .filename()
+                .string();
+        int passed = 0;
+        for (const ExpectSpec& e : s.expects) {
+            ++total.expectsTotal;
+            std::string failure;
+            if (!e.metric.empty()) {
+                uint64_t delta = counterValue(after, e.metric) -
+                                 counterValue(before, e.metric);
+                if (e.hasMin && delta < e.min)
+                    failure = "metric " + e.metric + " = " +
+                              std::to_string(delta) + " below min " +
+                              std::to_string(e.min);
+                else if (e.hasMax && delta > e.max)
+                    failure = "metric " + e.metric + " = " +
+                              std::to_string(delta) + " above max " +
+                              std::to_string(e.max);
+            } else if (e.slo == "no-alerts-firing") {
+                if (monitor.firingCount() != 0)
+                    failure = std::to_string(monitor.firingCount()) +
+                              " alert(s) still firing at end of run";
+            } else if (e.slo == "fired") {
+                if (!monitor.everFired(e.rule))
+                    failure = "slo rule '" + e.rule + "' never fired";
+            } else { // not-fired
+                if (monitor.everFired(e.rule))
+                    failure = "slo rule '" + e.rule + "' fired";
+            }
+            if (failure.empty())
+                ++passed;
+            else
+                total.expectFailures.push_back(
+                    file + ":" + std::to_string(e.line) +
+                    ": expectation failed: " + failure);
+        }
+        os << "  expect: " << passed << "/" << total.expectsTotal
+           << (total.expectFailures.empty() ? " ok" : " FAILED")
+           << "\n";
+    }
+
+    // Restore the ambient observability state. Recorded telemetry and
+    // alert events stay in place so --telemetry-out's end-of-run write
+    // still sees them; without a configured output the monitor is
+    // cleared so later in-process runs start inert.
+    if (has_expects)
+        metrics.setEnabled(metrics_were_enabled);
+    if (has_rules) {
+        telemetry.setEnabled(telemetry_was_enabled);
+        if (obs::telemetryOutPath().empty())
+            monitor.clear();
+    }
+    return total;
 }
 
 } // namespace scenario

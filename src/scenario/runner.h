@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "scenario/scenario.h"
 
@@ -26,6 +28,17 @@ struct RunResult
     int stagesRun = 0;
     /** Accumulated virtual seconds across stages (Sim-class). */
     double simSeconds = 0.0;
+    /** `expect:` items evaluated (top-level scenario only; include
+     *  stages run sub-scenarios without their expect/slo blocks). */
+    int expectsTotal = 0;
+    /** One "<file>:<line>: expectation failed: ..." per failed item;
+     *  non-empty makes `bolt_cli run` exit 3. */
+    std::vector<std::string> expectFailures;
+
+    bool ok() const
+    {
+        return expectFailures.empty();
+    }
 };
 
 /**

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "scenario/text.h"
 #include "util/digest.h"
 
@@ -494,6 +496,192 @@ compileIncludeStage(MapReader& r, const TextNode& item,
     return true;
 }
 
+/** True when `name` is a counter in the metric catalog. */
+bool
+isCounterMetric(std::string_view name)
+{
+    for (size_t i = 0; i < obs::kNumCounters; ++i) {
+        if (name == obs::metricInfo(static_cast<obs::MetricId>(i)).name)
+            return true;
+    }
+    return false;
+}
+
+bool
+compileSloRules(const TextNode& list, std::string_view filename,
+                Scenario* out, std::string* err)
+{
+    for (const TextNode& item : list.items) {
+        if (item.kind != TextNode::Kind::Map) {
+            *err = errorAt(filename, item.line,
+                           "each slo[] item must be a map beginning "
+                           "with '- rule: <name>'");
+            return false;
+        }
+        SloRuleSpec spec;
+        spec.line = item.line;
+        {
+            MapReader probe(item, filename, "slo rule");
+            probe.getEnum("kind", {"threshold", "burn-rate", "absence"},
+                          &spec.kind);
+            if (probe.failed()) {
+                *err = probe.error();
+                return false;
+            }
+        }
+        // Like attack stages, only the keys of the declared kind are
+        // claimed, so a stray key fails loudly with the valid set.
+        MapReader r(item, filename, spec.kind + " slo rule");
+        std::string discard;
+        r.getEnum("kind", {"threshold", "burn-rate", "absence"},
+                  &discard);
+        r.getString("rule", &spec.rule, /*required=*/true);
+        r.getString("series", &spec.series, /*required=*/true);
+        r.getString("label", &spec.label);
+        if (spec.kind == "threshold") {
+            r.getEnum("agg",
+                      {"count", "sum", "mean", "p50", "p95", "p99"},
+                      &spec.agg);
+            r.getEnum("op", {"above", "below"}, &spec.op);
+            r.getDouble("value", -1e18, 1e18, &spec.value);
+            r.getInt("sustain-windows", 1, 10000, &spec.sustainWindows);
+        } else if (spec.kind == "burn-rate") {
+            r.getString("total-series", &spec.totalSeries,
+                        /*required=*/true);
+            r.getString("total-label", &spec.totalLabel);
+            r.getDouble("budget", 1e-9, 1.0, &spec.budget);
+            r.getDouble("value", -1e18, 1e18, &spec.value);
+            r.getInt("short-windows", 1, 10000, &spec.shortWindows);
+            r.getInt("long-windows", 1, 10000, &spec.longWindows);
+        } else {
+            r.getInt("windows", 1, 10000, &spec.windows);
+        }
+        if (!r.finish()) {
+            *err = r.error();
+            return false;
+        }
+        obs::SeriesId sid;
+        if (!obs::seriesByName(spec.series, &sid)) {
+            *err = errorAt(filename, item.find("series")->line,
+                           "unknown telemetry series '" + spec.series +
+                               "' for 'series'");
+            return false;
+        }
+        if (spec.kind == "burn-rate" &&
+            !obs::seriesByName(spec.totalSeries, &sid)) {
+            *err = errorAt(filename, item.find("total-series")->line,
+                           "unknown telemetry series '" +
+                               spec.totalSeries +
+                               "' for 'total-series'");
+            return false;
+        }
+        for (const SloRuleSpec& prev : out->sloRules) {
+            if (prev.rule == spec.rule) {
+                *err = errorAt(filename, item.line,
+                               "duplicate slo rule name '" + spec.rule +
+                                   "'");
+                return false;
+            }
+        }
+        out->sloRules.push_back(std::move(spec));
+    }
+    return true;
+}
+
+bool
+compileExpects(const TextNode& list, std::string_view filename,
+               Scenario* out, std::string* err)
+{
+    for (const TextNode& item : list.items) {
+        if (item.kind != TextNode::Kind::Map) {
+            *err = errorAt(filename, item.line,
+                           "each expect[] item must be a map ('- "
+                           "metric: ...' or '- slo: ...')");
+            return false;
+        }
+        ExpectSpec e;
+        e.line = item.line;
+        e.hasMin = item.find("min") != nullptr;
+        e.hasMax = item.find("max") != nullptr;
+        MapReader r(item, filename, "expect item");
+        r.getString("metric", &e.metric);
+        r.getUInt("min", &e.min);
+        r.getUInt("max", &e.max);
+        r.getEnum("slo", {"no-alerts-firing", "fired", "not-fired"},
+                  &e.slo);
+        r.getString("rule", &e.rule);
+        if (!r.finish()) {
+            *err = r.error();
+            return false;
+        }
+        if (e.metric.empty() == e.slo.empty()) {
+            *err = errorAt(filename, item.line,
+                           "expect item needs exactly one of 'metric' "
+                           "or 'slo'");
+            return false;
+        }
+        if (!e.metric.empty()) {
+            if (!isCounterMetric(e.metric)) {
+                *err = errorAt(filename, item.find("metric")->line,
+                               "unknown counter metric '" + e.metric +
+                                   "' for 'metric'");
+                return false;
+            }
+            if (!e.hasMin && !e.hasMax) {
+                *err = errorAt(filename, item.line,
+                               "metric expectation on '" + e.metric +
+                                   "' needs 'min' and/or 'max'");
+                return false;
+            }
+            if (e.hasMin && e.hasMax && e.min > e.max) {
+                *err = errorAt(filename, item.line,
+                               "expectation min " +
+                                   std::to_string(e.min) +
+                                   " exceeds max " +
+                                   std::to_string(e.max));
+                return false;
+            }
+            if (!e.rule.empty()) {
+                *err = errorAt(filename, item.find("rule")->line,
+                               "'rule' is only valid with 'slo'");
+                return false;
+            }
+        } else {
+            if (e.hasMin || e.hasMax) {
+                *err = errorAt(filename, item.line,
+                               "'min'/'max' are only valid with "
+                               "'metric'");
+                return false;
+            }
+            bool needs_rule = e.slo != "no-alerts-firing";
+            if (needs_rule == e.rule.empty()) {
+                *err = errorAt(
+                    filename, item.line,
+                    needs_rule
+                        ? "expect slo: " + e.slo +
+                              " requires 'rule: <slo rule name>'"
+                        : "'rule' is not valid with slo: "
+                          "no-alerts-firing");
+                return false;
+            }
+            if (needs_rule) {
+                bool known = false;
+                for (const SloRuleSpec& spec : out->sloRules)
+                    known = known || spec.rule == e.rule;
+                if (!known) {
+                    *err = errorAt(filename, item.find("rule")->line,
+                                   "expect references undeclared slo "
+                                   "rule '" +
+                                       e.rule + "'");
+                    return false;
+                }
+            }
+        }
+        out->expects.push_back(std::move(e));
+    }
+    return true;
+}
+
 bool
 compileStage(const TextNode& item, size_t index,
              std::string_view filename, const std::string& dir,
@@ -554,11 +742,18 @@ compileTree(const TextNode& root, std::string_view filename,
     r.getString("scenario", &out->name, /*required=*/true);
     r.getString("description", &out->description);
     r.getUInt("seed", &out->seed);
+    r.getDouble("slo-window-sec", 0.001, 3600.0, &out->sloWindowSec);
+    const TextNode* slo = r.block("slo", TextNode::Kind::List);
+    const TextNode* expect = r.block("expect", TextNode::Kind::List);
     const TextNode* stages = r.block("stages", TextNode::Kind::List);
     if (!r.finish()) {
         *err = r.error();
         return false;
     }
+    if (slo && !compileSloRules(*slo, filename, out, err))
+        return false;
+    if (expect && !compileExpects(*expect, filename, out, err))
+        return false;
     if (!r.failed() && out->name.empty()) {
         *err = errorAt(filename, root.find("scenario")->line,
                        "scenario name must not be empty");
@@ -791,11 +986,41 @@ uint64_t
 Scenario::graphDigest() const
 {
     util::Fnv1a d;
-    d.u64(name.size());
-    d.str(name);
-    d.u64(description.size());
-    d.str(description);
+    auto str = [&d](const std::string& s) {
+        d.u64(s.size());
+        d.str(s);
+    };
+    str(name);
+    str(description);
     d.u64(seed);
+    d.f64(sloWindowSec);
+    d.u64(sloRules.size());
+    for (const SloRuleSpec& r : sloRules) {
+        str(r.rule);
+        str(r.kind);
+        str(r.series);
+        str(r.label);
+        str(r.agg);
+        str(r.op);
+        d.f64(r.value);
+        d.u64(static_cast<uint64_t>(r.sustainWindows));
+        str(r.totalSeries);
+        str(r.totalLabel);
+        d.f64(r.budget);
+        d.u64(static_cast<uint64_t>(r.shortWindows));
+        d.u64(static_cast<uint64_t>(r.longWindows));
+        d.u64(static_cast<uint64_t>(r.windows));
+    }
+    d.u64(expects.size());
+    for (const ExpectSpec& e : expects) {
+        str(e.metric);
+        d.u8(e.hasMin ? 1 : 0);
+        d.u64(e.min);
+        d.u8(e.hasMax ? 1 : 0);
+        d.u64(e.max);
+        str(e.slo);
+        str(e.rule);
+    }
     d.u64(stages.size());
     for (const Stage& stage : stages)
         digestStage(stage, &d);
@@ -810,6 +1035,53 @@ Scenario::dump() const
     if (!description.empty())
         os << "description: " << description << "\n";
     os << "seed: " << seed << "\n";
+    if (!sloRules.empty() || !expects.empty())
+        os << "slo-window-sec: " << fmtDouble(sloWindowSec) << "\n";
+    if (!sloRules.empty()) {
+        os << "slo:\n";
+        for (const SloRuleSpec& r : sloRules) {
+            auto kv = [&os](const char* key, const std::string& value) {
+                os << "    " << key << ": " << value << "\n";
+            };
+            os << "  - rule: " << r.rule << "\n";
+            kv("kind", r.kind);
+            kv("series", r.series);
+            if (!r.label.empty())
+                kv("label", r.label);
+            if (r.kind == "threshold") {
+                kv("agg", r.agg);
+                kv("op", r.op);
+                kv("value", fmtDouble(r.value));
+                kv("sustain-windows", std::to_string(r.sustainWindows));
+            } else if (r.kind == "burn-rate") {
+                kv("total-series", r.totalSeries);
+                if (!r.totalLabel.empty())
+                    kv("total-label", r.totalLabel);
+                kv("budget", fmtDouble(r.budget));
+                kv("value", fmtDouble(r.value));
+                kv("short-windows", std::to_string(r.shortWindows));
+                kv("long-windows", std::to_string(r.longWindows));
+            } else {
+                kv("windows", std::to_string(r.windows));
+            }
+        }
+    }
+    if (!expects.empty()) {
+        os << "expect:\n";
+        for (const ExpectSpec& e : expects) {
+            if (!e.metric.empty()) {
+                os << "  - metric: " << e.metric << "\n";
+                if (e.hasMin)
+                    os << "    min: " << e.min << "\n";
+                if (e.hasMax)
+                    os << "    max: " << e.max << "\n";
+            } else {
+                os << "  - slo: " << e.slo << "\n";
+                if (!e.rule.empty())
+                    os << "    rule: " << e.rule << "\n";
+            }
+        }
+    }
     os << "stages:\n";
     for (const Stage& stage : stages)
         dumpStage(stage, os);
@@ -827,6 +1099,50 @@ schemaKeys()
          "One-line intent shown in reports"},
         {"seed", "uint", "[0, 2^64)", "1", "sim",
          "Root seed; stages without a seed derive theirs from it"},
+        {"slo-window-sec", "double", "[0.001, 3600]", "1", "meta",
+         "Telemetry window the runner forces when slo rules exist"},
+        {"slo", "list", "-", "(absent)", "meta",
+         "Declarative SLO rules the monitor evaluates during the run"},
+        {"slo[].rule", "string", "-", "-", "meta",
+         "Alert name (required, unique per scenario)"},
+        {"slo[].kind", "enum", "threshold | burn-rate | absence",
+         "threshold", "meta", "Rule evaluation strategy"},
+        {"slo[].series", "string", "-", "-", "meta",
+         "Telemetry series the rule watches (required)"},
+        {"slo[].label", "string", "-", "(empty)", "meta",
+         "Series label; empty reads the unkeyed slot"},
+        {"slo[].agg", "enum", "count | sum | mean | p50 | p95 | p99",
+         "mean", "meta", "Threshold: per-window aggregate"},
+        {"slo[].op", "enum", "above | below", "above", "meta",
+         "Threshold: violation direction"},
+        {"slo[].value", "double", "[-1e+18, 1e+18]", "0", "meta",
+         "Threshold trigger / burn-rate burn factor"},
+        {"slo[].sustain-windows", "int", "[1, 10000]", "1", "meta",
+         "Threshold: consecutive violating windows before firing"},
+        {"slo[].total-series", "string", "-", "-", "meta",
+         "Burn-rate denominator series (required)"},
+        {"slo[].total-label", "string", "-", "(empty)", "meta",
+         "Burn-rate denominator label"},
+        {"slo[].budget", "double", "[1e-09, 1]", "0.01", "meta",
+         "Burn-rate: allowed bad/total fraction"},
+        {"slo[].short-windows", "int", "[1, 10000]", "1", "meta",
+         "Burn-rate fast trailing window"},
+        {"slo[].long-windows", "int", "[1, 10000]", "1", "meta",
+         "Burn-rate slow trailing window"},
+        {"slo[].windows", "int", "[1, 10000]", "1", "meta",
+         "Absence: consecutive empty windows before firing"},
+        {"expect", "list", "-", "(absent)", "meta",
+         "End-of-run expectations; a failure exits bolt_cli with 3"},
+        {"expect[].metric", "string", "-", "-", "meta",
+         "Counter whose run delta is bounded by min/max"},
+        {"expect[].min", "uint", "[0, 2^64)", "(absent)", "meta",
+         "Inclusive lower bound on the counter delta"},
+        {"expect[].max", "uint", "[0, 2^64)", "(absent)", "meta",
+         "Inclusive upper bound on the counter delta"},
+        {"expect[].slo", "enum", "no-alerts-firing | fired | not-fired",
+         "-", "meta", "Alert-state check against the SLO monitor"},
+        {"expect[].rule", "string", "-", "-", "meta",
+         "Rule name for slo: fired / not-fired"},
         {"stages", "list", "1..64 items", "-", "sim",
          "Ordered stage list (required)"},
         // Common stage keys.

@@ -105,6 +105,49 @@ struct AttackStage
     int victimVms = 1;
 };
 
+/**
+ * One `slo:` rule, compiled into an obs::SloRule by the runner. Kept
+ * in source (string) form here so the scenario graph stays a plain
+ * data description; the runner resolves series names against the
+ * telemetry catalog at run time (the compiler already validated them).
+ */
+struct SloRuleSpec
+{
+    std::string rule;               ///< Alert name (required, unique).
+    std::string kind = "threshold"; ///< threshold | burn-rate | absence.
+    std::string series;             ///< Telemetry series (required).
+    std::string label;              ///< Series label; empty = unkeyed.
+    std::string agg = "mean"; ///< count|sum|mean|p50|p95|p99 (threshold).
+    std::string op = "above"; ///< above | below (threshold).
+    double value = 0.0;       ///< Threshold / burn-rate trigger.
+    int sustainWindows = 1;   ///< Threshold: consecutive windows.
+    std::string totalSeries;  ///< Burn-rate denominator series.
+    std::string totalLabel;
+    double budget = 0.01; ///< Burn-rate: allowed bad/total fraction.
+    int shortWindows = 1; ///< Burn-rate fast window.
+    int longWindows = 1;  ///< Burn-rate slow window.
+    int windows = 1;      ///< Absence: empty windows before firing.
+    int line = 0;         ///< Source line (diagnostics only).
+};
+
+/**
+ * One `expect:` item: either a bound on an end-of-run counter delta
+ * (`metric` plus `min` and/or `max`) or an alert-state check (`slo`,
+ * with `rule` for fired / not-fired). A failed expectation makes
+ * `bolt_cli run` exit 3 with a file:line message.
+ */
+struct ExpectSpec
+{
+    std::string metric; ///< Counter name ("serve.admitted", ...).
+    bool hasMin = false;
+    bool hasMax = false;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    std::string slo;  ///< no-alerts-firing | fired | not-fired.
+    std::string rule; ///< Rule name for fired / not-fired.
+    int line = 0;     ///< Source line (diagnostics only).
+};
+
 struct Scenario;
 
 /** One node of the scenario graph. */
@@ -131,6 +174,11 @@ struct Scenario
     std::string name;
     std::string description;
     uint64_t seed = 1;
+    /** Telemetry window width the runner forces when `slo:` rules are
+     *  present, so alert goldens don't depend on CLI flags. */
+    double sloWindowSec = 1.0;
+    std::vector<SloRuleSpec> sloRules;
+    std::vector<ExpectSpec> expects;
     std::vector<Stage> stages;
     /** Source path as opened (diagnostics only; not part of the graph). */
     std::string sourcePath;

@@ -5,6 +5,7 @@
 
 #include "linalg/matrix.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace bolt {
 namespace sched {
@@ -146,6 +147,8 @@ MigrationController::sample(double t, double cpu_util)
             overSince_ = t;
         if (t - overSince_ >= sustainSec_) {
             triggerTime_ = t;
+            obs::TimeSeriesRecorder::global().count(
+                obs::SeriesId::kSchedMigrations, t);
             return true;
         }
     } else {

@@ -8,6 +8,9 @@
 #include <set>
 
 #include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "serve/queue.h"
 #include "util/digest.h"
 #include "util/thread_pool.h"
@@ -183,9 +186,17 @@ ServeEngine::run() const
     for (size_t w = 0; w < workers; ++w)
         idleLanes.insert(w);
 
+    // Telemetry and the SLO monitor run on the decision plane only, so
+    // the windowed series and the alert timeline are as deterministic
+    // as the outcomes themselves. Everything below is inert unless the
+    // recorder/monitor was explicitly enabled.
+    auto& telemetry = obs::TimeSeriesRecorder::global();
+    auto& monitor = obs::SloMonitor::global();
+
     while (!events.empty()) {
         Event ev = events.top();
         events.pop();
+        monitor.advanceTo(ev.t / 1000.0);
 
         if (ev.kind == 0) {
             // --- Arrival: admission control.
@@ -193,6 +204,10 @@ ServeEngine::run() const
             RequestOutcome& out = res.outcomes[id];
             out.arrivalMs = ev.t;
             ++st.offered;
+            if (telemetry.enabled())
+                telemetry.count(obs::SeriesId::kServeTenantRequests,
+                                "c" + std::to_string(requests[id].client),
+                                ev.t / 1000.0);
             // Open loop: the arrival process is external — chain the
             // next arrival regardless of this one's verdict.
             if (!load.closedLoop && issued < load.requests)
@@ -201,12 +216,20 @@ ServeEngine::run() const
             if (pendingQ.size() >= queue_cap) {
                 out.outcome = Outcome::RejectedQueueFull;
                 ++st.rejectedQueueFull;
+                if (telemetry.enabled())
+                    telemetry.sample(obs::SeriesId::kServeLatencyMs,
+                                     outcomeName(out.outcome),
+                                     ev.t / 1000.0, 0.0);
                 onTerminal(id, ev.t);
             } else if (config_.admitSloCheck &&
                        ev.t + estimatedWaitMs() >
                            requests[id].deadlineMs) {
                 out.outcome = Outcome::RejectedSloInfeasible;
                 ++st.rejectedSloInfeasible;
+                if (telemetry.enabled())
+                    telemetry.sample(obs::SeriesId::kServeLatencyMs,
+                                     outcomeName(out.outcome),
+                                     ev.t / 1000.0, 0.0);
                 onTerminal(id, ev.t);
             } else {
                 ++st.admitted;
@@ -214,6 +237,9 @@ ServeEngine::run() const
                 st.queueDepthPeak =
                     std::max(st.queueDepthPeak,
                              static_cast<uint64_t>(pendingQ.size()));
+                telemetry.sample(obs::SeriesId::kServeQueueDepth,
+                                 ev.t / 1000.0,
+                                 static_cast<double>(pendingQ.size()));
                 if (!idleLanes.empty()) {
                     size_t w = *idleLanes.begin();
                     idleLanes.erase(idleLanes.begin());
@@ -254,6 +280,11 @@ ServeEngine::run() const
                 // DeadlineExceeded without touching the recommender.
                 out.outcome = Outcome::DeadlineExceeded;
                 ++st.shedDeadline;
+                if (telemetry.enabled())
+                    telemetry.sample(obs::SeriesId::kServeLatencyMs,
+                                     outcomeName(out.outcome),
+                                     ev.t / 1000.0,
+                                     ev.t - out.arrivalMs);
                 onTerminal(id, ev.t);
                 continue;
             }
@@ -282,17 +313,35 @@ ServeEngine::run() const
             out.batchId = batch_id;
             ++st.completed;
             st.latencyMs.add(out.latencyMs());
+            if (telemetry.enabled())
+                telemetry.sample(obs::SeriesId::kServeLatencyMs,
+                                 outcomeName(Outcome::Completed),
+                                 completion_ms / 1000.0,
+                                 out.latencyMs());
             if (completion_ms > requests[id].deadlineMs)
                 ++st.sloMisses;
             onTerminal(id, completion_ms);
         }
         st.batchSizes.add(static_cast<double>(batch.size()));
+        telemetry.sample(obs::SeriesId::kServeBatchSize, ev.t / 1000.0,
+                         static_cast<double>(batch.size()));
+        // Execution-plane batch span: formed at ev.t, executed through
+        // its deterministic completion — lets `bolt_cli report` and
+        // Chrome traces show batching behavior without touching the
+        // wall-clock plane.
+        BOLT_TRACE_SPAN("serve.batch", "serve", static_cast<int64_t>(w),
+                        ev.t / 1000.0, completion_ms / 1000.0, -1,
+                        {{"size", std::to_string(batch.size())},
+                         {"batch", std::to_string(batch_id)}});
         ++st.batches;
         batches.push_back(std::move(batch));
         events.push(Event{completion_ms, 1, ev.id});
     }
 
     st.makespanMs = last_event_ms;
+    // Close out the trailing telemetry windows for the SLO monitor.
+    monitor.advanceTo(last_event_ms / 1000.0 +
+                      obs::TimeSeriesRecorder::global().config().windowSec);
     if (st.makespanMs > 0.0) {
         st.achievedQps = static_cast<double>(st.completed) /
                          (st.makespanMs / 1000.0);

@@ -19,6 +19,7 @@
 #include "core/recommender.h"
 #include "linalg/sgd.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "workloads/generators.h"
@@ -320,6 +321,55 @@ TEST(Determinism, TraceExportIdenticalAcrossThreadCounts)
     std::string t8 = runTraced(8);
     EXPECT_EQ(t1, t8);
     EXPECT_NE(t1.find("detector.round"), std::string::npos);
+}
+
+TEST(Determinism, TelemetryIsInert)
+{
+    // The windowed telemetry recorder observes the same hot paths the
+    // metrics do: enabling it must not change any result bit either.
+    auto& telemetry = obs::TimeSeriesRecorder::global();
+    telemetry.setEnabled(false);
+    auto plain = runAtThreads(2, 41);
+
+    telemetry.configure(telemetry.config()); // Drop recorded data.
+    telemetry.setEnabled(true);
+    auto observed = runAtThreads(2, 41);
+    obs::TelemetrySnapshot snap = telemetry.snapshot();
+    telemetry.setEnabled(false);
+    telemetry.configure(telemetry.config());
+
+    expectIdentical(plain, observed);
+    EXPECT_EQ(plain.digest(), observed.digest());
+    // ...and the recorder actually saw the detector's rounds.
+    uint64_t rounds = 0;
+    for (const obs::SeriesPoint& p : snap.points)
+        if (p.id == obs::SeriesId::kDetectorRoundEvents)
+            rounds += p.count;
+    EXPECT_GT(rounds, 0u);
+}
+
+TEST(Determinism, TelemetryJsonlIdenticalAcrossThreadCounts)
+{
+    // Window sums are fixed-point and sketch buckets are integers, so
+    // the merged snapshot is a sum of integers: the JSONL export must
+    // be byte-identical however many pool threads recorded the shards.
+    auto& telemetry = obs::TimeSeriesRecorder::global();
+    auto runDumped = [&](unsigned threads) {
+        telemetry.configure(telemetry.config());
+        telemetry.setEnabled(true);
+        runAtThreads(threads, 77);
+        std::ostringstream os;
+        obs::writeTelemetryJsonl(os, telemetry.snapshot());
+        telemetry.setEnabled(false);
+        telemetry.configure(telemetry.config());
+        return os.str();
+    };
+    std::string d1 = runDumped(1);
+    std::string d2 = runDumped(2);
+    std::string d8 = runDumped(8);
+    EXPECT_EQ(d1, d2);
+    EXPECT_EQ(d1, d8);
+    EXPECT_NE(d1.find("detector.round_events"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -229,14 +229,34 @@ TEST(ObsMetrics, HistogramClampsToEdgeBuckets)
     EXPECT_NEAR(h.mean(), h.sum / 4.0, 1e-12);
 }
 
-TEST(ObsMetrics, PercentileOfEmptyHistogramIsZero)
+TEST(ObsMetrics, PercentileOfEmptyHistogramIsNaN)
 {
     obs::MetricsRegistry reg;
     obs::Snapshot snap = reg.snapshot();
     const auto& h =
         snap.histogram(obs::MetricId::kDetectorRoundSimSec);
-    EXPECT_EQ(h.percentile(50.0), 0.0);
-    EXPECT_EQ(h.percentile(99.0), 0.0);
+    // Documented sentinel: empty histograms have no percentiles; NaN
+    // renders as null in the JSON exports.
+    EXPECT_TRUE(std::isnan(h.percentile(50.0)));
+    EXPECT_TRUE(std::isnan(h.percentile(0.0)));
+    EXPECT_TRUE(std::isnan(h.percentile(100.0)));
+}
+
+TEST(ObsMetrics, PercentileEdgeSentinelsUseOccupiedBuckets)
+{
+    obs::MetricsRegistry reg;
+    reg.setEnabled(true);
+    const auto id = obs::MetricId::kDetectorRoundSimSec; // [0,60), 60 bins
+    // Single occupied bucket away from the range edges: p0 resolves to
+    // that bucket's low edge and p100 to its high edge — never to the
+    // histogram's configured lo/hi.
+    reg.observe(id, 42.5);
+    obs::Snapshot snap = reg.snapshot();
+    const auto& h = snap.histogram(id);
+    EXPECT_NEAR(h.percentile(0.0), 42.0, 1e-12);
+    EXPECT_NEAR(h.percentile(100.0), 43.0, 1e-12);
+    EXPECT_NEAR(h.percentile(-5.0), 42.0, 1e-12); // clamped
+    EXPECT_NEAR(h.percentile(500.0), 43.0, 1e-12);
 }
 
 TEST(ObsMetrics, PercentileWalksUniformBucketsLinearly)

@@ -240,6 +240,87 @@ TEST(ScenarioCompile, ErrorGoldens)
               "'nope_does_not_exist.scn'");
 }
 
+TEST(ScenarioCompile, SloAndExpectErrorGoldens)
+{
+    // Per-kind key claiming: a threshold-only key on a burn-rate rule
+    // fails loudly with the valid set (same idiom as attack stages).
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "slo:\n"
+                           "  - rule: r\n"
+                           "    kind: burn-rate\n"
+                           "    series: serve.tenant_requests\n"
+                           "    total-series: serve.tenant_requests\n"
+                           "    agg: p99\n"
+                           "stages:\n"
+                           "  - stage: serve\n"),
+              "bad.scn:7: unknown key 'agg' in burn-rate slo rule "
+              "(valid: kind, rule, series, label, total-series, "
+              "total-label, budget, value, short-windows, "
+              "long-windows)");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "slo:\n"
+                           "  - rule: r\n"
+                           "    series: not.a.series\n"
+                           "stages:\n"
+                           "  - stage: serve\n"),
+              "bad.scn:4: unknown telemetry series 'not.a.series' for "
+              "'series'");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "slo:\n"
+                           "  - rule: twice\n"
+                           "    series: serve.queue_depth\n"
+                           "  - rule: twice\n"
+                           "    series: serve.batch_size\n"
+                           "stages:\n"
+                           "  - stage: serve\n"),
+              "bad.scn:5: duplicate slo rule name 'twice'");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "expect:\n"
+                           "  - metric: serve.completed\n"
+                           "stages:\n"
+                           "  - stage: serve\n"),
+              "bad.scn:3: metric expectation on 'serve.completed' "
+              "needs 'min' and/or 'max'");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "expect:\n"
+                           "  - metric: serve.p99_latency_ms\n"
+                           "    min: 1\n"
+                           "stages:\n"
+                           "  - stage: serve\n"),
+              "bad.scn:3: unknown counter metric "
+              "'serve.p99_latency_ms' for 'metric'");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "expect:\n"
+                           "  - metric: serve.completed\n"
+                           "    min: 10\n"
+                           "    max: 5\n"
+                           "stages:\n"
+                           "  - stage: serve\n"),
+              "bad.scn:3: expectation min 10 exceeds max 5");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "expect:\n"
+                           "  - min: 1\n"
+                           "stages:\n"
+                           "  - stage: serve\n"),
+              "bad.scn:3: expect item needs exactly one of 'metric' "
+              "or 'slo'");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "expect:\n"
+                           "  - slo: fired\n"
+                           "stages:\n"
+                           "  - stage: serve\n"),
+              "bad.scn:3: expect slo: fired requires "
+              "'rule: <slo rule name>'");
+    EXPECT_EQ(compileError("scenario: x\n"
+                           "expect:\n"
+                           "  - slo: fired\n"
+                           "    rule: ghost\n"
+                           "stages:\n"
+                           "  - stage: serve\n"),
+              "bad.scn:4: expect references undeclared slo rule "
+              "'ghost'");
+}
+
 TEST(ScenarioCompile, CyclicIncludeIsRejected)
 {
     std::string dir = ::testing::TempDir();
@@ -280,6 +361,34 @@ TEST(ScenarioRoundTrip, SyntheticAllFeatures)
     const std::string source = "scenario: everything\n"
                                "description: all stage kinds at once\n"
                                "seed: 99\n"
+                               "slo-window-sec: 0.25\n"
+                               "slo:\n"
+                               "  - rule: latency-hot\n"
+                               "    kind: threshold\n"
+                               "    series: serve.latency_ms\n"
+                               "    label: completed\n"
+                               "    agg: p95\n"
+                               "    value: 40.5\n"
+                               "  - rule: victim-burn\n"
+                               "    kind: burn-rate\n"
+                               "    series: serve.tenant_requests\n"
+                               "    total-series: serve.tenant_requests\n"
+                               "    budget: 0.125\n"
+                               "    value: 1.5\n"
+                               "    short-windows: 2\n"
+                               "    long-windows: 8\n"
+                               "  - rule: feed-silent\n"
+                               "    kind: absence\n"
+                               "    series: serve.queue_depth\n"
+                               "    windows: 3\n"
+                               "expect:\n"
+                               "  - metric: serve.requests_offered\n"
+                               "    min: 100\n"
+                               "  - metric: serve.shed_deadline\n"
+                               "    max: 10000\n"
+                               "  - slo: no-alerts-firing\n"
+                               "  - slo: not-fired\n"
+                               "    rule: feed-silent\n"
                                "stages:\n"
                                "  - stage: serve\n"
                                "    loop: open\n"
@@ -395,6 +504,35 @@ TEST(ScenarioSchema, DumpEmitsEveryLeafKey)
                                        "  - stage: serve\n");
     const std::string source = "scenario: everything\n"
                                "description: leaf coverage\n"
+                               "slo-window-sec: 0.5\n"
+                               "slo:\n"
+                               "  - rule: hot\n"
+                               "    series: serve.latency_ms\n"
+                               "    label: completed\n"
+                               "    agg: p99\n"
+                               "    op: above\n"
+                               "    value: 50\n"
+                               "    sustain-windows: 2\n"
+                               "  - rule: burn\n"
+                               "    kind: burn-rate\n"
+                               "    series: serve.tenant_requests\n"
+                               "    label: c0\n"
+                               "    total-series: serve.tenant_requests\n"
+                               "    total-label: c1\n"
+                               "    budget: 0.05\n"
+                               "    value: 2\n"
+                               "    short-windows: 3\n"
+                               "    long-windows: 9\n"
+                               "  - rule: quiet\n"
+                               "    kind: absence\n"
+                               "    series: serve.queue_depth\n"
+                               "    windows: 4\n"
+                               "expect:\n"
+                               "  - metric: serve.completed\n"
+                               "    min: 1\n"
+                               "    max: 100000\n"
+                               "  - slo: fired\n"
+                               "    rule: hot\n"
                                "stages:\n"
                                "  - stage: serve\n"
                                "    arrival:\n"
