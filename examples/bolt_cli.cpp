@@ -16,6 +16,9 @@
  *   bolt_cli serve-bench [--requests N] [--qps Q] [--workers N]
  *                       [--queue-cap N] [--max-batch N] [--slo-ms MS]
  *                       [--closed-loop --clients N --think-ms MS] ...
+ *   bolt_cli fleet      [--hosts N] [--tenants N] [--shards N]
+ *                       [--epochs N] [--arrivals R] [--departures P]
+ *                       [--migrations P] [--host-faults P] [--seed S]
  *   bolt_cli report     --telemetry FILE [--top N]
  *
  * Every subcommand also takes the shared observability flags:
@@ -55,6 +58,7 @@
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
 #include "serve/engine.h"
+#include "sim/shard.h"
 #include "util/cli_flags.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -452,6 +456,85 @@ runServeBench(const CliArgs& args)
 }
 
 int
+runFleet(const CliArgs& args)
+{
+    sim::FleetConfig cfg;
+    cfg.hosts = static_cast<size_t>(args.getInt("hosts", 64));
+    cfg.tenants = static_cast<size_t>(args.getInt("tenants", 256));
+    cfg.shards = static_cast<size_t>(args.getInt("shards", 1));
+    cfg.epochs = args.getInt("epochs", 4);
+    cfg.arrivalsPerHostEpoch = args.getDouble("arrivals", 0.2);
+    cfg.departureProb = args.getDouble("departures", 0.04);
+    cfg.migrationProb = args.getDouble("migrations", 0.02);
+    cfg.hostFaultProb = args.getDouble("host-faults", 0.0);
+    cfg.seed = static_cast<uint64_t>(args.getInt("seed", 42));
+
+    obs::RunReport report("fleet");
+    report.set("hosts", static_cast<uint64_t>(cfg.hosts));
+    report.set("tenants", static_cast<uint64_t>(cfg.tenants));
+    report.set("shards", static_cast<uint64_t>(cfg.shards));
+    report.set("epochs", static_cast<uint64_t>(cfg.epochs));
+    report.set("arrivals", cfg.arrivalsPerHostEpoch);
+    report.set("departures", cfg.departureProb);
+    report.set("migrations", cfg.migrationProb);
+    report.set("host_faults", cfg.hostFaultProb);
+    report.set("seed", cfg.seed);
+    report.set("threads",
+               static_cast<uint64_t>(util::ThreadPool::globalThreads()));
+    WallTimer wall;
+
+    auto result = sim::FleetCluster(cfg).run();
+
+    report.setWallSeconds(wall.seconds());
+    report.setSimSeconds(result.simSeconds);
+    report.set("vms_alive", result.vmsAlive);
+    report.set("result_digest", hex64(result.digest));
+    obs::writeConfiguredOutputs(report);
+
+    if (!result.consistent) {
+        std::cerr << "bolt_cli: fleet inconsistency: "
+                  << result.inconsistency << "\n";
+        return 1;
+    }
+
+    // Every value below is Sim-class: byte-identical at any --threads
+    // and any --shards (the one shard-dependent statistic, cross-shard
+    // migrations, is reported but never folded into the digest).
+    util::AsciiTable epochs({"Epoch", "Alive", "Arrive", "Depart", "Migrate",
+                             "Faults", "Util", "Anomaly"});
+    for (size_t e = 0; e < result.epochs.size(); ++e) {
+        const sim::FleetEpoch& ep = result.epochs[e];
+        epochs.addRow({std::to_string(e), std::to_string(ep.alive),
+                       std::to_string(ep.arrivals),
+                       std::to_string(ep.departures),
+                       std::to_string(ep.migrations),
+                       std::to_string(ep.hostFaults),
+                       util::AsciiTable::num(ep.meanUtil, 1) + "%",
+                       util::AsciiTable::percent(ep.anomalyRate, 1)});
+    }
+    epochs.print(std::cout);
+
+    util::AsciiTable table({"Metric", "Value"});
+    auto count = [](uint64_t v) { return std::to_string(v); };
+    table.addRow({"Hosts", count(cfg.hosts)});
+    table.addRow({"Shards", count(cfg.shards)});
+    table.addRow({"VMs booted", count(result.vmsBooted)});
+    table.addRow({"VMs alive", count(result.vmsAlive)});
+    table.addRow({"Arrivals", count(result.arrivals)});
+    table.addRow({"Departures", count(result.departures)});
+    table.addRow({"Migrations", count(result.migrations)});
+    table.addRow({"Cross-shard migrations",
+                  count(result.crossShardMigrations)});
+    table.addRow({"Host faults", count(result.hostFaults)});
+    table.addRow({"Placement failures", count(result.placementFailures)});
+    table.addRow({"Sim time", util::AsciiTable::num(result.simSeconds, 0) +
+                                  " s"});
+    table.addRow({"Result digest", hex64(result.digest)});
+    table.print(std::cout);
+    return 0;
+}
+
+int
 runScenarioCmd(const CliArgs& args)
 {
     std::string path = args.get("scenario", "");
@@ -828,7 +911,7 @@ usage()
 {
     std::cout
         << "usage: bolt_cli <run|experiment|detect|dos|coresidency|"
-           "serve-bench|report> [--flag value ...]\n"
+           "serve-bench|fleet|report> [--flag value ...]\n"
            "  run         --scenario FILE (declarative scenario; see\n"
            "              docs/SCENARIOS.md and scenarios/)\n"
            "              --dump (print the canonical form, don't run)\n"
@@ -861,6 +944,13 @@ usage()
            "              --no-admit-check (disable SLO admission "
            "control)\n"
            "              --closed-loop --clients N --think-ms MS\n"
+           "  fleet       --hosts N --tenants N --shards N --epochs N\n"
+           "              --arrivals R (mean VM arrivals per host per "
+           "epoch)\n"
+           "              --departures P --migrations P --host-faults P\n"
+           "              --seed S (digest is byte-identical at any\n"
+           "              --shards x --threads; only the cross-shard\n"
+           "              migration statistic depends on --shards)\n"
            "  report      --telemetry FILE (a --telemetry-out dump)\n"
            "              --top N (tenants per alert attribution, "
            "default 5)\n"
@@ -912,6 +1002,17 @@ const std::vector<CliFlagSpec> kCoResidencyFlags = {
 const std::vector<CliFlagSpec> kRunFlags = {
     {"scenario", FlagKind::String},
     {"dump", FlagKind::Flag},
+};
+const std::vector<CliFlagSpec> kFleetFlags = {
+    {"hosts", FlagKind::Int, 1, 1000000},
+    {"tenants", FlagKind::Int, 0, 10000000},
+    {"shards", FlagKind::Int, 1, 4096},
+    {"epochs", FlagKind::Int, 1, 10000},
+    {"arrivals", FlagKind::Double, 0.0, 100.0},
+    {"departures", FlagKind::Double, 0.0, 1.0},
+    {"migrations", FlagKind::Double, 0.0, 1.0},
+    {"host-faults", FlagKind::Double, 0.0, 1.0},
+    {"seed", FlagKind::UInt, 0, kSeedMax},
 };
 const std::vector<CliFlagSpec> kReportFlags = {
     {"telemetry", FlagKind::String},
@@ -970,6 +1071,9 @@ main(int argc, char** argv)
     } else if (command == "serve-bench") {
         spec = &kServeBenchFlags;
         run = runServeBench;
+    } else if (command == "fleet") {
+        spec = &kFleetFlags;
+        run = runFleet;
     } else if (command == "report") {
         spec = &kReportFlags;
         run = runReport;

@@ -37,6 +37,16 @@
 # `expect:` must exit 3 with a file:line message, and the perf_serving
 # --json probe must show <5% saturation wall-QPS overhead.
 #
+# The --fleet stage asserts the fleet-sharding determinism contract:
+# `bolt_cli fleet` stdout must be byte-identical at 1 and 8 threads,
+# the run digest must be identical at 1 and 16 shards (only the
+# cross-shard migration statistic may move), the perf_fleet_scaling
+# sweep must reproduce bench/BENCH_fleet_scaling.golden bit-for-bit at
+# both thread counts (the binary self-checks 16-shard/8-thread vs
+# 1-shard/1-thread digests and exits 1 on mismatch), and malformed
+# flags must be rejected with exit 2. Pass --update after --fleet to
+# regenerate the golden instead of diffing it.
+#
 # The --simd stage asserts the kernel-backend determinism contract: a
 # Release build with -DBOLT_SIMD=ON must pass its test suite (including
 # the scalar-vs-AVX2 bit-equality tests in tests/test_kernels.cc) and
@@ -44,7 +54,7 @@
 # perf_serving sweep byte-for-byte. On hardware without AVX2 the SIMD
 # build falls back to the scalar backend and the gate still holds.
 #
-# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--fault|--serve|--scenario [--update]|--telemetry|--simd|--bench-only]
+# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--fault|--serve|--scenario [--update]|--telemetry|--fleet [--update]|--simd|--bench-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -396,6 +406,78 @@ EOF
     echo "-- perf_serving telemetry-overhead probe --"
     cat "${tel_dir}/overhead.json"
     echo "Telemetry gate passed."
+fi
+
+if [[ "${mode}" == "--fleet" || "${mode}" == "all" ]]; then
+    echo "== Fleet determinism gate =="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target bolt_cli
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-release -j "$(nproc)" --target perf_fleet_scaling
+    fleet_dir="$(mktemp -d)"
+    trap 'rm -rf "${obs_dir:-}" "${fault_dir:-}" "${serve_dir:-}" "${scn_dir:-}" "${tel_dir:-}" "${fleet_dir:-}"' EXIT
+    cli=./build/examples/bolt_cli
+    update_goldens=0
+    [[ "${2:-}" == "--update" ]] && update_goldens=1
+    fleet_flags=(fleet --hosts 800 --tenants 4000 --epochs 5
+                 --host-faults 0.02 --seed 2017 --log-level error)
+
+    # The decision plane fixes every churn event sequentially before the
+    # per-shard profiling fan-out, so the whole stdout (same shards) is
+    # byte-identical at any thread count.
+    for threads in 1 8; do
+        "${cli}" "${fleet_flags[@]}" --shards 8 --threads "${threads}" \
+            > "${fleet_dir}/t_${threads}.txt"
+    done
+    if ! diff -u "${fleet_dir}/t_1.txt" "${fleet_dir}/t_8.txt"; then
+        echo "FAIL: fleet output differs between 1 and 8 threads" >&2
+        exit 1
+    fi
+
+    # Shards partition work, never outcomes: the run digest at 1 and 16
+    # shards must match (only the cross-shard migration statistic may
+    # differ, so the comparison is digest lines, not the full stdout).
+    "${cli}" "${fleet_flags[@]}" --shards 1 --threads 8 \
+        > "${fleet_dir}/s_1.txt"
+    "${cli}" "${fleet_flags[@]}" --shards 16 --threads 8 \
+        > "${fleet_dir}/s_16.txt"
+    if ! diff <(grep "Result digest" "${fleet_dir}/s_1.txt") \
+              <(grep "Result digest" "${fleet_dir}/s_16.txt"); then
+        echo "FAIL: fleet digest differs between 1 and 16 shards" >&2
+        exit 1
+    fi
+
+    # Strict flag validation: trailing garbage, out-of-range values and
+    # unknown flags must exit 2, never silently run a default.
+    for bad in "--hosts 10x" "--shards 99999" "--no-such-flag 1"; do
+        rc=0
+        # shellcheck disable=SC2086  # word splitting is intentional
+        "${cli}" fleet ${bad} >/dev/null 2>&1 || rc=$?
+        if [[ "${rc}" != 2 ]]; then
+            echo "FAIL: 'fleet ${bad}' exited ${rc}, expected 2" >&2
+            exit 1
+        fi
+    done
+
+    # The 1k -> 128k host scaling sweep must reproduce the committed
+    # golden bit-for-bit at both thread counts; the binary itself exits
+    # 1 if the sharded run stops reproducing the 1-shard digest.
+    if [[ "${update_goldens}" == 1 ]]; then
+        ./build-release/bench/perf_fleet_scaling \
+            > bench/BENCH_fleet_scaling.golden
+    fi
+    for threads in 1 8; do
+        ./build-release/bench/perf_fleet_scaling --threads "${threads}" \
+            > "${fleet_dir}/sweep_${threads}.txt"
+        if ! diff -u bench/BENCH_fleet_scaling.golden \
+                     "${fleet_dir}/sweep_${threads}.txt"; then
+            echo "FAIL: perf_fleet_scaling output diverged from golden at" \
+                 "threads=${threads} (regenerate intentionally with" \
+                 "--fleet --update)" >&2
+            exit 1
+        fi
+    done
+    echo "Fleet gate passed."
 fi
 
 if [[ "${mode}" == "--simd" || "${mode}" == "all" ]]; then

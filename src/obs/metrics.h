@@ -135,6 +135,18 @@ enum class MetricKind { Counter, Gauge, Histogram };
       Sim, false, "Micro-batches dispatched to service lanes")               \
     X(ServeBatchDeferrals, "serve.batch_deferrals",                          \
       Sim, false, "One-shot batch-fill waits taken (batchWaitMs > 0)")       \
+    X(FleetEpochsRun, "fleet.epochs_run",                                    \
+      Sim, false, "Fleet simulation epochs executed")                        \
+    X(FleetVmArrivals, "fleet.vm_arrivals",                                  \
+      Sim, false, "Tenant VMs that arrived and were placed mid-run")         \
+    X(FleetVmDepartures, "fleet.vm_departures",                              \
+      Sim, false, "Tenant VMs that departed (churn or failed evacuation)")   \
+    X(FleetVmMigrations, "fleet.vm_migrations",                              \
+      Sim, false, "VM migrations (churn moves and fault evacuations)")       \
+    X(FleetCrossShardMigrations, "fleet.cross_shard_migrations",             \
+      Sim, false, "Migrations that crossed a shard boundary")                \
+    X(FleetHostFaults, "fleet.host_faults",                                  \
+      Sim, false, "Host-epoch faults that evacuated a host")                 \
     X(ScenarioStagesRun, "scenario.stages_run",                              \
       Sim, false, "Scenario stages executed (sub-scenarios included)")       \
     X(ScenarioIncludesRun, "scenario.includes_run",                          \
@@ -155,7 +167,9 @@ enum class MetricKind { Counter, Gauge, Histogram };
     X(PoolQueueDepthPeak, "pool.queue_depth_peak",                           \
       Wall, "High-water mark of enqueued-but-unstarted tasks")               \
     X(ServeQueueDepthPeak, "serve.queue_depth_peak",                         \
-      Sim, "High-water mark of the bounded request queue")
+      Sim, "High-water mark of the bounded request queue")                   \
+    X(FleetVmsAlivePeak, "fleet.vms_alive_peak",                             \
+      Sim, "High-water mark of resident VMs across fleet epochs")
 
 #define BOLT_HISTOGRAM_METRICS(X)                                            \
     X(DetectorIterationsToConvergence,                                       \
@@ -182,7 +196,10 @@ enum class MetricKind { Counter, Gauge, Histogram };
       "Wall-clock execution time per micro-batch, usec")                     \
     X(ScenarioStageSimSec, "scenario.stage_sim_sec",                         \
       Sim, 0.0, 600.0, 60,                                                   \
-      "Virtual seconds one scenario stage consumed")
+      "Virtual seconds one scenario stage consumed")                         \
+    X(FleetEpochUtilPct, "fleet.epoch_util_pct",                             \
+      Sim, 0.0, 100.0, 50,                                                   \
+      "Mean host utilization per fleet epoch, percent")
 
 /**
  * Stable metric identifiers. Counters first, then gauges, then

@@ -52,7 +52,13 @@ namespace obs {
     X(DosVictimP99Ms, "dos.victim_p99_ms", Sample, true,                     \
       "Victim p99 latency per DoS timeline step, labeled by attack mode")    \
     X(DosHostCpuUtil, "dos.host_cpu_util", Sample, true,                     \
-      "Host CPU utilization per DoS timeline step, labeled by attack mode")
+      "Host CPU utilization per DoS timeline step, labeled by attack mode")  \
+    X(FleetUtil, "fleet.util", Sample, false,                                \
+      "Mean host utilization per fleet epoch (percent)")                     \
+    X(FleetShardUtil, "fleet.shard_util", Sample, true,                      \
+      "Mean host utilization per fleet shard per epoch, labeled s<shard>")   \
+    X(FleetChurnEvents, "fleet.churn_events", Counter, true,                 \
+      "Fleet churn events per epoch, labeled by event kind")
 
 enum class SeriesId : uint32_t {
 #define BOLT_OBS_SERIES_ENUM(id_, ...) k##id_,

@@ -17,8 +17,10 @@
 #include "obs/report.h"
 #include "obs/timeseries.h"
 #include "serve/engine.h"
+#include "sim/shard.h"
 #include "util/digest.h"
 #include "util/rng.h"
+#include "util/seeds.h"
 #include "util/table.h"
 #include "workloads/generators.h"
 
@@ -27,12 +29,14 @@ namespace scenario {
 
 namespace {
 
-// Counter-based stream phases of the scenario layer (the path prefix
-// under which stage/segment/repeat seeds are derived from the scenario
-// seed; see util::Rng::stream).
-constexpr uint64_t kPhaseStage = 0x5ce9a210;
-constexpr uint64_t kPhaseSegment = 0x5ce9a211;
-constexpr uint64_t kPhaseRepeat = 0x5ce9a212;
+// Stage/segment/repeat seeds derive from the scenario seed under the
+// scenario phase keys of util/seeds.h (shared with serve and fleet so
+// the phases stay disjoint across subsystems).
+using util::seeds::derivedSeed;
+using util::seeds::fanoutSeed;
+using util::seeds::kScenarioRepeat;
+using util::seeds::kScenarioSegment;
+using util::seeds::kScenarioStage;
 
 std::string
 hex64(uint64_t v)
@@ -48,7 +52,7 @@ stageSeed(const Scenario& s, uint64_t scenario_seed, size_t index)
     const Stage& stage = s.stages[index];
     if (stage.seed != 0)
         return stage.seed;
-    return util::Rng::stream(scenario_seed, {kPhaseStage, index}).seed();
+    return derivedSeed(scenario_seed, kScenarioStage, index);
 }
 
 sim::Platform
@@ -183,11 +187,9 @@ runServeStage(const Stage& stage, uint64_t seed, std::ostream& os,
             continue;
         seg.load.offeredQps = s.qps * rampFactor(s, i);
         seg.load.seed =
-            segments == 1
-                ? seed
-                : util::Rng::stream(
-                      seed, {kPhaseSegment, static_cast<uint64_t>(i)})
-                      .seed();
+            fanoutSeed(seed, kScenarioSegment,
+                       static_cast<uint64_t>(segments),
+                       static_cast<uint64_t>(i));
 
         serve::ServeEngine engine(recommender, seg);
         auto result = engine.run();
@@ -288,6 +290,42 @@ runAttackStage(const Stage& stage, uint64_t seed, std::ostream& os,
     return out;
 }
 
+StageOutcome
+runFleetStage(const Stage& stage, uint64_t seed, std::ostream& os,
+              const std::string& indent)
+{
+    const FleetStage& f = stage.fleet;
+    sim::FleetConfig cfg;
+    cfg.hosts = static_cast<size_t>(f.hosts);
+    cfg.tenants = static_cast<size_t>(f.tenants);
+    cfg.shards = static_cast<size_t>(f.shards);
+    cfg.epochs = f.epochs;
+    cfg.arrivalsPerHostEpoch = f.arrivals;
+    cfg.departureProb = f.departures;
+    cfg.migrationProb = f.migrations;
+    cfg.hostFaultProb = f.hostFaults;
+    cfg.seed = seed;
+
+    sim::FleetCluster fleet(cfg);
+    sim::FleetResult result = fleet.run();
+
+    StageOutcome out;
+    out.digest = result.digest;
+    out.simSeconds = result.simSeconds;
+    double util =
+        result.epochs.empty() ? 0.0 : result.epochs.back().meanUtil;
+    os << indent << "    booted=" << result.vmsBooted
+       << " alive=" << result.vmsAlive
+       << " arrivals=" << result.arrivals
+       << " departures=" << result.departures
+       << " migrations=" << result.migrations
+       << " cross-shard=" << result.crossShardMigrations
+       << " faults=" << result.hostFaults
+       << " util=" << util::AsciiTable::num(util, 1) << "%"
+       << " digest=" << hex64(out.digest) << "\n";
+    return out;
+}
+
 RunResult runWithSeed(const Scenario& s, uint64_t seed,
                       std::ostream& os, int depth);
 
@@ -306,11 +344,9 @@ runIncludeStage(const Stage& stage, uint64_t scenario_seed,
     d.u64(static_cast<uint64_t>(stage.repeat));
     for (int rep = 0; rep < stage.repeat; ++rep) {
         uint64_t rep_seed =
-            stage.repeat == 1
-                ? base
-                : util::Rng::stream(
-                      base, {kPhaseRepeat, static_cast<uint64_t>(rep)})
-                      .seed();
+            fanoutSeed(base, kScenarioRepeat,
+                       static_cast<uint64_t>(stage.repeat),
+                       static_cast<uint64_t>(rep));
         if (stage.repeat > 1) {
             std::string indent((depth + 1) * 2, ' ');
             os << indent << "  repeat " << (rep + 1) << "/"
@@ -387,6 +423,14 @@ runWithSeed(const Scenario& s, uint64_t seed, std::ostream& os,
                    << " victim-vms=" << a.victimVms;
             os << " seed=" << sseed << "\n";
             outcome = runAttackStage(stage, sseed, os, indent);
+            break;
+        }
+        case StageKind::Fleet: {
+            const FleetStage& f = stage.fleet;
+            os << ": hosts=" << f.hosts << " tenants=" << f.tenants
+               << " shards=" << f.shards << " epochs=" << f.epochs
+               << " seed=" << sseed << "\n";
+            outcome = runFleetStage(stage, sseed, os, indent);
             break;
         }
         case StageKind::Include:

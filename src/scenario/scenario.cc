@@ -436,6 +436,29 @@ compileAttackStage(MapReader& r, const TextNode& item,
 }
 
 bool
+compileFleetStage(MapReader& r, const TextNode& item,
+                  std::string_view filename, Stage* stage,
+                  std::string* err)
+{
+    FleetStage& f = stage->fleet;
+    r.getInt("hosts", 1, 1000000, &f.hosts);
+    r.getInt("tenants", 0, 10000000, &f.tenants);
+    r.getInt("shards", 1, 4096, &f.shards);
+    r.getInt("epochs", 1, 10000, &f.epochs);
+    r.getDouble("arrivals", 0.0, 100.0, &f.arrivals);
+    r.getDouble("departures", 0.0, 1.0, &f.departures);
+    r.getDouble("migrations", 0.0, 1.0, &f.migrations);
+    r.getDouble("host-faults", 0.0, 1.0, &f.hostFaults);
+    if (!r.finish()) {
+        *err = r.error();
+        return false;
+    }
+    (void)item;
+    (void)filename;
+    return true;
+}
+
+bool
 compileIncludeStage(MapReader& r, const TextNode& item,
                     std::string_view filename, const std::string& dir,
                     CompileCtx* ctx, Stage* stage, std::string* err)
@@ -690,7 +713,8 @@ compileStage(const TextNode& item, size_t index,
     if (item.kind != TextNode::Kind::Map || !item.find("stage")) {
         *err = errorAt(filename, item.line,
                        "each stages[] item must begin with "
-                       "'- stage: experiment|serve|attack|include'");
+                       "'- stage: experiment|serve|attack|include|"
+                       "fleet'");
         return false;
     }
 
@@ -698,9 +722,10 @@ compileStage(const TextNode& item, size_t index,
     std::string context = "stage";
     {
         MapReader probe(item, filename, context);
-        probe.getEnum("stage",
-                      {"experiment", "serve", "attack", "include"},
-                      &kind);
+        probe.getEnum(
+            "stage",
+            {"experiment", "serve", "attack", "include", "fleet"},
+            &kind);
         if (probe.failed()) {
             *err = probe.error();
             return false;
@@ -709,12 +734,14 @@ compileStage(const TextNode& item, size_t index,
     stage->kind = kind == "experiment" ? StageKind::Experiment
                   : kind == "serve"    ? StageKind::Serve
                   : kind == "attack"   ? StageKind::Attack
+                  : kind == "fleet"    ? StageKind::Fleet
                                        : StageKind::Include;
     stage->name = kind + "-" + std::to_string(index);
 
     MapReader r(item, filename, kind + " stage");
     std::string discard;
-    r.getEnum("stage", {"experiment", "serve", "attack", "include"},
+    r.getEnum("stage",
+              {"experiment", "serve", "attack", "include", "fleet"},
               &discard);
     r.getString("name", &stage->name);
     r.getUInt("seed", &stage->seed);
@@ -726,6 +753,8 @@ compileStage(const TextNode& item, size_t index,
         return compileServeStage(r, item, filename, stage, err);
     case StageKind::Attack:
         return compileAttackStage(r, item, filename, stage, err);
+    case StageKind::Fleet:
+        return compileFleetStage(r, item, filename, stage, err);
     case StageKind::Include:
         return compileIncludeStage(r, item, filename, dir, ctx, stage,
                                    err);
@@ -854,6 +883,18 @@ dumpStage(const Stage& stage, std::ostream& os)
         }
         break;
     }
+    case StageKind::Fleet: {
+        const FleetStage& f = stage.fleet;
+        kv("hosts", std::to_string(f.hosts));
+        kv("tenants", std::to_string(f.tenants));
+        kv("shards", std::to_string(f.shards));
+        kv("epochs", std::to_string(f.epochs));
+        kv("arrivals", fmtDouble(f.arrivals));
+        kv("departures", fmtDouble(f.departures));
+        kv("migrations", fmtDouble(f.migrations));
+        kv("host-faults", fmtDouble(f.hostFaults));
+        break;
+    }
     case StageKind::Include:
         kv("path", stage.includePath);
         kv("repeat", std::to_string(stage.repeat));
@@ -930,6 +971,18 @@ digestStage(const Stage& stage, util::Fnv1a* d)
         }
         break;
     }
+    case StageKind::Fleet: {
+        const FleetStage& f = stage.fleet;
+        d->u64(static_cast<uint64_t>(f.hosts));
+        d->u64(static_cast<uint64_t>(f.tenants));
+        d->u64(static_cast<uint64_t>(f.shards));
+        d->u64(static_cast<uint64_t>(f.epochs));
+        d->f64(f.arrivals);
+        d->f64(f.departures);
+        d->f64(f.migrations);
+        d->f64(f.hostFaults);
+        break;
+    }
     case StageKind::Include:
         str(stage.includePath);
         d->u64(static_cast<uint64_t>(stage.repeat));
@@ -952,6 +1005,8 @@ stageKindName(StageKind k)
         return "attack";
     case StageKind::Include:
         return "include";
+    case StageKind::Fleet:
+        return "fleet";
     }
     return "?";
 }
@@ -1147,7 +1202,7 @@ schemaKeys()
          "Ordered stage list (required)"},
         // Common stage keys.
         {"stages[].stage", "enum",
-         "experiment | serve | attack | include", "-", "sim",
+         "experiment | serve | attack | include | fleet", "-", "sim",
          "Stage kind discriminator (required, first key)"},
         {"stages[].name", "string", "-", "<kind>-<index>", "meta",
          "Stage display name"},
@@ -1241,6 +1296,24 @@ schemaKeys()
          "Co-residency: probe waves before giving up"},
         {"stages[].victim-vms", "int", "[1, 100]", "1", "sim",
          "Co-residency: VMs the target user runs"},
+        // Fleet stage.
+        {"stages[].hosts", "int", "[1, 1000000]", "64", "sim",
+         "Fleet: physical hosts simulated"},
+        {"stages[].tenants", "int", "[0, 10000000]", "256", "sim",
+         "Fleet: tenant VMs placed at boot"},
+        {"stages[].shards", "int", "[1, 4096]", "1", "sim",
+         "Fleet: host partitions (cross-shard stats only; never the "
+         "digest)"},
+        {"stages[].epochs", "int", "[1, 10000]", "4", "sim",
+         "Fleet: churn + profiling epochs to run"},
+        {"stages[].arrivals", "double", "[0, 100]", "0.2", "sim",
+         "Fleet: mean VM arrivals per host per epoch"},
+        {"stages[].departures", "double", "[0, 1]", "0.04", "sim",
+         "Fleet: per-VM per-epoch departure probability"},
+        {"stages[].migrations", "double", "[0, 1]", "0.02", "sim",
+         "Fleet: per-VM per-epoch migration probability"},
+        {"stages[].host-faults", "double", "[0, 1]", "0", "sim",
+         "Fleet: per-host per-epoch fault probability"},
         // Include stage.
         {"stages[].path", "string", "-", "-", "sim",
          "Sub-scenario file, relative to the including file "

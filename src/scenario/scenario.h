@@ -30,7 +30,7 @@ namespace scenario {
  */
 
 /** What a stage does; the `stage:` discriminator key. */
-enum class StageKind : uint8_t { Experiment, Serve, Attack, Include };
+enum class StageKind : uint8_t { Experiment, Serve, Attack, Include, Fleet };
 
 /** `kind:` of an attack stage. */
 enum class AttackKind : uint8_t { Dos, CoResidency };
@@ -106,6 +106,25 @@ struct AttackStage
 };
 
 /**
+ * A fleet-scale sharded simulation (sim::FleetCluster): epoch-based
+ * churn over `hosts` hosts partitioned into `shards`, two-plane so the
+ * stage digest is byte-identical at any shard count x thread count
+ * (`shards` only moves the partition boundaries, which shows up in the
+ * cross-shard migration statistic).
+ */
+struct FleetStage
+{
+    int hosts = 64;
+    int tenants = 256;
+    int shards = 1;
+    int epochs = 4;
+    double arrivals = 0.2;   ///< Mean VM arrivals per host per epoch.
+    double departures = 0.04; ///< Per-VM per-epoch departure probability.
+    double migrations = 0.02; ///< Per-VM per-epoch migration probability.
+    double hostFaults = 0.0;  ///< Per-host per-epoch fault probability.
+};
+
+/**
  * One `slo:` rule, compiled into an obs::SloRule by the runner. Kept
  * in source (string) form here so the scenario graph stays a plain
  * data description; the runner resolves series names against the
@@ -161,6 +180,7 @@ struct Stage
     ExperimentStage experiment; ///< kind == Experiment.
     ServeStage serve;           ///< kind == Serve.
     AttackStage attack;         ///< kind == Attack.
+    FleetStage fleet;           ///< kind == Fleet.
 
     // kind == Include: a composable sub-scenario.
     std::string includePath; ///< As written (relative to includer).

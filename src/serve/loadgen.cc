@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/rng.h"
+#include "util/seeds.h"
 #include "workloads/app.h"
 
 namespace bolt {
@@ -10,18 +11,14 @@ namespace serve {
 
 namespace {
 
-/**
- * Stream-phase keys of the serving layer. Disjoint from every other
- * subsystem's keys (fault uses 0x0Bf0.., experiment its own) so serve
- * draws never correlate with detection or fault draws under a shared
- * root seed.
- */
-enum : uint64_t {
-    kPhaseArrival = 0x5E40,
-    kPhaseThink = 0x5E41,
-    kPhaseQuery = 0x5E42,
-    kPhaseCost = 0x5E43,
-};
+// Stream-phase keys of the serving layer live in util/seeds.h with
+// every other subsystem's, which keeps them provably disjoint (serve
+// draws never correlate with detection or fault draws under a shared
+// root seed).
+using util::seeds::kServeArrival;
+using util::seeds::kServeCost;
+using util::seeds::kServeQuery;
+using util::seeds::kServeThink;
 
 /** Observed-resource counts cycled by analyze queries (paper: 2-5). */
 constexpr size_t kObservedChoices[] = {2, 3, 5, 6, 10};
@@ -41,7 +38,7 @@ double
 LoadGen::interarrivalMs(uint64_t index) const
 {
     util::Rng rng = util::Rng::stream(config_.seed,
-                                      {kPhaseArrival, index});
+                                      {kServeArrival, index});
     double mean_ms = 1000.0 / std::max(config_.offeredQps, 1e-9);
     return rng.exponential(mean_ms);
 }
@@ -50,7 +47,7 @@ double
 LoadGen::thinkDelayMs(size_t client, uint64_t seq) const
 {
     util::Rng rng = util::Rng::stream(
-        config_.seed, {kPhaseThink, static_cast<uint64_t>(client), seq});
+        config_.seed, {kServeThink, static_cast<uint64_t>(client), seq});
     return rng.exponential(std::max(config_.thinkMs, 1e-9));
 }
 
@@ -63,7 +60,7 @@ LoadGen::makeRequest(uint64_t id, size_t client, double arrivalMs) const
     req.arrivalMs = arrivalMs;
     req.deadlineMs = arrivalMs + config_.sloMs;
 
-    util::Rng q = util::Rng::stream(config_.seed, {kPhaseQuery, id});
+    util::Rng q = util::Rng::stream(config_.seed, {kServeQuery, id});
     req.isDecompose = q.bernoulli(config_.decomposeFraction);
     size_t m = training_.size();
 
@@ -101,7 +98,7 @@ LoadGen::makeRequest(uint64_t id, size_t client, double arrivalMs) const
         }
     }
 
-    util::Rng c = util::Rng::stream(config_.seed, {kPhaseCost, id});
+    util::Rng c = util::Rng::stream(config_.seed, {kServeCost, id});
     req.costMs = c.lognormal(config_.serviceMedianMs, config_.serviceSigma);
     if (req.isDecompose)
         req.costMs *= config_.decomposeCostFactor;

@@ -187,12 +187,12 @@ TEST(ScenarioCompile, ErrorGoldens)
                            "stages:\n"
                            "  - stage: warmup\n"),
               "bad.scn:3: value 'warmup' for 'stage' must be one of "
-              "experiment, serve, attack, include");
+              "experiment, serve, attack, include, fleet");
     EXPECT_EQ(compileError("scenario: x\n"
                            "stages:\n"
                            "  - name: no-discriminator\n"),
               "bad.scn:3: each stages[] item must begin with "
-              "'- stage: experiment|serve|attack|include'");
+              "'- stage: experiment|serve|attack|include|fleet'");
     EXPECT_EQ(compileError("scenario: x\n"
                            "stages:\n"
                            "  - stage: attack\n"),
@@ -418,6 +418,10 @@ TEST(ScenarioRoundTrip, SyntheticAllFeatures)
                                "  - stage: attack\n"
                                "    kind: coresidency\n"
                                "    waves: 3\n"
+                               "  - stage: fleet\n"
+                               "    hosts: 32\n"
+                               "    shards: 4\n"
+                               "    host-faults: 0.01\n"
                                "  - stage: include\n"
                                "    path: rt_child.scn\n"
                                "    repeat: 2\n";
@@ -544,6 +548,7 @@ TEST(ScenarioSchema, DumpEmitsEveryLeafKey)
                                "    kind: dos\n"
                                "  - stage: attack\n"
                                "    kind: coresidency\n"
+                               "  - stage: fleet\n"
                                "  - stage: include\n"
                                "    path: leaf_child.scn\n";
     Scenario s;

@@ -6,23 +6,18 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <vector>
+
 #include "sim/cluster.h"
 #include "sim/contention.h"
 #include "sim/isolation.h"
 #include "sim/resource.h"
 #include "sim/server.h"
+#include "util/thread_pool.h"
 
 using namespace bolt::sim;
 
-namespace {
-
-ResourceVector
-vec(double fill)
-{
-    return ResourceVector(fill);
-}
-
-} // namespace
 
 TEST(Resource, NamesRoundTrip)
 {
@@ -363,6 +358,32 @@ TEST(Cluster, TenantIdsNeverRepeat)
     TenantId a = c.nextTenantId();
     TenantId b = c.nextTenantId();
     EXPECT_NE(a, b);
+}
+
+TEST(Cluster, ForEachServerEmptyCluster)
+{
+    Cluster c(0);
+    EXPECT_EQ(c.size(), 0u);
+    std::atomic<int> visits{0};
+    c.forEachServer([&](size_t, const Server&) { ++visits; });
+    EXPECT_EQ(visits.load(), 0);
+}
+
+TEST(Cluster, ForEachServerFewerHostsThanThreads)
+{
+    // More pool workers than hosts: every host must still be visited
+    // exactly once with the matching server reference.
+    bolt::util::ThreadPool::setGlobalThreads(8);
+    Cluster c(3);
+    std::vector<std::atomic<int>> visits(c.size());
+    c.forEachServer([&](size_t i, const Server& s) {
+        ASSERT_LT(i, c.size());
+        EXPECT_EQ(&s, &c.server(i));
+        ++visits[i];
+    });
+    for (size_t i = 0; i < c.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "host " << i;
+    bolt::util::ThreadPool::setGlobalThreads(0);
 }
 
 /** Property sweep: every tenant's visible pressure never exceeds the

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "util/rng.h"
+#include "util/seeds.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -443,4 +444,63 @@ TEST(Rng, CounterStreamMatchesRegardlessOfDerivationOrder)
         EXPECT_DOUBLE_EQ(first_draw[i],
                          Rng::stream(123, {7, i}).uniform())
             << i;
+}
+
+// ------------------------------------------------------------- seeds
+
+TEST(Seeds, PhaseKeysAreFrozen)
+{
+    // These keys partition the global Rng::stream namespace between
+    // layers; goldens across the repo depend on them. Changing any
+    // value is a breaking change that must regenerate every golden.
+    using namespace bolt::util::seeds;
+    EXPECT_EQ(kServeArrival, 0x5E40u);
+    EXPECT_EQ(kServeThink, 0x5E41u);
+    EXPECT_EQ(kServeQuery, 0x5E42u);
+    EXPECT_EQ(kServeCost, 0x5E43u);
+    EXPECT_EQ(kScenarioStage, 0x5ce9a210u);
+    EXPECT_EQ(kScenarioSegment, 0x5ce9a211u);
+    EXPECT_EQ(kScenarioRepeat, 0x5ce9a212u);
+    EXPECT_EQ(kFleetBoot, 0xF1EE70u);
+    EXPECT_EQ(kFleetChurn, 0xF1EE71u);
+    EXPECT_EQ(kFleetProfile, 0xF1EE72u);
+}
+
+TEST(Seeds, DerivedSeedsArePinned)
+{
+    // Pin actual derivations, not just the keys: derivedSeed must stay
+    // Rng::stream(root, {phase, index}).seed() forever. The scenario
+    // stage value is the seed printed in the shipped flash_crowd
+    // golden (seed 42, stage 0).
+    using namespace bolt::util::seeds;
+    EXPECT_EQ(derivedSeed(42, kScenarioStage, 0),
+              157994749479370998ULL);
+    EXPECT_EQ(derivedSeed(7, kScenarioSegment, 1),
+              9786190715857023817ULL);
+    EXPECT_EQ(derivedSeed(7, kScenarioRepeat, 2),
+              12714009199645688437ULL);
+    EXPECT_EQ(derivedSeed(1, kServeArrival, 3),
+              17496408874684026397ULL);
+    EXPECT_EQ(derivedSeed(42, kFleetBoot, 0),
+              18110315803503863879ULL);
+    EXPECT_EQ(derivedSeed(42, kFleetChurn, 5),
+              16358945496798517875ULL);
+    EXPECT_EQ(derivedSeed(42, kFleetProfile, 5),
+              6937417235409671418ULL);
+    // Definitional identity against the Rng itself.
+    EXPECT_EQ(derivedSeed(99, kFleetChurn, 17),
+              Rng::stream(99, {kFleetChurn, 17}).seed());
+}
+
+TEST(Seeds, FanoutSeedInheritsForSingletons)
+{
+    // A fan-out of one inherits the parent seed unchanged (a lone
+    // serve segment or include repetition reproduces the parent run
+    // exactly); wider fan-outs derive one seed per index.
+    using namespace bolt::util::seeds;
+    EXPECT_EQ(fanoutSeed(1234, kScenarioSegment, 1, 0), 1234u);
+    EXPECT_EQ(fanoutSeed(1234, kScenarioSegment, 4, 2),
+              derivedSeed(1234, kScenarioSegment, 2));
+    EXPECT_NE(fanoutSeed(1234, kScenarioSegment, 4, 2),
+              fanoutSeed(1234, kScenarioSegment, 4, 3));
 }
