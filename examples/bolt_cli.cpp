@@ -19,6 +19,8 @@
  *   bolt_cli fleet      [--hosts N] [--tenants N] [--shards N]
  *                       [--epochs N] [--arrivals R] [--departures P]
  *                       [--migrations P] [--host-faults P] [--seed S]
+ *   bolt_cli arms-race  [--servers N] [--probes N] [--waves N]
+ *                       [--reps N] [--util-levels CSV] [--seed S]
  *   bolt_cli report     --telemetry FILE [--top N]
  *
  * Every subcommand also takes the shared observability flags:
@@ -51,6 +53,7 @@
 
 #include "attacks/coresidency.h"
 #include "attacks/dos.h"
+#include "colo/tournament.h"
 #include "core/experiment.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
@@ -535,6 +538,75 @@ runFleet(const CliArgs& args)
 }
 
 int
+runArmsRace(const CliArgs& args)
+{
+    colo::TournamentConfig cfg;
+    cfg.servers = static_cast<size_t>(args.getInt("servers", 24));
+    cfg.probesPerWave = args.getInt("probes", 4);
+    cfg.waves = args.getInt("waves", 3);
+    cfg.reps = args.getInt("reps", 8);
+    cfg.seed = static_cast<uint64_t>(args.getInt("seed", 42));
+
+    // --util-levels is a CSV of utilization percents; the parser keeps
+    // it a string, so range-check each entry here (same strictness as
+    // the numeric flags: garbage exits 2).
+    std::string levels = args.get("util-levels", "");
+    if (!levels.empty()) {
+        cfg.utilLevels.clear();
+        std::istringstream is(levels);
+        std::string item;
+        while (std::getline(is, item, ',')) {
+            size_t pos = 0;
+            double v = 0.0;
+            try {
+                v = std::stod(item, &pos);
+            } catch (const std::exception&) {
+                pos = 0;
+            }
+            if (pos != item.size() || v < 5.0 || v > 90.0) {
+                std::cerr << "bolt_cli: --util-levels entry '" << item
+                          << "' is not a percent in [5, 90]\n";
+                return 2;
+            }
+            cfg.utilLevels.push_back(v);
+        }
+        if (cfg.utilLevels.empty()) {
+            std::cerr << "bolt_cli: --util-levels is empty\n";
+            return 2;
+        }
+    }
+
+    obs::RunReport report("arms-race");
+    report.set("servers", static_cast<uint64_t>(cfg.servers));
+    report.set("probes", static_cast<uint64_t>(cfg.probesPerWave));
+    report.set("waves", static_cast<uint64_t>(cfg.waves));
+    report.set("reps", static_cast<uint64_t>(cfg.reps));
+    report.set("seed", cfg.seed);
+    report.set("threads",
+               static_cast<uint64_t>(util::ThreadPool::globalThreads()));
+    WallTimer wall;
+
+    colo::TournamentResult result = colo::runTournament(cfg);
+
+    report.setWallSeconds(wall.seconds());
+    report.set("cells", static_cast<uint64_t>(result.cells.size()));
+    report.set("result_digest", hex64(result.digest));
+    obs::writeConfiguredOutputs(report);
+
+    // Everything below is Sim-class: byte-identical at any --threads.
+    colo::printTournament(result, std::cout);
+    std::cout << "tournament digest: " << hex64(result.digest) << "\n";
+
+    std::string violation = colo::tournamentSelfCheck(cfg, result);
+    if (!violation.empty()) {
+        std::cerr << "bolt_cli: arms-race gate: " << violation << "\n";
+        return 1;
+    }
+    std::cout << "arms-race gates: OK\n";
+    return 0;
+}
+
+int
 runScenarioCmd(const CliArgs& args)
 {
     std::string path = args.get("scenario", "");
@@ -911,7 +983,7 @@ usage()
 {
     std::cout
         << "usage: bolt_cli <run|experiment|detect|dos|coresidency|"
-           "serve-bench|fleet|report> [--flag value ...]\n"
+           "serve-bench|fleet|arms-race|report> [--flag value ...]\n"
            "  run         --scenario FILE (declarative scenario; see\n"
            "              docs/SCENARIOS.md and scenarios/)\n"
            "              --dump (print the canonical form, don't run)\n"
@@ -951,6 +1023,13 @@ usage()
            "              --seed S (digest is byte-identical at any\n"
            "              --shards x --threads; only the cross-shard\n"
            "              migration statistic depends on --shards)\n"
+           "  arms-race   --servers N --probes N --waves N --reps N\n"
+           "              --util-levels CSV (percents in [5,90], "
+           "default 30,50,70)\n"
+           "              --seed S (co-location tournament: every\n"
+           "              attacker x policy x utilization cell; exits "
+           "1\n"
+           "              when a defense fails the arms-race gates)\n"
            "  report      --telemetry FILE (a --telemetry-out dump)\n"
            "              --top N (tenants per alert attribution, "
            "default 5)\n"
@@ -1002,6 +1081,15 @@ const std::vector<CliFlagSpec> kCoResidencyFlags = {
 const std::vector<CliFlagSpec> kRunFlags = {
     {"scenario", FlagKind::String},
     {"dump", FlagKind::Flag},
+};
+const std::vector<CliFlagSpec> kArmsRaceFlags = {
+    {"servers", FlagKind::Int, 4, 4096},
+    {"probes", FlagKind::Int, 1, 64},
+    {"waves", FlagKind::Int, 1, 64},
+    {"reps", FlagKind::Int, 1, 64},
+    // CSV of utilization percents; runArmsRace range-checks entries.
+    {"util-levels", FlagKind::String},
+    {"seed", FlagKind::UInt, 0, kSeedMax},
 };
 const std::vector<CliFlagSpec> kFleetFlags = {
     {"hosts", FlagKind::Int, 1, 1000000},
@@ -1074,6 +1162,9 @@ main(int argc, char** argv)
     } else if (command == "fleet") {
         spec = &kFleetFlags;
         run = runFleet;
+    } else if (command == "arms-race") {
+        spec = &kArmsRaceFlags;
+        run = runArmsRace;
     } else if (command == "report") {
         spec = &kReportFlags;
         run = runReport;

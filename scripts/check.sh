@@ -47,6 +47,16 @@
 # flags must be rejected with exit 2. Pass --update after --fleet to
 # regenerate the golden instead of diffing it.
 #
+# The --armsrace stage asserts the placement-arms-race contract:
+# `bolt_cli arms-race` stdout must be byte-identical at 1 and 8
+# threads with its self-check gates passing (exit 0), malformed flags
+# must be rejected with exit 2, and the coloc_arms_race bench — the
+# full tournament plus the fleet duel, self-checked for defense
+# effectiveness and 16-shard digest invariance — must reproduce
+# bench/BENCH_coloc_arms_race.golden bit-for-bit at both thread
+# counts. Pass --update after --armsrace to regenerate the golden
+# instead of diffing it.
+#
 # The --simd stage asserts the kernel-backend determinism contract: a
 # Release build with -DBOLT_SIMD=ON must pass its test suite (including
 # the scalar-vs-AVX2 bit-equality tests in tests/test_kernels.cc) and
@@ -54,7 +64,7 @@
 # perf_serving sweep byte-for-byte. On hardware without AVX2 the SIMD
 # build falls back to the scalar backend and the gate still holds.
 #
-# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--fault|--serve|--scenario [--update]|--telemetry|--fleet [--update]|--simd|--bench-only]
+# Usage: scripts/check.sh [--plain-only|--tsan-only|--obs|--fault|--serve|--scenario [--update]|--telemetry|--fleet [--update]|--armsrace [--update]|--simd|--bench-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -478,6 +488,69 @@ if [[ "${mode}" == "--fleet" || "${mode}" == "all" ]]; then
         fi
     done
     echo "Fleet gate passed."
+fi
+
+if [[ "${mode}" == "--armsrace" || "${mode}" == "all" ]]; then
+    echo "== Placement arms-race gate =="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target bolt_cli
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-release -j "$(nproc)" --target coloc_arms_race
+    ar_dir="$(mktemp -d)"
+    trap 'rm -rf "${obs_dir:-}" "${fault_dir:-}" "${serve_dir:-}" "${scn_dir:-}" "${tel_dir:-}" "${fleet_dir:-}" "${ar_dir:-}"' EXIT
+    cli=./build/examples/bolt_cli
+    update_goldens=0
+    [[ "${2:-}" == "--update" ]] && update_goldens=1
+    ar_flags=(arms-race --servers 16 --probes 3 --waves 2 --reps 4
+              --util-levels 40,60 --seed 7 --log-level error)
+
+    # Campaign reps fan out on the pool but each writes only its own
+    # result slot; the tournament table and digest fold sequentially,
+    # so the whole stdout is byte-identical at any thread count. The
+    # command also applies the arms-race self-check gates (exit 1 if a
+    # defense stops beating least-loaded).
+    for threads in 1 8; do
+        "${cli}" "${ar_flags[@]}" --threads "${threads}" \
+            > "${ar_dir}/t_${threads}.txt"
+    done
+    if ! diff -u "${ar_dir}/t_1.txt" "${ar_dir}/t_8.txt"; then
+        echo "FAIL: arms-race output differs between 1 and 8 threads" >&2
+        exit 1
+    fi
+
+    # Strict flag validation: trailing garbage, out-of-range values,
+    # malformed utilization lists and unknown flags must exit 2.
+    for bad in "--servers 10x" "--reps 99999" "--util-levels 40,x" \
+               "--util-levels 200" "--no-such-flag 1"; do
+        rc=0
+        # shellcheck disable=SC2086  # word splitting is intentional
+        "${cli}" arms-race ${bad} >/dev/null 2>&1 || rc=$?
+        if [[ "${rc}" != 2 ]]; then
+            echo "FAIL: 'arms-race ${bad}' exited ${rc}, expected 2" >&2
+            exit 1
+        fi
+    done
+
+    # The full tournament + fleet duel must reproduce the committed
+    # golden bit-for-bit at both thread counts; the binary itself exits
+    # 1 if a defense gate fails or the 16-shard duel re-run stops
+    # reproducing the 1-shard row digests.
+    if [[ "${update_goldens}" == 1 ]]; then
+        ./build-release/bench/coloc_arms_race \
+            > bench/BENCH_coloc_arms_race.golden
+    fi
+    for threads in 1 8; do
+        ./build-release/bench/coloc_arms_race --threads "${threads}" \
+            > "${ar_dir}/bench_${threads}.txt"
+        if ! diff -u bench/BENCH_coloc_arms_race.golden \
+                     "${ar_dir}/bench_${threads}.txt"; then
+            echo "FAIL: coloc_arms_race output diverged from golden at" \
+                 "threads=${threads} (regenerate intentionally with" \
+                 "--armsrace --update)" >&2
+            exit 1
+        fi
+    done
+    echo "Arms-race gate passed."
 fi
 
 if [[ "${mode}" == "--simd" || "${mode}" == "all" ]]; then

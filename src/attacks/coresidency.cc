@@ -83,7 +83,7 @@ CoResidencyAttack::run() const
     core::HybridRecommender recommender(training);
     core::Detector detector(recommender);
 
-    sched::RandomScheduler probe_scheduler(rng.substream("probes"));
+    sched::RandomScheduler probe_scheduler(rng.substream("probes").seed());
     sim::ContentionModel contention(cluster.isolation());
     util::Rng detect_rng = rng.substream("detect");
 

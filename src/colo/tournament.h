@@ -1,0 +1,159 @@
+#ifndef BOLT_COLO_TOURNAMENT_H
+#define BOLT_COLO_TOURNAMENT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "colo/attacker.h"
+#include "colo/policies.h"
+
+namespace bolt {
+namespace colo {
+
+/** Allocation policies entered in the tournament. */
+enum class PolicyKind : uint8_t { LeastLoaded, Quasar, Random, Mab, Secure };
+
+/** Display name of a tournament policy. */
+const char* policyName(PolicyKind kind);
+
+/** Whether a policy is one of the two arms-race defenses. */
+inline bool
+isSecurePolicy(PolicyKind kind)
+{
+    return kind == PolicyKind::Mab || kind == PolicyKind::Secure;
+}
+
+/**
+ * Round-robin configuration: every attacker x policy x utilization
+ * cell plays `reps` independent campaigns. All randomness derives from
+ * `seed` through Rng::stream(seed, {kColoCell, cell, rep}), so the
+ * result table is byte-identical at any thread count.
+ */
+struct TournamentConfig
+{
+    size_t servers = 24;
+    int cores = 8;
+    int threadsPerCore = 2;
+    std::vector<double> utilLevels = {30.0, 50.0, 70.0};
+    std::vector<AttackerKind> attackers = {AttackerKind::Replication,
+                                           AttackerKind::Affinity,
+                                           AttackerKind::Churn};
+    std::vector<PolicyKind> policies = {
+        PolicyKind::LeastLoaded, PolicyKind::Quasar, PolicyKind::Random,
+        PolicyKind::Mab, PolicyKind::Secure};
+    int reps = 8;
+    int probesPerWave = 4;
+    int waves = 3;
+    int probeVcpus = 2;
+    int migrationBudget = 4;
+    uint64_t seed = 42;
+};
+
+/** Aggregated outcome of one attacker x policy x utilization cell. */
+struct CellResult
+{
+    AttackerKind attacker = AttackerKind::Replication;
+    PolicyKind policy = PolicyKind::LeastLoaded;
+    double utilLevel = 0.0;
+    int reps = 0;
+    int successes = 0; ///< Campaigns that pinpointed the victim.
+    uint64_t launches = 0;
+    uint64_t coResEvents = 0; ///< Probe launches beside the victim.
+    uint64_t oracleChecks = 0;
+    uint64_t migrations = 0; ///< Reactive defense migrations.
+    double meanWaves = 0.0;
+    double meanTimeToCoResSec = 0.0; ///< Over successful campaigns.
+    double meanUtilPct = 0.0; ///< Post-campaign slot utilization.
+    double simSeconds = 0.0;  ///< Total campaign clock across reps.
+    uint64_t digest = 0;      ///< Thread-invariant cell digest.
+};
+
+/** Full tournament outcome. */
+struct TournamentResult
+{
+    std::vector<CellResult> cells;
+    uint64_t digest = 0; ///< Fold of every cell digest in cell order.
+};
+
+/**
+ * Play the tournament. Cells x reps fan out on the global thread pool;
+ * each rep builds a fresh cluster + policy from its own seed tree and
+ * writes only its own result slot, so the fold is thread-invariant.
+ */
+TournamentResult runTournament(const TournamentConfig& cfg);
+
+/** Render the cell table (Sim-class output: golden-safe). */
+void printTournament(const TournamentResult& result, std::ostream& os);
+
+/**
+ * Arms-race acceptance gates over a finished tournament:
+ *
+ *  - at every swept utilization level, BOTH secure policies (mab,
+ *    secure-opt) pinpoint the victim strictly less often than
+ *    LeastLoaded, summed across the attacker strategies;
+ *  - per cell, the secure policies' mean utilization stays within
+ *    `utilCostBoundPct` of LeastLoaded's (bounded efficiency cost);
+ *  - per cell, reactive migrations stay within budget x reps.
+ *
+ * @return "" when all gates hold, else a description of the first
+ * violation. Gates requiring absent policies are skipped.
+ */
+std::string tournamentSelfCheck(const TournamentConfig& cfg,
+                                const TournamentResult& result,
+                                double utilCostBoundPct = 12.0);
+
+/** Fleet-scale policies entered in the duel. */
+enum class FleetPolicyKind : uint8_t { RingFirstFit, LeastUsed, Mab, Secure };
+
+/** Display name of a fleet duel policy. */
+const char* fleetPolicyName(FleetPolicyKind kind);
+
+/**
+ * Fleet-scale duel: run a churny FleetCluster under each policy x
+ * utilization row, then fire `probes` what-if placement queries at the
+ * evolved policy and count how many would land on the (first alive)
+ * victim VM's host. Deterministic at any shard x thread count.
+ */
+struct FleetDuelConfig
+{
+    size_t hosts = 96;
+    size_t shards = 1;
+    int epochs = 3;
+    std::vector<double> utilLevels = {30.0, 50.0, 70.0};
+    std::vector<FleetPolicyKind> policies = {
+        FleetPolicyKind::RingFirstFit, FleetPolicyKind::LeastUsed,
+        FleetPolicyKind::Mab, FleetPolicyKind::Secure};
+    size_t probes = 64;
+    uint64_t seed = 42;
+};
+
+/** One fleet duel row. */
+struct FleetDuelRow
+{
+    FleetPolicyKind policy = FleetPolicyKind::RingFirstFit;
+    double utilLevel = 0.0;
+    uint64_t hits = 0; ///< What-if probes landing on the victim host.
+    uint64_t migrations = 0;
+    double meanUtilPct = 0.0; ///< Final-epoch mean host utilization.
+    uint64_t digest = 0; ///< Shard-invariant fold of run digest + hits.
+};
+
+/** Fleet duel outcome. */
+struct FleetDuelResult
+{
+    std::vector<FleetDuelRow> rows;
+    uint64_t digest = 0;
+};
+
+/** Run the fleet duel (rows sequential; epochs shard internally). */
+FleetDuelResult runFleetDuel(const FleetDuelConfig& cfg);
+
+/** Render the duel table (Sim-class output: golden-safe). */
+void printFleetDuel(const FleetDuelResult& result, std::ostream& os);
+
+} // namespace colo
+} // namespace bolt
+
+#endif // BOLT_COLO_TOURNAMENT_H

@@ -56,6 +56,18 @@ enum class MetricKind { Counter, Gauge, Histogram };
       "Policy picks overridden by the per-host victim cap fallback")         \
     X(SchedPlacementFailures, "sched.placement_failures",                    \
       Sim, false, "Victims dropped because the cluster was full")            \
+    X(SchedPolicyConstrainedPicks, "sched.policy_constrained_picks",         \
+      Sim, false,                                                            \
+      "Placement decisions carrying affinity/anti-affinity constraints")     \
+    X(SchedPolicyAffinityHonored, "sched.policy_affinity_honored",           \
+      Sim, false,                                                            \
+      "Constrained picks that landed on a requested affinity server")        \
+    X(SchedPolicyAffinityFallbacks, "sched.policy_affinity_fallbacks",       \
+      Sim, false,                                                            \
+      "Affinity requests with no feasible preferred server")                 \
+    X(SchedPolicyReplicaPicks, "sched.policy_replica_picks",                 \
+      Sim, false,                                                            \
+      "Replica placements committed by placeReplicaSet fan-outs")            \
     X(DetectorRounds, "detector.rounds",                                     \
       Sim, false, "Detection rounds executed")                               \
     X(DetectorExtraProbeRounds, "detector.extra_probe_rounds",               \
@@ -147,6 +159,19 @@ enum class MetricKind { Counter, Gauge, Histogram };
       Sim, false, "Migrations that crossed a shard boundary")                \
     X(FleetHostFaults, "fleet.host_faults",                                  \
       Sim, false, "Host-epoch faults that evacuated a host")                 \
+    X(ColoCampaigns, "colo.campaigns",                                       \
+      Sim, false, "Attacker campaigns played in arms-race tournaments")      \
+    X(ColoProbeLaunches, "colo.probe_launches",                              \
+      Sim, false, "Attacker probe VMs launched across campaigns")            \
+    X(ColoCoResidencyHits, "colo.coresidency_hits",                          \
+      Sim, false,                                                            \
+      "Probe launches confirmed co-resident with the victim")                \
+    X(ColoOracleChecks, "colo.oracle_checks",                                \
+      Sim, false,                                                            \
+      "Sender/receiver latency confirmations run by the oracle")             \
+    X(ColoDefenseMigrations, "colo.defense_migrations",                      \
+      Sim, false,                                                            \
+      "Reactive re-placements performed by the secure allocator")            \
     X(ScenarioStagesRun, "scenario.stages_run",                              \
       Sim, false, "Scenario stages executed (sub-scenarios included)")       \
     X(ScenarioIncludesRun, "scenario.includes_run",                          \

@@ -58,7 +58,13 @@ namespace obs {
     X(FleetShardUtil, "fleet.shard_util", Sample, true,                      \
       "Mean host utilization per fleet shard per epoch, labeled s<shard>")   \
     X(FleetChurnEvents, "fleet.churn_events", Counter, true,                 \
-      "Fleet churn events per epoch, labeled by event kind")
+      "Fleet churn events per epoch, labeled by event kind")                 \
+    X(ColoCoResEvents, "colo.coresidency_events", Counter, true,             \
+      "Confirmed co-residency events per tournament cell, labeled by the "   \
+      "allocation policy under attack")                                      \
+    X(ColoAttackerLaunches, "colo.attacker_launches", Counter, true,         \
+      "Attacker probe launches per tournament cell, labeled by attacker "    \
+      "strategy")
 
 enum class SeriesId : uint32_t {
 #define BOLT_OBS_SERIES_ENUM(id_, ...) k##id_,

@@ -11,6 +11,7 @@
 
 #include "attacks/coresidency.h"
 #include "attacks/dos.h"
+#include "colo/tournament.h"
 #include "core/experiment.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
@@ -326,6 +327,45 @@ runFleetStage(const Stage& stage, uint64_t seed, std::ostream& os,
     return out;
 }
 
+StageOutcome
+runArmsraceStage(const Stage& stage, uint64_t seed, std::ostream& os,
+                 const std::string& indent)
+{
+    const ArmsraceStage& a = stage.armsrace;
+    colo::TournamentConfig cfg;
+    cfg.servers = static_cast<size_t>(a.servers);
+    cfg.utilLevels = {a.utilization};
+    cfg.attackers = {a.attacker == "replication"
+                         ? colo::AttackerKind::Replication
+                     : a.attacker == "affinity"
+                         ? colo::AttackerKind::Affinity
+                         : colo::AttackerKind::Churn};
+    cfg.policies = {a.allocator == "quasar" ? colo::PolicyKind::Quasar
+                    : a.allocator == "random" ? colo::PolicyKind::Random
+                    : a.allocator == "mab"    ? colo::PolicyKind::Mab
+                    : a.allocator == "secure" ? colo::PolicyKind::Secure
+                                              : colo::PolicyKind::LeastLoaded};
+    cfg.reps = a.reps;
+    cfg.probesPerWave = a.probes;
+    cfg.waves = a.waves;
+    cfg.seed = seed;
+
+    colo::TournamentResult result = colo::runTournament(cfg);
+    const colo::CellResult& cell = result.cells.front();
+
+    StageOutcome out;
+    out.digest = result.digest;
+    out.simSeconds = cell.simSeconds;
+    os << indent << "    success=" << cell.successes << "/" << cell.reps
+       << " waves=" << util::AsciiTable::num(cell.meanWaves, 1)
+       << " ttc=" << util::AsciiTable::num(cell.meanTimeToCoResSec, 1)
+       << "s launches=" << cell.launches
+       << " migrations=" << cell.migrations << " util="
+       << util::AsciiTable::num(cell.meanUtilPct, 1) << "%"
+       << " digest=" << hex64(out.digest) << "\n";
+    return out;
+}
+
 RunResult runWithSeed(const Scenario& s, uint64_t seed,
                       std::ostream& os, int depth);
 
@@ -431,6 +471,15 @@ runWithSeed(const Scenario& s, uint64_t seed, std::ostream& os,
                << " shards=" << f.shards << " epochs=" << f.epochs
                << " seed=" << sseed << "\n";
             outcome = runFleetStage(stage, sseed, os, indent);
+            break;
+        }
+        case StageKind::Armsrace: {
+            const ArmsraceStage& a = stage.armsrace;
+            os << ": allocator=" << a.allocator << " attacker="
+               << a.attacker << " servers=" << a.servers << " utilization="
+               << util::AsciiTable::num(a.utilization, 0)
+               << " seed=" << sseed << "\n";
+            outcome = runArmsraceStage(stage, sseed, os, indent);
             break;
         }
         case StageKind::Include:

@@ -459,6 +459,31 @@ compileFleetStage(MapReader& r, const TextNode& item,
 }
 
 bool
+compileArmsraceStage(MapReader& r, const TextNode& item,
+                     std::string_view filename, Stage* stage,
+                     std::string* err)
+{
+    ArmsraceStage& a = stage->armsrace;
+    r.getEnum("allocator",
+              {"least-loaded", "quasar", "random", "mab", "secure"},
+              &a.allocator);
+    r.getEnum("attacker", {"replication", "affinity", "churn"},
+              &a.attacker);
+    r.getInt("servers", 1, 100000, &a.servers);
+    r.getInt("probes", 1, 10000, &a.probes);
+    r.getInt("waves", 1, 1000, &a.waves);
+    r.getInt("reps", 1, 64, &a.reps);
+    r.getDouble("utilization", 5.0, 90.0, &a.utilization);
+    if (!r.finish()) {
+        *err = r.error();
+        return false;
+    }
+    (void)item;
+    (void)filename;
+    return true;
+}
+
+bool
 compileIncludeStage(MapReader& r, const TextNode& item,
                     std::string_view filename, const std::string& dir,
                     CompileCtx* ctx, Stage* stage, std::string* err)
@@ -714,7 +739,7 @@ compileStage(const TextNode& item, size_t index,
         *err = errorAt(filename, item.line,
                        "each stages[] item must begin with "
                        "'- stage: experiment|serve|attack|include|"
-                       "fleet'");
+                       "fleet|armsrace'");
         return false;
     }
 
@@ -722,10 +747,10 @@ compileStage(const TextNode& item, size_t index,
     std::string context = "stage";
     {
         MapReader probe(item, filename, context);
-        probe.getEnum(
-            "stage",
-            {"experiment", "serve", "attack", "include", "fleet"},
-            &kind);
+        probe.getEnum("stage",
+                      {"experiment", "serve", "attack", "include",
+                       "fleet", "armsrace"},
+                      &kind);
         if (probe.failed()) {
             *err = probe.error();
             return false;
@@ -735,13 +760,15 @@ compileStage(const TextNode& item, size_t index,
                   : kind == "serve"    ? StageKind::Serve
                   : kind == "attack"   ? StageKind::Attack
                   : kind == "fleet"    ? StageKind::Fleet
+                  : kind == "armsrace" ? StageKind::Armsrace
                                        : StageKind::Include;
     stage->name = kind + "-" + std::to_string(index);
 
     MapReader r(item, filename, kind + " stage");
     std::string discard;
     r.getEnum("stage",
-              {"experiment", "serve", "attack", "include", "fleet"},
+              {"experiment", "serve", "attack", "include", "fleet",
+               "armsrace"},
               &discard);
     r.getString("name", &stage->name);
     r.getUInt("seed", &stage->seed);
@@ -755,6 +782,8 @@ compileStage(const TextNode& item, size_t index,
         return compileAttackStage(r, item, filename, stage, err);
     case StageKind::Fleet:
         return compileFleetStage(r, item, filename, stage, err);
+    case StageKind::Armsrace:
+        return compileArmsraceStage(r, item, filename, stage, err);
     case StageKind::Include:
         return compileIncludeStage(r, item, filename, dir, ctx, stage,
                                    err);
@@ -895,6 +924,17 @@ dumpStage(const Stage& stage, std::ostream& os)
         kv("host-faults", fmtDouble(f.hostFaults));
         break;
     }
+    case StageKind::Armsrace: {
+        const ArmsraceStage& a = stage.armsrace;
+        kv("allocator", a.allocator);
+        kv("attacker", a.attacker);
+        kv("servers", std::to_string(a.servers));
+        kv("probes", std::to_string(a.probes));
+        kv("waves", std::to_string(a.waves));
+        kv("reps", std::to_string(a.reps));
+        kv("utilization", fmtDouble(a.utilization));
+        break;
+    }
     case StageKind::Include:
         kv("path", stage.includePath);
         kv("repeat", std::to_string(stage.repeat));
@@ -983,6 +1023,17 @@ digestStage(const Stage& stage, util::Fnv1a* d)
         d->f64(f.hostFaults);
         break;
     }
+    case StageKind::Armsrace: {
+        const ArmsraceStage& a = stage.armsrace;
+        str(a.allocator);
+        str(a.attacker);
+        d->u64(static_cast<uint64_t>(a.servers));
+        d->u64(static_cast<uint64_t>(a.probes));
+        d->u64(static_cast<uint64_t>(a.waves));
+        d->u64(static_cast<uint64_t>(a.reps));
+        d->f64(a.utilization);
+        break;
+    }
     case StageKind::Include:
         str(stage.includePath);
         d->u64(static_cast<uint64_t>(stage.repeat));
@@ -1007,6 +1058,8 @@ stageKindName(StageKind k)
         return "include";
     case StageKind::Fleet:
         return "fleet";
+    case StageKind::Armsrace:
+        return "armsrace";
     }
     return "?";
 }
@@ -1202,8 +1255,8 @@ schemaKeys()
          "Ordered stage list (required)"},
         // Common stage keys.
         {"stages[].stage", "enum",
-         "experiment | serve | attack | include | fleet", "-", "sim",
-         "Stage kind discriminator (required, first key)"},
+         "experiment | serve | attack | include | fleet | armsrace",
+         "-", "sim", "Stage kind discriminator (required, first key)"},
         {"stages[].name", "string", "-", "<kind>-<index>", "meta",
          "Stage display name"},
         {"stages[].seed", "uint", "[0, 2^64)", "0", "sim",
@@ -1211,7 +1264,7 @@ schemaKeys()
          "phase, index})"},
         // Experiment stage.
         {"stages[].servers", "int", "[1, 100000]", "8", "sim",
-         "Cluster size of the controlled experiment"},
+         "Cluster size (experiment; armsrace defaults to 24)"},
         {"stages[].victims", "int", "[0, 1000000]", "20", "sim",
          "Victim workloads scheduled onto the cluster"},
         {"stages[].policy", "enum", "least-loaded | quasar",
@@ -1291,9 +1344,10 @@ schemaKeys()
         {"stages[].duration-sec", "double", "[30, 600]", "120", "sim",
          "DoS timeline length, virtual seconds"},
         {"stages[].probes", "int", "[1, 10000]", "10", "sim",
-         "Co-residency: probe VMs per wave"},
+         "Probe VMs per wave (coresidency; armsrace defaults to 4)"},
         {"stages[].waves", "int", "[1, 1000]", "8", "sim",
-         "Co-residency: probe waves before giving up"},
+         "Probe waves before giving up (coresidency; armsrace "
+         "defaults to 3)"},
         {"stages[].victim-vms", "int", "[1, 100]", "1", "sim",
          "Co-residency: VMs the target user runs"},
         // Fleet stage.
@@ -1314,6 +1368,17 @@ schemaKeys()
          "Fleet: per-VM per-epoch migration probability"},
         {"stages[].host-faults", "double", "[0, 1]", "0", "sim",
          "Fleet: per-host per-epoch fault probability"},
+        // Armsrace stage.
+        {"stages[].allocator", "enum",
+         "least-loaded | quasar | random | mab | secure",
+         "least-loaded", "sim",
+         "Armsrace: allocation policy the campaign attacks"},
+        {"stages[].attacker", "enum", "replication | affinity | churn",
+         "churn", "sim", "Armsrace: co-location attacker strategy"},
+        {"stages[].reps", "int", "[1, 64]", "8", "sim",
+         "Armsrace: independent campaigns in the cell"},
+        {"stages[].utilization", "double", "[5, 90]", "50", "sim",
+         "Armsrace: prefill slot-utilization percent"},
         // Include stage.
         {"stages[].path", "string", "-", "-", "sim",
          "Sub-scenario file, relative to the including file "

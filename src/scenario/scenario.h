@@ -30,7 +30,15 @@ namespace scenario {
  */
 
 /** What a stage does; the `stage:` discriminator key. */
-enum class StageKind : uint8_t { Experiment, Serve, Attack, Include, Fleet };
+enum class StageKind : uint8_t
+{
+    Experiment,
+    Serve,
+    Attack,
+    Include,
+    Fleet,
+    Armsrace
+};
 
 /** `kind:` of an attack stage. */
 enum class AttackKind : uint8_t { Dos, CoResidency };
@@ -125,6 +133,24 @@ struct FleetStage
 };
 
 /**
+ * One cell of the placement arms race (colo::runTournament): `reps`
+ * co-location campaigns by one attacker strategy against one
+ * allocation policy at one utilization level. The stage digest is the
+ * tournament digest, byte-identical at any thread count.
+ */
+struct ArmsraceStage
+{
+    /** least-loaded | quasar | random | mab | secure. */
+    std::string allocator = "least-loaded";
+    std::string attacker = "churn"; ///< replication | affinity | churn.
+    int servers = 24;
+    int probes = 4;           ///< Probe VMs per wave.
+    int waves = 3;            ///< Waves before the campaign gives up.
+    int reps = 8;             ///< Independent campaigns in the cell.
+    double utilization = 50.0; ///< Prefill slot-utilization percent.
+};
+
+/**
  * One `slo:` rule, compiled into an obs::SloRule by the runner. Kept
  * in source (string) form here so the scenario graph stays a plain
  * data description; the runner resolves series names against the
@@ -181,6 +207,7 @@ struct Stage
     ServeStage serve;           ///< kind == Serve.
     AttackStage attack;         ///< kind == Attack.
     FleetStage fleet;           ///< kind == Fleet.
+    ArmsraceStage armsrace;     ///< kind == Armsrace.
 
     // kind == Include: a composable sub-scenario.
     std::string includePath; ///< As written (relative to includer).

@@ -1,0 +1,153 @@
+#include "policy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace bolt {
+namespace sched {
+
+namespace {
+
+bool
+contains(const std::vector<size_t>& v, size_t x)
+{
+    return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+} // namespace
+
+void
+PlacementPolicy::record(sim::TenantId id, size_t server,
+                        const workloads::AppSpec& spec)
+{
+    placements_[id] = Placement{server, spec};
+}
+
+void
+PlacementPolicy::forget(sim::TenantId id)
+{
+    placements_.erase(id);
+}
+
+size_t
+PlacementPolicy::residentsOn(size_t server) const
+{
+    size_t n = 0;
+    for (const auto& [id, p] : placements_)
+        if (p.server == server)
+            ++n;
+    return n;
+}
+
+std::optional<size_t>
+PlacementPolicy::pickFrom(const sim::Cluster& cluster,
+                          const PlacementRequest& req,
+                          const std::vector<size_t>& candidates)
+{
+    // First strict argmax in ascending server order: ties keep the
+    // lowest index, matching the historical scheduler loops so the
+    // ported policies reproduce their pre-refactor decisions exactly.
+    std::optional<size_t> best;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (size_t i : candidates) {
+        double s = score(cluster, req, i);
+        if (s > best_score) {
+            best_score = s;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::optional<size_t>
+PlacementPolicy::place(const sim::Cluster& cluster,
+                       const PlacementRequest& req)
+{
+    auto& metrics = obs::MetricsRegistry::global();
+    const PlacementConstraints& c = req.constraints;
+
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < cluster.size(); ++i) {
+        if (cluster.server(i).placeableSlots(cluster.isolation()) <
+            req.vcpus)
+            continue;
+        if (!c.avoid.empty() && contains(c.avoid, i))
+            continue;
+        candidates.push_back(i);
+    }
+
+    if (!c.avoid.empty() || !c.affinity.empty())
+        metrics.add(obs::MetricId::kSchedPolicyConstrainedPicks);
+
+    bool narrowed = false;
+    if (!c.affinity.empty()) {
+        std::vector<size_t> preferred;
+        for (size_t i : candidates)
+            if (contains(c.affinity, i))
+                preferred.push_back(i);
+        if (!preferred.empty() && honorsAffinity()) {
+            candidates = std::move(preferred);
+            narrowed = true;
+        } else {
+            metrics.add(obs::MetricId::kSchedPolicyAffinityFallbacks);
+        }
+    }
+
+    std::optional<size_t> choice;
+    if (!candidates.empty())
+        choice = pickFrom(cluster, req, candidates);
+    metrics.add(obs::MetricId::kSchedPicks);
+    if (!choice)
+        metrics.add(obs::MetricId::kSchedPickNoFit);
+    else if (narrowed)
+        metrics.add(obs::MetricId::kSchedPolicyAffinityHonored);
+    return choice;
+}
+
+std::optional<size_t>
+PlacementPolicy::pick(const sim::Cluster& cluster,
+                      const workloads::AppSpec& spec, int vcpus)
+{
+    PlacementRequest req;
+    req.spec = spec;
+    req.vcpus = vcpus;
+    return place(cluster, req);
+}
+
+std::vector<size_t>
+placeReplicaSet(PlacementPolicy& policy, const sim::Cluster& cluster,
+                PlacementRequest req,
+                const std::function<sim::TenantId(size_t server)>& commit)
+{
+    std::vector<size_t> chosen;
+    int replicas = std::max(1, req.constraints.replicas);
+    req.constraints.replicas = 1;
+    for (int r = 0; r < replicas; ++r) {
+        std::optional<size_t> server = policy.place(cluster, req);
+        if (!server)
+            break;
+        sim::TenantId id = commit(*server);
+        if (id == sim::kNoTenant)
+            break;
+        policy.record(id, *server, req.spec);
+        obs::MetricsRegistry::global().add(
+            obs::MetricId::kSchedPolicyReplicaPicks);
+        chosen.push_back(*server);
+        switch (req.constraints.hint) {
+        case PlacementHint::Spread:
+            req.constraints.avoid.push_back(*server);
+            break;
+        case PlacementHint::Pack:
+            req.constraints.affinity.push_back(*server);
+            break;
+        case PlacementHint::None:
+            break;
+        }
+    }
+    return chosen;
+}
+
+} // namespace sched
+} // namespace bolt

@@ -6,36 +6,10 @@
 #include "linalg/matrix.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
+#include "util/seeds.h"
 
 namespace bolt {
 namespace sched {
-
-namespace {
-
-/** Count one placement decision (and whether any server fit). */
-void
-notePick(const std::optional<size_t>& choice)
-{
-    auto& metrics = obs::MetricsRegistry::global();
-    metrics.add(obs::MetricId::kSchedPicks);
-    if (!choice)
-        metrics.add(obs::MetricId::kSchedPickNoFit);
-}
-
-} // namespace
-
-void
-Scheduler::record(sim::TenantId id, size_t server,
-                  const workloads::AppSpec& spec)
-{
-    placements_[id] = Placement{server, spec};
-}
-
-void
-Scheduler::forget(sim::TenantId id)
-{
-    placements_.erase(id);
-}
 
 double
 LeastLoadedScheduler::footprint(size_t server) const
@@ -53,27 +27,16 @@ LeastLoadedScheduler::footprint(size_t server) const
     return f;
 }
 
-std::optional<size_t>
-LeastLoadedScheduler::pick(const sim::Cluster& cluster,
-                           const workloads::AppSpec& spec, int vcpus)
+double
+LeastLoadedScheduler::score(const sim::Cluster& cluster,
+                            const PlacementRequest& req,
+                            size_t server) const
 {
-    (void)spec;
-    std::optional<size_t> best;
-    double best_score = -std::numeric_limits<double>::infinity();
-    for (size_t i = 0; i < cluster.size(); ++i) {
-        int slots = cluster.server(i).placeableSlots(cluster.isolation());
-        if (slots < vcpus)
-            continue;
-        // Most free slots first; among ties, least placed footprint.
-        double score =
-            static_cast<double>(slots) * 1e6 - footprint(i);
-        if (score > best_score) {
-            best_score = score;
-            best = i;
-        }
-    }
-    notePick(best);
-    return best;
+    (void)req;
+    // Most free slots first; among ties, least placed footprint.
+    int slots =
+        cluster.server(server).placeableSlots(cluster.isolation());
+    return static_cast<double>(slots) * 1e6 - footprint(server);
 }
 
 double
@@ -100,41 +63,29 @@ QuasarScheduler::interference(size_t server,
     return total;
 }
 
-std::optional<size_t>
-QuasarScheduler::pick(const sim::Cluster& cluster,
-                      const workloads::AppSpec& spec, int vcpus)
+double
+QuasarScheduler::score(const sim::Cluster& cluster,
+                       const PlacementRequest& req, size_t server) const
 {
-    std::optional<size_t> best;
-    double best_score = std::numeric_limits<double>::infinity();
-    for (size_t i = 0; i < cluster.size(); ++i) {
-        int slots = cluster.server(i).placeableSlots(cluster.isolation());
-        if (slots < vcpus)
-            continue;
-        // Minimize interference; break ties toward emptier machines.
-        double score = interference(i, spec) -
-                       1e-3 * static_cast<double>(slots);
-        if (score < best_score) {
-            best_score = score;
-            best = i;
-        }
-    }
-    notePick(best);
-    return best;
+    // Minimize interference; break ties toward emptier machines. The
+    // negation turns the historical strict-< argmin into the base
+    // class's strict-> argmax without changing any decision.
+    int slots =
+        cluster.server(server).placeableSlots(cluster.isolation());
+    return 1e-3 * static_cast<double>(slots) -
+           interference(server, req.spec);
 }
 
 std::optional<size_t>
-RandomScheduler::pick(const sim::Cluster& cluster,
-                      const workloads::AppSpec& spec, int vcpus)
+RandomScheduler::pickFrom(const sim::Cluster& cluster,
+                          const PlacementRequest& req,
+                          const std::vector<size_t>& candidates)
 {
-    (void)spec;
-    auto candidates = cluster.serversWithCapacity(vcpus);
-    if (candidates.empty()) {
-        notePick(std::nullopt);
-        return std::nullopt;
-    }
-    std::optional<size_t> choice = candidates[rng_.index(candidates.size())];
-    notePick(choice);
-    return choice;
+    (void)cluster;
+    (void)req;
+    util::Rng rng = util::Rng::stream(
+        seed_, {util::seeds::kSchedRandomPick, decisions_++});
+    return candidates[rng.index(candidates.size())];
 }
 
 bool

@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 
+#include "sched/policy.h"
 #include "sim/cluster.h"
 #include "workloads/app.h"
 
@@ -11,54 +12,20 @@ namespace bolt {
 namespace sched {
 
 /**
- * Placement policy interface. The scheduler only *picks* a server; the
- * caller performs the actual placement and then calls record() so
- * interference-aware policies can track what runs where.
- */
-class Scheduler
-{
-  public:
-    virtual ~Scheduler() = default;
-
-    /**
-     * Choose a server for an application needing `vcpus` hardware
-     * threads. @return server index, or nullopt when nothing fits.
-     */
-    virtual std::optional<size_t> pick(const sim::Cluster& cluster,
-                                       const workloads::AppSpec& spec,
-                                       int vcpus) = 0;
-
-    /** Notify the policy that a tenant landed on a server. */
-    virtual void record(sim::TenantId id, size_t server,
-                        const workloads::AppSpec& spec);
-
-    /** Notify the policy that a tenant left. */
-    virtual void forget(sim::TenantId id);
-
-    /** Policy display name. */
-    virtual const char* name() const = 0;
-
-  protected:
-    struct Placement
-    {
-        size_t server;
-        workloads::AppSpec spec;
-    };
-    std::map<sim::TenantId, Placement> placements_;
-};
-
-/**
  * Least-loaded scheduler (Section 3.4): allocates on the machine with
  * the most available compute, memory and storage. Commonly used in
- * datacenters; ignores interference between co-residents.
+ * datacenters; ignores interference between co-residents — and, being
+ * a deterministic argmax, it is the most predictable (and therefore
+ * most constraint-gameable) policy in the arms-race tournament.
  */
-class LeastLoadedScheduler : public Scheduler
+class LeastLoadedScheduler : public PlacementPolicy
 {
   public:
-    std::optional<size_t> pick(const sim::Cluster& cluster,
-                               const workloads::AppSpec& spec,
-                               int vcpus) override;
     const char* name() const override { return "least-loaded"; }
+
+  protected:
+    double score(const sim::Cluster& cluster, const PlacementRequest& req,
+                 size_t server) const override;
 
   private:
     /** Aggregate footprint already placed on a server (lower = freer). */
@@ -71,13 +38,14 @@ class LeastLoadedScheduler : public Scheduler
  * least with the incoming application, so co-scheduled jobs contend on
  * different critical resources.
  */
-class QuasarScheduler : public Scheduler
+class QuasarScheduler : public PlacementPolicy
 {
   public:
-    std::optional<size_t> pick(const sim::Cluster& cluster,
-                               const workloads::AppSpec& spec,
-                               int vcpus) override;
     const char* name() const override { return "quasar"; }
+
+  protected:
+    double score(const sim::Cluster& cluster, const PlacementRequest& req,
+                 size_t server) const override;
 
   private:
     /** Profile-overlap score of `spec` with residents of `server`. */
@@ -88,18 +56,33 @@ class QuasarScheduler : public Scheduler
 /**
  * Uniform-random placement among servers with capacity — the launch
  * strategy an external adversary gets in the co-residency attack.
+ *
+ * Decision k draws from the counter-based stream
+ * Rng::stream(seed, {seeds::kSchedRandomPick, k}); no stateful engine
+ * is carried between decisions, so a replayed placement sequence is
+ * order-independent: the k-th decision's draw never depends on how
+ * much entropy earlier decisions (or other policies sharing a root
+ * seed) consumed.
  */
-class RandomScheduler : public Scheduler
+class RandomScheduler : public PlacementPolicy
 {
   public:
-    explicit RandomScheduler(util::Rng rng) : rng_(rng) {}
-    std::optional<size_t> pick(const sim::Cluster& cluster,
-                               const workloads::AppSpec& spec,
-                               int vcpus) override;
+    explicit RandomScheduler(uint64_t seed) : seed_(seed) {}
     const char* name() const override { return "random"; }
 
+  protected:
+    double score(const sim::Cluster&, const PlacementRequest&,
+                 size_t) const override
+    {
+        return 0.0; // unused: pickFrom is overridden
+    }
+    std::optional<size_t>
+    pickFrom(const sim::Cluster& cluster, const PlacementRequest& req,
+             const std::vector<size_t>& candidates) override;
+
   private:
-    util::Rng rng_;
+    uint64_t seed_;
+    uint64_t decisions_ = 0;
 };
 
 /**

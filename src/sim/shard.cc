@@ -30,6 +30,7 @@ using util::seeds::kFleetProfile;
 
 FleetCluster::FleetCluster(const FleetConfig& cfg) : cfg_(cfg)
 {
+    placement_ = cfg_.placement ? cfg_.placement : &ringPlacement_;
     if (cfg_.hosts == 0)
         cfg_.hosts = 1;
     if (cfg_.epochs < 0)
@@ -114,33 +115,46 @@ FleetCluster::validate(std::string* why) const
     return true;
 }
 
-bool
-FleetCluster::place(uint32_t vm, size_t start, size_t exclude,
-                    bool migration, FleetEpoch* ep)
+size_t
+RingFirstFitPlacement::pickHost(const FleetCluster& fleet, uint8_t vcpus,
+                                size_t start, size_t exclude)
 {
-    const size_t H = hosts_.size();
-    const uint8_t need = vms_[vm].vcpus;
+    const size_t H = fleet.hosts();
     for (size_t k = 0; k < H; ++k) {
         size_t h = start + k;
         if (h >= H)
             h -= H;
         if (h == exclude)
             continue;
-        Host& host = hosts_[h];
-        if (host.down ||
-            host.used + need > static_cast<uint32_t>(slots_per_host_))
+        if (fleet.hostDown(h) ||
+            fleet.hostUsed(h) + vcpus >
+                static_cast<uint32_t>(fleet.slotsPerHost()))
             continue;
-        host.used += need;
-        host.residents.push_back(vm);
-        vms_[vm].host = static_cast<uint32_t>(h);
-        if (migration && ep) {
-            ++ep->migrations;
-            if (shardOf(exclude) != shardOf(h))
-                ++ep->crossShard;
-        }
-        return true;
+        return h;
     }
-    return false;
+    return kNoHost;
+}
+
+bool
+FleetCluster::place(uint32_t vm, size_t start, size_t exclude,
+                    bool migration, FleetEpoch* ep)
+{
+    // Host *selection* is delegated to the pluggable policy; slot
+    // accounting and migration bookkeeping stay here so every policy
+    // shares one correct mutation path.
+    size_t h = placement_->pickHost(*this, vms_[vm].vcpus, start, exclude);
+    if (h == FleetPlacementPolicy::kNoHost)
+        return false;
+    Host& host = hosts_[h];
+    host.used += vms_[vm].vcpus;
+    host.residents.push_back(vm);
+    vms_[vm].host = static_cast<uint32_t>(h);
+    if (migration && ep) {
+        ++ep->migrations;
+        if (shardOf(exclude) != shardOf(h))
+            ++ep->crossShard;
+    }
+    return true;
 }
 
 void

@@ -44,6 +44,24 @@ constexpr uint64_t kFleetBoot = 0xF1EE70;
 constexpr uint64_t kFleetChurn = 0xF1EE71;
 constexpr uint64_t kFleetProfile = 0xF1EE72;
 
+/// Placement layer (src/sched): the random policy's per-decision
+/// draws. Keyed by the policy's own decision index so a replayed
+/// decision sequence is order-independent — decision k draws the same
+/// stream no matter what any other scheduler instance consumed.
+constexpr uint64_t kSchedRandomPick = 0x5C4EDA;
+
+/// Co-location arms race (src/colo): background prefill, per-(wave,
+/// probe) attacker draws, oracle channel noise, MAB exploration,
+/// secure-allocator tie-break randomization, per-(cell, rep)
+/// tournament streams, and end-state what-if probes on the fleet.
+constexpr uint64_t kColoPrefill = 0xC0107E51;
+constexpr uint64_t kColoWave = 0xC0107E52;
+constexpr uint64_t kColoOracle = 0xC0107E53;
+constexpr uint64_t kColoMab = 0xC0107E54;
+constexpr uint64_t kColoSecure = 0xC0107E55;
+constexpr uint64_t kColoCell = 0xC0107E56;
+constexpr uint64_t kColoProbe = 0xC0107E57;
+
 /**
  * The derived seed for child `index` of phase `phase` under `root`.
  *

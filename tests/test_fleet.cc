@@ -137,6 +137,74 @@ TEST(FleetInvariance, DigestIdenticalAcrossShardAndThreadCounts)
     }
 }
 
+TEST(FleetPlacement, DefaultPolicyPreservesHistoricalDigest)
+{
+    // The pluggable-placement refactor must not move a single bit of
+    // the default run: this digest was captured from the pre-hook
+    // FleetCluster (hard-coded ring first-fit) for this exact config.
+    FleetResult r = runWith(smallFleet(2017), 1, 1);
+    EXPECT_EQ(r.digest, 0x733ff1b2f17e6d09ull);
+
+    // An explicit RingFirstFitPlacement is the same policy by
+    // construction, not just by digest accident.
+    sim::RingFirstFitPlacement ring;
+    FleetConfig cfg = smallFleet(2017);
+    cfg.placement = &ring;
+    EXPECT_EQ(runWith(cfg, 1, 1).digest, r.digest);
+}
+
+namespace {
+
+/** Trivial alternative policy: most-free host, ring tie-break. */
+struct MostFreePlacement : sim::FleetPlacementPolicy
+{
+    size_t
+    pickHost(const FleetCluster& fleet, uint8_t vcpus, size_t start,
+             size_t exclude) override
+    {
+        const size_t H = fleet.hosts();
+        size_t best = kNoHost;
+        uint32_t best_used = 0;
+        for (size_t k = 0; k < H; ++k) {
+            size_t h = start + k;
+            if (h >= H)
+                h -= H;
+            if (h == exclude || fleet.hostDown(h))
+                continue;
+            if (fleet.hostUsed(h) + vcpus >
+                static_cast<uint32_t>(fleet.slotsPerHost()))
+                continue;
+            if (best == kNoHost || fleet.hostUsed(h) < best_used) {
+                best = h;
+                best_used = fleet.hostUsed(h);
+            }
+        }
+        return best;
+    }
+    const char* name() const override { return "most-free"; }
+};
+
+} // namespace
+
+TEST(FleetPlacement, CustomPolicyChangesOutcomeButStaysShardInvariant)
+{
+    // A different policy must actually steer placement (different
+    // digest) while inheriting the two-plane determinism guarantee:
+    // digests identical across shard x thread combinations.
+    MostFreePlacement mostFreeA;
+    FleetConfig cfg = smallFleet(2017);
+    cfg.placement = &mostFreeA;
+    FleetResult base = runWith(cfg, 1, 1);
+    EXPECT_NE(base.digest, 0x733ff1b2f17e6d09ull);
+    for (size_t shards : {4u, 16u}) {
+        MostFreePlacement mostFreeB; // fresh state per run
+        FleetConfig c2 = smallFleet(2017);
+        c2.placement = &mostFreeB;
+        FleetResult r = runWith(c2, shards, 8);
+        EXPECT_EQ(r.digest, base.digest) << "shards " << shards;
+    }
+}
+
 TEST(FleetInvariance, DifferentSeedsProduceDifferentDigests)
 {
     FleetResult a = runWith(smallFleet(1), 1, 1);

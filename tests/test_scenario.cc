@@ -59,10 +59,11 @@ compileError(const std::string& source)
 }
 
 const char* kShipped[] = {
-    "adversary_sweep", "cloaked_victims", "closed_loop_soak",
-    "coresidency_hunt", "diurnal",        "dos_blitz",
-    "dropout_heavy",    "flash_crowd",    "grand_tour",
-    "migration_storm",  "noisy_neighbor", "quasar_showdown",
+    "adversary_sweep", "armsrace_duel",  "cloaked_victims",
+    "closed_loop_soak", "coresidency_hunt", "diurnal",
+    "dos_blitz",       "dropout_heavy",  "flash_crowd",
+    "grand_tour",      "migration_storm", "noisy_neighbor",
+    "quasar_showdown",
 };
 
 std::string
@@ -187,12 +188,13 @@ TEST(ScenarioCompile, ErrorGoldens)
                            "stages:\n"
                            "  - stage: warmup\n"),
               "bad.scn:3: value 'warmup' for 'stage' must be one of "
-              "experiment, serve, attack, include, fleet");
+              "experiment, serve, attack, include, fleet, armsrace");
     EXPECT_EQ(compileError("scenario: x\n"
                            "stages:\n"
                            "  - name: no-discriminator\n"),
               "bad.scn:3: each stages[] item must begin with "
-              "'- stage: experiment|serve|attack|include|fleet'");
+              "'- stage: experiment|serve|attack|include|fleet"
+              "|armsrace'");
     EXPECT_EQ(compileError("scenario: x\n"
                            "stages:\n"
                            "  - stage: attack\n"),
@@ -549,6 +551,7 @@ TEST(ScenarioSchema, DumpEmitsEveryLeafKey)
                                "  - stage: attack\n"
                                "    kind: coresidency\n"
                                "  - stage: fleet\n"
+                               "  - stage: armsrace\n"
                                "  - stage: include\n"
                                "    path: leaf_child.scn\n";
     Scenario s;

@@ -21,10 +21,11 @@ using namespace bolt;
 namespace {
 
 const char* kShipped[] = {
-    "adversary_sweep", "cloaked_victims", "closed_loop_soak",
-    "coresidency_hunt", "diurnal",        "dos_blitz",
-    "dropout_heavy",    "flash_crowd",    "grand_tour",
-    "migration_storm",  "noisy_neighbor", "quasar_showdown",
+    "adversary_sweep", "armsrace_duel",  "cloaked_victims",
+    "closed_loop_soak", "coresidency_hunt", "diurnal",
+    "dos_blitz",       "dropout_heavy",  "flash_crowd",
+    "grand_tour",      "migration_storm", "noisy_neighbor",
+    "quasar_showdown",
 };
 
 std::string

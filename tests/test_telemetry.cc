@@ -189,6 +189,50 @@ TEST(Telemetry, JsonlExportIsThreadCountInvariant)
     EXPECT_EQ(one, exportWithThreads(8));
 }
 
+TEST(Telemetry, ColoSeriesExportIsThreadCountInvariant)
+{
+    // The arms-race series are labeled by attacker / policy name and
+    // emitted once per tournament cell; the export must not depend on
+    // which thread recorded which cell.
+    auto record = [](size_t threads) {
+        TelemetryConfig cfg;
+        cfg.windowSec = 1.0;
+        TimeSeriesRecorder rec(cfg);
+        rec.setEnabled(true);
+
+        static const char* kAttackers[] = {"replication", "affinity",
+                                           "churn"};
+        static const char* kPolicies[] = {"least-loaded", "mab",
+                                          "secure-opt"};
+        std::vector<std::thread> pool;
+        for (size_t w = 0; w < threads; ++w) {
+            pool.emplace_back([&, w] {
+                for (size_t cell = w; cell < 45; cell += threads) {
+                    rec.count(SeriesId::kColoAttackerLaunches,
+                              kAttackers[cell % 3], double(cell),
+                              64 + cell);
+                    rec.count(SeriesId::kColoCoResEvents,
+                              kPolicies[cell % 3], double(cell),
+                              1 + cell % 4);
+                }
+            });
+        }
+        for (std::thread& th : pool)
+            th.join();
+
+        std::ostringstream os;
+        obs::writeTelemetryJsonl(os, rec.snapshot());
+        return os.str();
+    };
+
+    std::string one = record(1);
+    EXPECT_FALSE(one.empty());
+    EXPECT_NE(one.find("colo.attacker_launches"), std::string::npos);
+    EXPECT_NE(one.find("colo.coresidency_events"), std::string::npos);
+    EXPECT_EQ(one, record(4));
+    EXPECT_EQ(one, record(8));
+}
+
 TEST(Telemetry, CardinalityCapRoutesOverflowAndConservesCounts)
 {
     TelemetryConfig cfg;

@@ -464,6 +464,14 @@ TEST(Seeds, PhaseKeysAreFrozen)
     EXPECT_EQ(kFleetBoot, 0xF1EE70u);
     EXPECT_EQ(kFleetChurn, 0xF1EE71u);
     EXPECT_EQ(kFleetProfile, 0xF1EE72u);
+    EXPECT_EQ(kSchedRandomPick, 0x5C4EDAu);
+    EXPECT_EQ(kColoPrefill, 0xC0107E51u);
+    EXPECT_EQ(kColoWave, 0xC0107E52u);
+    EXPECT_EQ(kColoOracle, 0xC0107E53u);
+    EXPECT_EQ(kColoMab, 0xC0107E54u);
+    EXPECT_EQ(kColoSecure, 0xC0107E55u);
+    EXPECT_EQ(kColoCell, 0xC0107E56u);
+    EXPECT_EQ(kColoProbe, 0xC0107E57u);
 }
 
 TEST(Seeds, DerivedSeedsArePinned)
@@ -490,6 +498,10 @@ TEST(Seeds, DerivedSeedsArePinned)
     // Definitional identity against the Rng itself.
     EXPECT_EQ(derivedSeed(99, kFleetChurn, 17),
               Rng::stream(99, {kFleetChurn, 17}).seed());
+    EXPECT_EQ(derivedSeed(42, kSchedRandomPick, 0),
+              Rng::stream(42, {kSchedRandomPick, 0}).seed());
+    EXPECT_EQ(derivedSeed(42, kColoCell, 3),
+              Rng::stream(42, {kColoCell, 3}).seed());
 }
 
 TEST(Seeds, FanoutSeedInheritsForSingletons)
